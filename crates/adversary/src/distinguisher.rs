@@ -1,0 +1,427 @@
+//! Forensic distinguishers: the concrete attacks of the paper.
+
+use crate::observation::Observation;
+use std::collections::HashSet;
+
+/// A forensic strategy over a time-ordered sequence of observations.
+pub trait Distinguisher {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// `true` if the strategy believes hidden data exists on the device.
+    fn decide(&self, observations: &[Observation]) -> bool;
+}
+
+/// The classic multi-snapshot attack (§I, §IV-A): diff consecutive
+/// snapshots and flag any change in space not accounted to the *public*
+/// volume. Breaks every static hidden-volume scheme (Mobiflage, MobiHydra,
+/// MobiPluto), because their "free" randomness must never change — but is
+/// neutralised by MobiCeal, whose dummy writes change non-public space in
+/// both worlds.
+#[derive(Debug, Clone)]
+pub struct ChangedFreeSpaceDistinguisher {
+    /// The volume id the coerced user admits to (V1).
+    pub public_volume: u32,
+    /// Where the pool's data region starts on the raw disk (metadata
+    /// mappings are data-region-relative).
+    pub data_region_start: u64,
+    /// Length of the data region in blocks.
+    pub data_region_blocks: u64,
+}
+
+impl ChangedFreeSpaceDistinguisher {
+    fn unaccounted_changes(&self, earlier: &Observation, later: &Observation) -> usize {
+        let public: HashSet<u64> = later
+            .volume_physical_blocks(self.public_volume)
+            .iter()
+            .map(|p| p + self.data_region_start)
+            .collect();
+        earlier
+            .changed_blocks(later)
+            .into_iter()
+            .filter(|&b| {
+                b >= self.data_region_start
+                    && b < self.data_region_start + self.data_region_blocks
+            })
+            .filter(|b| !public.contains(b))
+            .count()
+    }
+}
+
+impl Distinguisher for ChangedFreeSpaceDistinguisher {
+    fn name(&self) -> &str {
+        "changed-free-space"
+    }
+
+    fn decide(&self, observations: &[Observation]) -> bool {
+        observations
+            .windows(2)
+            .any(|w| self.unaccounted_changes(&w[0], &w[1]) > 0)
+    }
+}
+
+/// Dummy-budget accounting (§IV-B's residual leak): the adversary knows the
+/// design (λ, x) and bounds how much non-public growth the dummy mechanism
+/// could plausibly produce for the observed public growth. Exceeding the
+/// bound — e.g. a large hidden file stored without comparable public
+/// traffic — is flagged. The paper's mitigation is behavioural: "store a
+/// file with approximately equal size in the public volume after storing a
+/// large file in the hidden volume".
+#[derive(Debug, Clone)]
+pub struct DummyBudgetDistinguisher {
+    /// The public volume id.
+    pub public_volume: u32,
+    /// The design's λ (known to the adversary).
+    pub lambda: f64,
+    /// How many standard deviations above the worst-case mean to tolerate
+    /// before flagging (higher = fewer false positives).
+    pub safety_sigmas: f64,
+}
+
+impl DummyBudgetDistinguisher {
+    fn budget(&self, public_growth: u64) -> f64 {
+        // Burst size is ceil(Exp(λ)) ~ Geometric(p = 1 - e^{-λ}) on 1,2,…
+        let p = 1.0 - (-self.lambda).exp();
+        let mean_burst = 1.0 / p;
+        let var_burst = (1.0 - p) / (p * p);
+        // Trigger probability is secret but bounded by 1/2 (rand ∈ [1, 2x]).
+        let q = 0.5;
+        let g = public_growth as f64;
+        let mean = g * q * mean_burst;
+        let var = g * (q * var_burst + q * (1.0 - q) * mean_burst * mean_burst);
+        mean + self.safety_sigmas * var.sqrt() + 4.0
+    }
+}
+
+impl Distinguisher for DummyBudgetDistinguisher {
+    fn name(&self) -> &str {
+        "dummy-budget"
+    }
+
+    fn decide(&self, observations: &[Observation]) -> bool {
+        for w in observations.windows(2) {
+            let ids = w[1].volume_ids();
+            if ids.is_empty() {
+                continue;
+            }
+            let gp = w[1]
+                .mapped_blocks(self.public_volume)
+                .saturating_sub(w[0].mapped_blocks(self.public_volume));
+            let gn: u64 = ids
+                .iter()
+                .filter(|&&id| id != self.public_volume)
+                .map(|&id| {
+                    w[1].mapped_blocks(id).saturating_sub(w[0].mapped_blocks(id))
+                })
+                .sum();
+            if (gn as f64) > self.budget(gp) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Physical run-length analysis (§IV-B's motivation for random allocation):
+/// under sequential allocation a burst of hidden writes forms a long run of
+/// physically consecutive new blocks outside the public volume, which no
+/// bounded dummy burst can explain. Random allocation leaves only short
+/// accidental runs.
+#[derive(Debug, Clone)]
+pub struct SequentialRunDistinguisher {
+    /// The public volume id.
+    pub public_volume: u32,
+    /// Data-region offset on the raw disk.
+    pub data_region_start: u64,
+    /// Runs at or above this length are flagged.
+    pub min_run: u64,
+}
+
+impl Distinguisher for SequentialRunDistinguisher {
+    fn name(&self) -> &str {
+        "sequential-run"
+    }
+
+    fn decide(&self, observations: &[Observation]) -> bool {
+        for w in observations.windows(2) {
+            let public: HashSet<u64> = w[1]
+                .volume_physical_blocks(self.public_volume)
+                .iter()
+                .map(|p| p + self.data_region_start)
+                .collect();
+            let mut changed: Vec<u64> = w[0]
+                .changed_blocks(&w[1])
+                .into_iter()
+                .filter(|&b| b >= self.data_region_start && !public.contains(&b))
+                .collect();
+            changed.sort_unstable();
+            let mut run = 1u64;
+            for pair in changed.windows(2) {
+                if pair[1] == pair[0] + 1 {
+                    run += 1;
+                    if run >= self.min_run {
+                        return true;
+                    }
+                } else {
+                    run = 1;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Entropy anomaly scan: flags *low-entropy* content appearing in blocks
+/// not accounted to the public volume. A correct PDE writes only
+/// ciphertext/noise outside the public mapping; plaintext structure leaking
+/// into "free" space (a buggy implementation, an unencrypted journal, a
+/// swap spill) is immediate evidence of concealed activity. All systems in
+/// this workspace pass; the distinguisher exists to validate that property
+/// and to catch regressions.
+#[derive(Debug, Clone)]
+pub struct EntropyAnomalyDistinguisher {
+    /// The admitted public volume.
+    pub public_volume: u32,
+    /// Data-region offset on the raw disk.
+    pub data_region_start: u64,
+    /// Blocks whose Shannon entropy falls below this (bits/byte) are
+    /// anomalous. Ciphertext measures ≈ 7.97 on 4 KiB blocks.
+    pub entropy_floor: f64,
+}
+
+impl Default for EntropyAnomalyDistinguisher {
+    fn default() -> Self {
+        EntropyAnomalyDistinguisher {
+            public_volume: 1,
+            data_region_start: 0,
+            entropy_floor: 7.0,
+        }
+    }
+}
+
+impl Distinguisher for EntropyAnomalyDistinguisher {
+    fn name(&self) -> &str {
+        "entropy-anomaly"
+    }
+
+    fn decide(&self, observations: &[Observation]) -> bool {
+        for w in observations.windows(2) {
+            let public: HashSet<u64> = w[1]
+                .volume_physical_blocks(self.public_volume)
+                .iter()
+                .map(|p| p + self.data_region_start)
+                .collect();
+            for b in w[0].changed_blocks(&w[1]) {
+                if b < self.data_region_start || public.contains(&b) {
+                    continue;
+                }
+                if w[1].snapshot.block_entropy(b) < self.entropy_floor {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The §IV-D side channel: grep persistent public storage for traces of
+/// hidden-mode activity. Defeats any design that shares logs/caches between
+/// modes (HIVE, DEFY per Czeskis et al.); MobiCeal's tmpfs isolation leaves
+/// nothing to find.
+#[derive(Debug, Clone)]
+pub struct SideChannelDistinguisher {
+    /// Substrings whose appearance in public logs betrays hidden activity.
+    pub needles: Vec<String>,
+}
+
+impl Default for SideChannelDistinguisher {
+    fn default() -> Self {
+        SideChannelDistinguisher {
+            needles: vec!["hidden".into(), "secret".into()],
+        }
+    }
+}
+
+impl Distinguisher for SideChannelDistinguisher {
+    fn name(&self) -> &str {
+        "side-channel"
+    }
+
+    fn decide(&self, observations: &[Observation]) -> bool {
+        observations.iter().any(|o| {
+            o.logs.iter().any(|line| self.needles.iter().any(|n| line.contains(n.as_str())))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::DiskSnapshot;
+    use mobiceal_thinp::{Bitmap, MetadataView, VolumeMeta};
+    use std::collections::BTreeMap;
+
+    fn obs(blocks: &[[u8; 2]], mappings: &[(u32, Vec<(u64, u64)>)]) -> Observation {
+        let data: Vec<u8> = blocks.iter().flatten().copied().collect();
+        let snapshot = DiskSnapshot::new(2, blocks.len() as u64, data);
+        let mut volumes = BTreeMap::new();
+        for (id, maps) in mappings {
+            volumes.insert(
+                *id,
+                VolumeMeta {
+                    id: *id,
+                    virtual_blocks: 64,
+                    mappings: maps.iter().copied().collect(),
+                },
+            );
+        }
+        Observation {
+            snapshot,
+            metadata: Some(MetadataView {
+                transaction_id: 0,
+                bitmap: Bitmap::new(blocks.len() as u64),
+                volumes,
+            }),
+            logs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn changed_free_space_flags_unaccounted_change() {
+        let d = ChangedFreeSpaceDistinguisher {
+            public_volume: 1,
+            data_region_start: 0,
+            data_region_blocks: 4,
+        };
+        // Block 2 changes but only block 0 is public-mapped.
+        let before = obs(&[[1, 1], [0, 0], [5, 5], [0, 0]], &[(1, vec![(0, 0)])]);
+        let after = obs(&[[1, 1], [0, 0], [9, 9], [0, 0]], &[(1, vec![(0, 0)])]);
+        assert!(d.decide(&[before, after]));
+    }
+
+    #[test]
+    fn changed_free_space_accepts_public_only_change() {
+        let d = ChangedFreeSpaceDistinguisher {
+            public_volume: 1,
+            data_region_start: 0,
+            data_region_blocks: 4,
+        };
+        let before = obs(&[[1, 1], [0, 0], [5, 5], [0, 0]], &[(1, vec![(0, 0)])]);
+        let after = obs(&[[2, 2], [0, 0], [5, 5], [0, 0]], &[(1, vec![(0, 0)])]);
+        assert!(!d.decide(&[before, after]));
+    }
+
+    #[test]
+    fn dummy_budget_tolerates_plausible_growth_and_flags_excess() {
+        let d = DummyBudgetDistinguisher { public_volume: 1, lambda: 1.0, safety_sigmas: 4.0 };
+        let zeros = [[0u8; 2]; 4];
+        // 100 public allocations, 60 non-public: within budget (~0.79*100+4σ).
+        let before = obs(&zeros, &[(1, vec![]), (2, vec![])]);
+        let mid = obs(
+            &zeros,
+            &[
+                (1, (0..100).map(|i| (i, i)).collect::<Vec<_>>()),
+                (2, (0..60).map(|i| (i, i)).collect::<Vec<_>>()),
+            ],
+        );
+        assert!(!d.decide(&[before.clone(), mid]));
+        // 10 public allocations but 200 non-public: far beyond any budget.
+        let excess = obs(
+            &zeros,
+            &[
+                (1, (0..10).map(|i| (i, i)).collect::<Vec<_>>()),
+                (2, (0..200).map(|i| (i, i)).collect::<Vec<_>>()),
+            ],
+        );
+        assert!(d.decide(&[before, excess]));
+    }
+
+    #[test]
+    fn sequential_run_detects_long_runs_only() {
+        let d = SequentialRunDistinguisher { public_volume: 1, data_region_start: 0, min_run: 3 };
+        let mk = |vals: [u8; 6]| {
+            obs(
+                &[
+                    [vals[0]; 2],
+                    [vals[1]; 2],
+                    [vals[2]; 2],
+                    [vals[3]; 2],
+                    [vals[4]; 2],
+                    [vals[5]; 2],
+                ],
+                &[(1, vec![])],
+            )
+        };
+        let before = mk([0, 0, 0, 0, 0, 0]);
+        let long_run = mk([0, 9, 9, 9, 0, 0]); // blocks 1,2,3 changed: run of 3
+        assert!(d.decide(&[before.clone(), long_run]));
+        let scattered = mk([9, 0, 9, 0, 9, 0]); // no run of 3
+        assert!(!d.decide(&[before, scattered]));
+    }
+
+    #[test]
+    fn entropy_anomaly_flags_plaintext_in_free_space() {
+        let d = EntropyAnomalyDistinguisher {
+            public_volume: 1,
+            data_region_start: 0,
+            entropy_floor: 5.0,
+        };
+        // 256-byte blocks; block 1 is non-public.
+        let ramp: Vec<u8> = (0..=255).collect();
+        let make = |b1: &[u8]| {
+            let mut data = ramp.clone();
+            data.extend_from_slice(b1);
+            let snapshot = DiskSnapshot::new(256, 2, data);
+            let mut volumes = BTreeMap::new();
+            volumes.insert(
+                1,
+                VolumeMeta { id: 1, virtual_blocks: 4, mappings: BTreeMap::new() },
+            );
+            Observation {
+                snapshot,
+                metadata: Some(MetadataView {
+                    transaction_id: 0,
+                    bitmap: Bitmap::new(2),
+                    volumes,
+                }),
+                logs: Vec::new(),
+            }
+        };
+        let before = make(&[0u8; 256]);
+        // Plaintext (constant bytes) appears in non-public space: flagged.
+        let leaky = make(&[7u8; 256]);
+        assert!(d.decide(&[before.clone(), leaky]));
+        // High-entropy noise appears instead: fine.
+        let noise: Vec<u8> = (0..256).map(|i| (i * 167 % 251) as u8).collect();
+        let clean = make(&noise);
+        assert!(!d.decide(&[before, clean]));
+    }
+
+    #[test]
+    fn side_channel_greps_logs() {
+        let d = SideChannelDistinguisher::default();
+        let mut clean = Observation::disk_only(DiskSnapshot::new(2, 1, vec![0, 0]));
+        clean.logs = vec!["vold: mounted /data".into()];
+        assert!(!d.decide(&[clean.clone()]));
+        let mut leaky = clean.clone();
+        leaky.logs.push("vold: mounted hidden volume V4".into());
+        assert!(d.decide(&[clean, leaky]));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            ChangedFreeSpaceDistinguisher {
+                public_volume: 1,
+                data_region_start: 0,
+                data_region_blocks: 1
+            }
+            .name(),
+            "changed-free-space"
+        );
+        assert_eq!(
+            DummyBudgetDistinguisher { public_volume: 1, lambda: 1.0, safety_sigmas: 3.0 }.name(),
+            "dummy-budget"
+        );
+    }
+}

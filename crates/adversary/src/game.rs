@@ -1,0 +1,276 @@
+//! The §III-C multi-snapshot security game, run empirically.
+//!
+//! The paper proves MobiCeal secure in a simulation-based game; this module
+//! *measures* the same game. Each round, a hidden bit `b` selects one of
+//! two worlds built from the same seed: `Σ0` contains a hidden volume and
+//! executes hidden writes, `Σ1` does not. Both execute an identical public
+//! access pattern (the game's restriction that patterns agree on public
+//! operations), the adversary receives an on-event snapshot after every
+//! execution, and a [`Distinguisher`] guesses `b`. The empirical advantage
+//! `|Pr[b' = b] − ½|` should be statistically indistinguishable from zero
+//! for MobiCeal and close to ½ for the broken baselines.
+
+use crate::distinguisher::Distinguisher;
+use crate::observation::Observation;
+use mobiceal_sim::Xoshiro256;
+
+/// One playable world of the game.
+///
+/// Implementations adapt a storage system (MobiCeal, a baseline, …) to the
+/// game's three moves. `hidden_write` is only invoked in the world where
+/// the hidden volume exists.
+pub trait GameWorld {
+    /// Executes one public write event of roughly `blocks` blocks.
+    fn public_write(&mut self, blocks: u64);
+
+    /// Executes one hidden write event of roughly `blocks` blocks.
+    fn hidden_write(&mut self, blocks: u64);
+
+    /// Captures an on-event observation (snapshot + metadata + logs).
+    fn observe(&self) -> Observation;
+}
+
+/// Parameters of the empirical game.
+#[derive(Debug, Clone)]
+pub struct GameConfig {
+    /// Number of independent rounds (fresh worlds each).
+    pub rounds: u32,
+    /// Public write events per round.
+    pub events_per_round: u32,
+    /// Uniform range of public event sizes in blocks (inclusive).
+    pub public_blocks: (u64, u64),
+    /// Uniform range of hidden event sizes in blocks (inclusive).
+    pub hidden_blocks: (u64, u64),
+    /// Probability that a hidden write accompanies a public event (in the
+    /// hidden world).
+    pub hidden_event_prob: f64,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            rounds: 40,
+            events_per_round: 12,
+            public_blocks: (4, 32),
+            hidden_blocks: (2, 16),
+            hidden_event_prob: 0.5,
+        }
+    }
+}
+
+/// Outcome of an empirical game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameResult {
+    /// The distinguisher evaluated.
+    pub distinguisher: String,
+    /// Rounds played.
+    pub rounds: u32,
+    /// Rounds in which the guess matched `b`.
+    pub wins: u32,
+    /// `wins / rounds`.
+    pub accuracy: f64,
+    /// `|accuracy − ½|` (the paper's advantage).
+    pub advantage: f64,
+    /// Wilson 95 % confidence interval on the accuracy.
+    pub accuracy_ci95: (f64, f64),
+}
+
+impl GameResult {
+    /// Whether an accuracy of ½ (no advantage) lies inside the confidence
+    /// interval — i.e. the distinguisher is statistically blind.
+    pub fn is_blind(&self) -> bool {
+        self.accuracy_ci95.0 <= 0.5 && 0.5 <= self.accuracy_ci95.1
+    }
+}
+
+impl std::fmt::Display for GameResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<20} accuracy {:.3} (95% CI {:.3}-{:.3})  advantage {:.3}",
+            self.distinguisher,
+            self.accuracy,
+            self.accuracy_ci95.0,
+            self.accuracy_ci95.1,
+            self.advantage
+        )
+    }
+}
+
+fn wilson_ci(wins: u32, n: u32) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = n as f64;
+    let p = wins as f64 / n;
+    let denom = 1.0 + z * z / n;
+    let centre = (p + z * z / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Runs the empirical game: `make_world(seed, with_hidden)` builds a fresh
+/// world, the shared public pattern executes in it, and `distinguisher`
+/// guesses.
+pub fn run_distinguisher_game<W: GameWorld>(
+    mut make_world: impl FnMut(u64, bool) -> W,
+    distinguisher: &dyn Distinguisher,
+    config: &GameConfig,
+    seed: u64,
+) -> GameResult {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut wins = 0u32;
+    for round in 0..config.rounds {
+        let with_hidden = rng.next_u64() & 1 == 1;
+        let world_seed = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(round as u64 + 1);
+        let mut world = make_world(world_seed, with_hidden);
+        // Pattern RNG is independent of `b` so both worlds would see the
+        // identical public pattern.
+        let mut pattern = Xoshiro256::seed_from(world_seed ^ 0x5bf0_3635);
+        let mut observations = vec![world.observe()];
+        for _ in 0..config.events_per_round {
+            let p = pattern.next_range(config.public_blocks.0, config.public_blocks.1);
+            world.public_write(p);
+            let hidden_roll = pattern.next_f64();
+            let h = pattern.next_range(config.hidden_blocks.0, config.hidden_blocks.1);
+            if with_hidden && hidden_roll < config.hidden_event_prob {
+                world.hidden_write(h);
+            }
+            observations.push(world.observe());
+        }
+        let guess = distinguisher.decide(&observations);
+        if guess == with_hidden {
+            wins += 1;
+        }
+    }
+    let accuracy = wins as f64 / config.rounds as f64;
+    GameResult {
+        distinguisher: distinguisher.name().to_string(),
+        rounds: config.rounds,
+        wins,
+        accuracy,
+        advantage: (accuracy - 0.5).abs(),
+        accuracy_ci95: wilson_ci(wins, config.rounds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::DiskSnapshot;
+
+    /// A world where hidden writes visibly set a marker block: trivially
+    /// distinguishable.
+    struct LeakyWorld {
+        hidden_touched: bool,
+    }
+
+    /// A world where hidden writes change nothing observable: perfectly
+    /// deniable.
+    struct PerfectWorld;
+
+    fn marker_observation(marked: bool) -> Observation {
+        let byte = if marked { 9u8 } else { 0u8 };
+        Observation::disk_only(DiskSnapshot::new(2, 1, vec![byte, byte]))
+    }
+
+    impl GameWorld for LeakyWorld {
+        fn public_write(&mut self, _blocks: u64) {}
+        fn hidden_write(&mut self, _blocks: u64) {
+            self.hidden_touched = true;
+        }
+        fn observe(&self) -> Observation {
+            marker_observation(self.hidden_touched)
+        }
+    }
+
+    impl GameWorld for PerfectWorld {
+        fn public_write(&mut self, _blocks: u64) {}
+        fn hidden_write(&mut self, _blocks: u64) {}
+        fn observe(&self) -> Observation {
+            marker_observation(false)
+        }
+    }
+
+    struct MarkerDistinguisher;
+
+    impl Distinguisher for MarkerDistinguisher {
+        fn name(&self) -> &str {
+            "marker"
+        }
+        fn decide(&self, observations: &[Observation]) -> bool {
+            observations.iter().any(|o| o.snapshot.block(0)[0] == 9)
+        }
+    }
+
+    #[test]
+    fn leaky_world_yields_high_advantage() {
+        let cfg = GameConfig { rounds: 60, ..Default::default() };
+        let result = run_distinguisher_game(
+            |_seed, _hidden| LeakyWorld { hidden_touched: false },
+            &MarkerDistinguisher,
+            &cfg,
+            1,
+        );
+        // With hidden_event_prob 0.5 over 12 events, the hidden world marks
+        // itself almost surely: accuracy ≈ 1.
+        assert!(result.accuracy > 0.9, "{result}");
+        assert!(!result.is_blind());
+    }
+
+    #[test]
+    fn perfect_world_yields_no_advantage() {
+        let cfg = GameConfig { rounds: 200, ..Default::default() };
+        let result = run_distinguisher_game(
+            |_seed, _hidden| PerfectWorld,
+            &MarkerDistinguisher,
+            &cfg,
+            2,
+        );
+        // The distinguisher always says "no hidden": wins only the b=0
+        // rounds, accuracy ≈ 0.5.
+        assert!(result.advantage < 0.1, "{result}");
+        assert!(result.is_blind(), "{result}");
+    }
+
+    #[test]
+    fn wilson_ci_behaviour() {
+        let (lo, hi) = wilson_ci(50, 100);
+        assert!(lo < 0.5 && hi > 0.5);
+        let (lo, hi) = wilson_ci(100, 100);
+        assert!(lo > 0.9 && hi > 0.999);
+        let (lo, hi) = wilson_ci(0, 0);
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn result_display_is_informative() {
+        let cfg = GameConfig { rounds: 10, ..Default::default() };
+        let result = run_distinguisher_game(
+            |_s, _h| PerfectWorld,
+            &MarkerDistinguisher,
+            &cfg,
+            3,
+        );
+        let text = result.to_string();
+        assert!(text.contains("marker"));
+        assert!(text.contains("advantage"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GameConfig::default();
+        let run = |seed| {
+            run_distinguisher_game(
+                |_s, _h| LeakyWorld { hidden_touched: false },
+                &MarkerDistinguisher,
+                &cfg,
+                seed,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,34 @@
+//! The multi-snapshot adversary.
+//!
+//! §III-A of the paper defines a computationally bounded adversary that can
+//! image the device's block storage at multiple points in time ("on-event":
+//! border checkpoints, facility gates), read all metadata, know the whole
+//! design, and coerce the user for passwords — but never captures the
+//! device *while* hidden mode is active and never learns hidden passwords.
+//!
+//! This crate makes that adversary executable:
+//!
+//! * [`Observation`] — one checkpoint capture: full disk image, decoded
+//!   pool metadata, persistent logs.
+//! * [`Distinguisher`] — forensic strategies that, given a sequence of
+//!   observations, vote on whether hidden data exists. The provided
+//!   implementations are exactly the attacks the paper defends against:
+//!   free-space differencing (§IV-A, breaks the static hidden-volume
+//!   schemes), dummy-budget accounting (§IV-B's residual leak), physical
+//!   run-length analysis (breaks sequential allocation), and the §IV-D
+//!   side-channel grep.
+//! * [`run_distinguisher_game`] — the §III-C multi-snapshot security game
+//!   run empirically: paired worlds with and without hidden activity,
+//!   identical public patterns, on-event snapshots, and an advantage
+//!   estimate with a Wilson confidence interval.
+
+mod distinguisher;
+mod game;
+mod observation;
+
+pub use distinguisher::{
+    ChangedFreeSpaceDistinguisher, Distinguisher, DummyBudgetDistinguisher,
+    EntropyAnomalyDistinguisher, SequentialRunDistinguisher, SideChannelDistinguisher,
+};
+pub use game::{run_distinguisher_game, GameConfig, GameResult, GameWorld};
+pub use observation::Observation;

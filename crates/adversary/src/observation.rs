@@ -1,0 +1,109 @@
+//! What the adversary captures at one checkpoint.
+
+use mobiceal_blockdev::DiskSnapshot;
+use mobiceal_thinp::MetadataView;
+
+/// One checkpoint capture (§III-A): everything on the storage medium, plus
+/// the decoded block-layer metadata (which lives at a known location and is
+/// *not* secret, §IV-B), plus any logs on persistent public storage.
+///
+/// Deliberately absent: RAM contents, keys, passwords, and anything from an
+/// active hidden session — the adversary never captures the device in
+/// hidden mode (§III-A assumptions).
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Bit-exact image of the userdata partition.
+    pub snapshot: DiskSnapshot,
+    /// Decoded thin-pool metadata: bitmap + per-volume mappings. `None`
+    /// for systems without a (readable) block-layer metadata area.
+    pub metadata: Option<MetadataView>,
+    /// Log lines recovered from persistent public storage.
+    pub logs: Vec<String>,
+}
+
+impl Observation {
+    /// A capture with only the disk image (e.g. a raw FDE device).
+    pub fn disk_only(snapshot: DiskSnapshot) -> Self {
+        Observation { snapshot, metadata: None, logs: Vec::new() }
+    }
+
+    /// Blocks that changed between this observation and a later one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two snapshots have different geometry.
+    pub fn changed_blocks(&self, later: &Observation) -> Vec<u64> {
+        self.snapshot.changed_blocks(&later.snapshot)
+    }
+
+    /// Physical blocks mapped to volume `id` at capture time (empty set if
+    /// metadata is unavailable).
+    pub fn volume_physical_blocks(&self, id: u32) -> std::collections::HashSet<u64> {
+        self.metadata
+            .as_ref()
+            .and_then(|m| m.volumes.get(&id))
+            .map(|v| v.mappings.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Mapped-block count for volume `id` (0 if unknown).
+    pub fn mapped_blocks(&self, id: u32) -> u64 {
+        self.metadata.as_ref().map(|m| m.mapped_blocks(id)).unwrap_or(0)
+    }
+
+    /// Volume ids present in the metadata.
+    pub fn volume_ids(&self) -> Vec<u32> {
+        self.metadata
+            .as_ref()
+            .map(|m| m.volumes.keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_thinp::{Bitmap, VolumeMeta};
+    use std::collections::BTreeMap;
+
+    fn snap(bytes: &[u8]) -> DiskSnapshot {
+        DiskSnapshot::new(2, bytes.len() as u64 / 2, bytes.to_vec())
+    }
+
+    #[test]
+    fn disk_only_has_no_metadata() {
+        let obs = Observation::disk_only(snap(&[0, 0, 1, 1]));
+        assert!(obs.metadata.is_none());
+        assert!(obs.volume_ids().is_empty());
+        assert_eq!(obs.mapped_blocks(1), 0);
+        assert!(obs.volume_physical_blocks(1).is_empty());
+    }
+
+    #[test]
+    fn changed_blocks_delegates_to_snapshot() {
+        let a = Observation::disk_only(snap(&[0, 0, 1, 1]));
+        let b = Observation::disk_only(snap(&[0, 0, 9, 9]));
+        assert_eq!(a.changed_blocks(&b), vec![1]);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut volumes = BTreeMap::new();
+        let mut mappings = BTreeMap::new();
+        mappings.insert(0u64, 5u64);
+        mappings.insert(1u64, 9u64);
+        volumes.insert(2, VolumeMeta { id: 2, virtual_blocks: 16, mappings });
+        let view = MetadataView { transaction_id: 1, bitmap: Bitmap::new(16), volumes };
+        let obs = Observation {
+            snapshot: snap(&[0u8; 32]),
+            metadata: Some(view),
+            logs: vec!["boot".into()],
+        };
+        assert_eq!(obs.volume_ids(), vec![2]);
+        assert_eq!(obs.mapped_blocks(2), 2);
+        assert_eq!(
+            obs.volume_physical_blocks(2),
+            [5u64, 9].into_iter().collect()
+        );
+    }
+}

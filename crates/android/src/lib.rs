@@ -1,0 +1,48 @@
+//! Android platform simulation.
+//!
+//! MobiCeal's prototype modifies three parts of Android 4.2 (§V of the
+//! paper): the Linux kernel (done in `mobiceal-thinp`/`mobiceal`), the
+//! volume daemon **Vold**, and the **screen lock** app. This crate models
+//! the platform half:
+//!
+//! * [`AndroidPhone`] — a state machine over *PoweredOff → PreBootAuth →
+//!   PublicMode → HiddenMode* implementing the paper's user flows:
+//!   initialization (`vdc cryptfs pde wipe …`), pre-boot authentication,
+//!   the screen-lock fast switch into hidden mode (framework restart, not
+//!   reboot), and the mandatory reboot out of hidden mode.
+//! * [`AndroidTimingModel`] — per-step costs (framework restart, reboot,
+//!   mounts, in-place FDE encryption at nominal partition size) calibrated
+//!   so the Table II experiment reproduces the paper's timing shapes.
+//! * [`LogStore`] — the side-channel model of §IV-D: logs written while a
+//!   volume is mounted land either on *persistent public storage*
+//!   (`/devlog`, `/cache` — what HIVE/DEFY leak through) or on a *tmpfs RAM
+//!   disk* (MobiCeal's countermeasure), which a reboot clears.
+//!
+//! # Example
+//!
+//! ```
+//! use mobiceal_android::{AndroidPhone, PhoneState};
+//! use mobiceal::MobiCealConfig;
+//! use mobiceal_sim::SimClock;
+//!
+//! let clock = SimClock::new();
+//! let cfg = MobiCealConfig { pbkdf2_iterations: 4, metadata_blocks: 64, ..Default::default() };
+//! let mut phone = AndroidPhone::new(clock, 4096, 4096, cfg);
+//! phone.initialize_mobiceal("decoy", &["hidden"], 7)?;
+//! phone.power_on();
+//! phone.enter_boot_password("decoy")?;
+//! assert_eq!(phone.state(), PhoneState::PublicMode);
+//! let switch_time = phone.switch_to_hidden("hidden")?;
+//! assert!(switch_time.as_secs_f64() < 10.0, "fast switch beats 10 s");
+//! # Ok::<(), mobiceal::MobiCealError>(())
+//! ```
+
+mod logs;
+mod phone;
+mod timing;
+mod vold;
+
+pub use logs::{LogSink, LogStore};
+pub use phone::{AndroidPhone, PhoneState};
+pub use timing::AndroidTimingModel;
+pub use vold::{vdc, VdcResponse};

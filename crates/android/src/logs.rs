@@ -1,0 +1,93 @@
+//! The side-channel log model (§IV-D).
+//!
+//! Czeskis et al.'s attack against TrueCrypt-style deniable systems works
+//! because the shared OS records traces of hidden activity in *public*
+//! places — recent-file lists, logs at `/devlog`, caches at `/cache`. HIVE
+//! and DEFY are vulnerable to the same channel; MobiCeal closes it by
+//! unmounting those partitions and substituting tmpfs RAM disks before the
+//! hidden volume is mounted, and by requiring a reboot (RAM cleared) to
+//! leave hidden mode.
+//!
+//! [`LogStore`] models the two destinations. The adversary can read
+//! [`LogStore::persistent`] (it is on public storage); it can never read
+//! [`LogStore::ram`] (the device is captured only when the user is *not* in
+//! hidden mode, per the §III-A assumptions — and a reboot clears RAM).
+
+/// Where a log line lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogSink {
+    /// `/devlog`, `/cache`, public `/data`: survives reboot; adversary-readable.
+    Persistent,
+    /// tmpfs RAM disk: cleared at reboot; never captured.
+    Ram,
+}
+
+/// The device's log state.
+#[derive(Debug, Clone, Default)]
+pub struct LogStore {
+    persistent: Vec<String>,
+    ram: Vec<String>,
+}
+
+impl LogStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a log line to the given sink.
+    pub fn record(&mut self, sink: LogSink, line: impl Into<String>) {
+        match sink {
+            LogSink::Persistent => self.persistent.push(line.into()),
+            LogSink::Ram => self.ram.push(line.into()),
+        }
+    }
+
+    /// Lines on persistent public storage — the adversary's view.
+    pub fn persistent(&self) -> &[String] {
+        &self.persistent
+    }
+
+    /// Lines in RAM (white-box access for tests; the adversary never sees
+    /// these).
+    pub fn ram(&self) -> &[String] {
+        &self.ram
+    }
+
+    /// Reboot: RAM is cleared, persistent storage survives.
+    pub fn on_reboot(&mut self) {
+        self.ram.clear();
+    }
+
+    /// Whether any persistent line mentions `needle` — the adversary's
+    /// side-channel grep.
+    pub fn persistent_mentions(&self, needle: &str) -> bool {
+        self.persistent.iter().any(|l| l.contains(needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinks_are_separate() {
+        let mut logs = LogStore::new();
+        logs.record(LogSink::Persistent, "mounted /data");
+        logs.record(LogSink::Ram, "opened hidden_volume_4");
+        assert_eq!(logs.persistent().len(), 1);
+        assert_eq!(logs.ram().len(), 1);
+        assert!(logs.persistent_mentions("/data"));
+        assert!(!logs.persistent_mentions("hidden_volume_4"));
+    }
+
+    #[test]
+    fn reboot_clears_ram_only() {
+        let mut logs = LogStore::new();
+        logs.record(LogSink::Persistent, "boot completed");
+        logs.record(LogSink::Ram, "hidden session trace");
+        logs.on_reboot();
+        assert!(logs.ram().is_empty());
+        assert_eq!(logs.persistent().len(), 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! [`AndroidPhone`]: the device state machine and user flows.
+
+use crate::logs::{LogSink, LogStore};
+use crate::timing::AndroidTimingModel;
+use mobiceal::{MobiCeal, MobiCealConfig, MobiCealError, UnlockedVolume};
+use mobiceal_blockdev::{DiskSnapshot, MemDisk, SharedDevice};
+use mobiceal_sim::{SimClock, SimDuration};
+use std::sync::Arc;
+
+/// Power/mode state of the simulated phone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhoneState {
+    /// Off; storage at rest.
+    PoweredOff,
+    /// Booted to the pre-boot authentication prompt (no volume mounted).
+    PreBootAuth,
+    /// Public volume mounted at `/data`; daily use.
+    PublicMode,
+    /// Hidden volume mounted at `/data`; logs on tmpfs.
+    HiddenMode,
+}
+
+/// A simulated Android phone with MobiCeal installed.
+///
+/// Implements the user steps of §IV-B/§IV-D and the Vold/screen-lock flows
+/// of §V-B/§V-C, charging every platform step to the shared clock per the
+/// [`AndroidTimingModel`]. See the crate docs for an example.
+pub struct AndroidPhone {
+    clock: SimClock,
+    timing: AndroidTimingModel,
+    disk: Arc<MemDisk>,
+    config: MobiCealConfig,
+    mobiceal: Option<MobiCeal>,
+    state: PhoneState,
+    logs: LogStore,
+    public_session: Option<UnlockedVolume>,
+    hidden_session: Option<UnlockedVolume>,
+    /// MobiCeal's §IV-D countermeasure. Disable to model a HIVE/DEFY-like
+    /// system that leaves hidden-mode traces on public storage.
+    side_channel_protection: bool,
+    reopen_seed: u64,
+}
+
+impl std::fmt::Debug for AndroidPhone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AndroidPhone").field("state", &self.state).finish_non_exhaustive()
+    }
+}
+
+impl AndroidPhone {
+    /// A powered-off phone with a blank userdata partition of
+    /// `blocks × block_size` bytes.
+    pub fn new(clock: SimClock, blocks: u64, block_size: usize, config: MobiCealConfig) -> Self {
+        let disk = Arc::new(MemDisk::new(blocks, block_size, clock.clone()));
+        AndroidPhone {
+            clock,
+            timing: AndroidTimingModel::nexus4(),
+            disk,
+            config,
+            mobiceal: None,
+            state: PhoneState::PoweredOff,
+            logs: LogStore::new(),
+            public_session: None,
+            hidden_session: None,
+            side_channel_protection: true,
+            reopen_seed: 0xA11D201D,
+        }
+    }
+
+    /// Replaces the timing model (for calibration experiments).
+    pub fn with_timing(mut self, timing: AndroidTimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Disables the §IV-D side-channel countermeasure, modelling systems
+    /// (HIVE, DEFY) that share `/devlog`//`/cache` with hidden mode.
+    pub fn without_side_channel_protection(mut self) -> Self {
+        self.side_channel_protection = false;
+        self
+    }
+
+    /// The `vdc cryptfs pde wipe <pub_pwd> <num_vol> <hid_pwds>` flow
+    /// (§V-B): formats the device for MobiCeal and reboots to the password
+    /// prompt. Returns the initialization time (the Table II metric).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MobiCealError`] from the underlying initialization.
+    pub fn initialize_mobiceal(
+        &mut self,
+        decoy_password: &str,
+        hidden_passwords: &[&str],
+        seed: u64,
+    ) -> Result<SimDuration, MobiCealError> {
+        let start = self.clock.now();
+        self.clock.advance(self.timing.vdc_call);
+        // LVM + thin-pool/volume creation on the device.
+        self.clock.advance(self.timing.lvm_setup);
+        let mc = MobiCeal::initialize(
+            self.disk.clone() as SharedDevice,
+            self.clock.clone(),
+            self.config.clone(),
+            decoy_password,
+            hidden_passwords,
+            seed,
+        )?;
+        // mkfs for the public volume.
+        self.clock.advance(self.timing.mkfs);
+        mc.commit()?;
+        self.mobiceal = Some(mc);
+        // "and reboots when complete" — the measured initialization time
+        // ends when the password prompt appears.
+        self.reboot_internal();
+        Ok(self.clock.now() - start)
+    }
+
+    /// Powers the phone on (cold boot to the password prompt).
+    pub fn power_on(&mut self) {
+        if self.state == PhoneState::PoweredOff {
+            self.clock.advance(self.timing.full_reboot);
+            self.state = PhoneState::PreBootAuth;
+        }
+    }
+
+    /// Pre-boot authentication with the decoy password (§V-B boot flow).
+    /// Returns the booting time (the Table II metric: password entry to
+    /// decrypted, mounted public volume).
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::BadPassword`] for a wrong password (the prompt asks
+    /// again; state is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phone is not at the pre-boot prompt.
+    pub fn enter_boot_password(
+        &mut self,
+        password: &str,
+    ) -> Result<SimDuration, MobiCealError> {
+        assert_eq!(self.state, PhoneState::PreBootAuth, "phone must be at the boot prompt");
+        let start = self.clock.now();
+        // Enable the thin volumes.
+        self.clock.advance(self.timing.thin_pool_activation);
+        self.clock.advance(self.timing.per_volume_activation * self.config.num_volumes as u64);
+        let mc = self.reopen()?;
+        let session = mc.unlock_public(password)?; // PBKDF2 charged inside
+        self.clock.advance(self.timing.dm_crypt_setup);
+        self.clock.advance(self.timing.mount);
+        self.logs.record(LogSink::Persistent, "vold: mounted /data (userdata)");
+        self.public_session = Some(session);
+        self.state = PhoneState::PublicMode;
+        Ok(self.clock.now() - start)
+    }
+
+    /// The screen-lock fast switch into hidden mode (§IV-D, §V-C): verify
+    /// the hidden password, stop the framework, unmount public partitions,
+    /// mount tmpfs over the leakage paths, mount the hidden volume, restart
+    /// the framework. Returns the switching time (Table II metric).
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::BadPassword`] if the password is neither the screen
+    /// lock nor a hidden password (the screen lock just asks again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phone is not in public mode.
+    pub fn switch_to_hidden(&mut self, password: &str) -> Result<SimDuration, MobiCealError> {
+        assert_eq!(self.state, PhoneState::PublicMode, "fast switch starts from public mode");
+        let start = self.clock.now();
+        // Screen lock hands the password to Vold for verification first; a
+        // failure leaves the device untouched in public mode.
+        let mc = self.mobiceal.as_ref().expect("public mode implies an open device");
+        let session = mc.unlock_hidden(password)?;
+        // Shut down the Android framework to free /data (§IV-D).
+        self.clock.advance(self.timing.framework_stop);
+        // Unmount the three leakage paths: /data, /cache, /devlog.
+        self.clock.advance(self.timing.mount * 3);
+        self.public_session = None;
+        if self.side_channel_protection {
+            // tmpfs RAM disks over /devlog and /cache.
+            self.clock.advance(self.timing.tmpfs_mount * 2);
+        }
+        // Decrypt and mount the hidden volume as /data.
+        self.clock.advance(self.timing.dm_crypt_setup);
+        self.clock.advance(self.timing.mount);
+        let sink = if self.side_channel_protection { LogSink::Ram } else { LogSink::Persistent };
+        self.logs.record(sink, format!("vold: mounted hidden volume V{}", session.volume_id()));
+        self.hidden_session = Some(session);
+        // Restart the framework.
+        self.clock.advance(self.timing.framework_start);
+        self.state = PhoneState::HiddenMode;
+        Ok(self.clock.now() - start)
+    }
+
+    /// Leaves hidden mode. MobiCeal mandates a full reboot so RAM retains
+    /// nothing (§IV-D one-way switching). Returns the switch-out time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phone is not in hidden mode.
+    pub fn exit_hidden_mode(&mut self) -> SimDuration {
+        assert_eq!(self.state, PhoneState::HiddenMode, "not in hidden mode");
+        let start = self.clock.now();
+        if let Some(mc) = &self.mobiceal {
+            let _ = mc.commit();
+        }
+        self.reboot_internal();
+        self.clock.now() - start
+    }
+
+    /// Reboots from any powered-on state (commits metadata first, clears
+    /// RAM, back to the pre-boot prompt).
+    pub fn reboot(&mut self) {
+        if let Some(mc) = &self.mobiceal {
+            let _ = mc.commit();
+        }
+        self.reboot_internal();
+    }
+
+    fn reboot_internal(&mut self) {
+        self.public_session = None;
+        self.hidden_session = None;
+        self.mobiceal = None; // kernel state is gone; reopen from disk
+        self.logs.on_reboot();
+        self.clock.advance(self.timing.full_reboot);
+        self.state = PhoneState::PreBootAuth;
+    }
+
+    fn reopen(&mut self) -> Result<&MobiCeal, MobiCealError> {
+        if self.mobiceal.is_none() {
+            self.reopen_seed = self.reopen_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.mobiceal = Some(MobiCeal::open(
+                self.disk.clone() as SharedDevice,
+                self.clock.clone(),
+                self.config.clone(),
+                self.reopen_seed,
+            )?);
+        }
+        Ok(self.mobiceal.as_ref().expect("just ensured"))
+    }
+
+    /// Records app/system activity in the current mode, hitting the log
+    /// sinks the way the OS would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no volume is mounted.
+    pub fn record_activity(&mut self, description: &str) {
+        match self.state {
+            PhoneState::PublicMode => {
+                self.logs.record(LogSink::Persistent, format!("activity: {description}"));
+            }
+            PhoneState::HiddenMode => {
+                let sink = if self.side_channel_protection {
+                    LogSink::Ram
+                } else {
+                    LogSink::Persistent
+                };
+                self.logs.record(sink, format!("activity: {description}"));
+            }
+            _ => panic!("no volume mounted"),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PhoneState {
+        self.state
+    }
+
+    /// The mounted public volume, if in public mode.
+    pub fn data_volume(&self) -> Option<&UnlockedVolume> {
+        match self.state {
+            PhoneState::PublicMode => self.public_session.as_ref(),
+            PhoneState::HiddenMode => self.hidden_session.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The log store (adversary reads [`LogStore::persistent`]).
+    pub fn logs(&self) -> &LogStore {
+        &self.logs
+    }
+
+    /// The MobiCeal device, when powered on and initialized.
+    pub fn mobiceal(&self) -> Option<&MobiCeal> {
+        self.mobiceal.as_ref()
+    }
+
+    /// Images the userdata partition (what a border agent copies).
+    pub fn snapshot(&self) -> DiskSnapshot {
+        self.disk.snapshot()
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &AndroidTimingModel {
+        &self.timing
+    }
+
+    /// The number of thin volumes this phone's policy configures.
+    pub fn config_volumes(&self) -> u32 {
+        self.config.num_volumes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::BlockDevice;
+
+    fn fast_config() -> MobiCealConfig {
+        MobiCealConfig {
+            num_volumes: 6,
+            pbkdf2_iterations: 4,
+            metadata_blocks: 64,
+            ..MobiCealConfig::default()
+        }
+    }
+
+    fn ready_phone(seed: u64) -> AndroidPhone {
+        let clock = SimClock::new();
+        let mut phone = AndroidPhone::new(clock, 4096, 4096, fast_config());
+        phone.initialize_mobiceal("decoy", &["hidden"], seed).unwrap();
+        phone
+    }
+
+    #[test]
+    fn initialization_lands_near_paper_time() {
+        let phone = ready_phone(1);
+        assert_eq!(phone.state(), PhoneState::PreBootAuth);
+        // Table II: 2 min 16 s ± a few seconds.
+        let t = phone.clock().now().as_secs_f64();
+        assert!((100.0..200.0).contains(&t), "init took {t:.1}s");
+    }
+
+    #[test]
+    fn boot_flow_and_timing() {
+        let mut phone = ready_phone(2);
+        let boot = phone.enter_boot_password("decoy").unwrap();
+        assert_eq!(phone.state(), PhoneState::PublicMode);
+        // Table II: 1.68 s.
+        assert!(
+            (1.0..2.5).contains(&boot.as_secs_f64()),
+            "boot took {boot}"
+        );
+    }
+
+    #[test]
+    fn wrong_boot_password_keeps_prompt() {
+        let mut phone = ready_phone(3);
+        assert!(matches!(
+            phone.enter_boot_password("nope"),
+            Err(MobiCealError::BadPassword)
+        ));
+        assert_eq!(phone.state(), PhoneState::PreBootAuth);
+        assert!(phone.enter_boot_password("decoy").is_ok());
+    }
+
+    #[test]
+    fn fast_switch_is_under_ten_seconds() {
+        let mut phone = ready_phone(4);
+        phone.enter_boot_password("decoy").unwrap();
+        let switch = phone.switch_to_hidden("hidden").unwrap();
+        assert_eq!(phone.state(), PhoneState::HiddenMode);
+        // Table II: 9.27 s, vs > 60 s for reboot-based systems.
+        assert!(
+            (8.0..10.0).contains(&switch.as_secs_f64()),
+            "switch took {switch}"
+        );
+    }
+
+    #[test]
+    fn wrong_hidden_password_stays_public() {
+        let mut phone = ready_phone(5);
+        phone.enter_boot_password("decoy").unwrap();
+        assert!(matches!(
+            phone.switch_to_hidden("guess"),
+            Err(MobiCealError::BadPassword)
+        ));
+        assert_eq!(phone.state(), PhoneState::PublicMode);
+        assert!(phone.data_volume().is_some(), "public volume still mounted");
+    }
+
+    #[test]
+    fn exit_hidden_mode_requires_reboot_time() {
+        let mut phone = ready_phone(6);
+        phone.enter_boot_password("decoy").unwrap();
+        phone.switch_to_hidden("hidden").unwrap();
+        let out = phone.exit_hidden_mode();
+        assert_eq!(phone.state(), PhoneState::PreBootAuth);
+        // Table II: ~63 s.
+        assert!(out.as_secs_f64() > 55.0, "switch-out took {out}");
+    }
+
+    #[test]
+    fn hidden_data_survives_the_whole_cycle() {
+        let mut phone = ready_phone(7);
+        phone.enter_boot_password("decoy").unwrap();
+        phone.switch_to_hidden("hidden").unwrap();
+        let vol = phone.data_volume().unwrap().clone();
+        vol.write_block(3, &vec![0x77; 4096]).unwrap();
+        phone.exit_hidden_mode();
+        phone.enter_boot_password("decoy").unwrap();
+        phone.switch_to_hidden("hidden").unwrap();
+        let vol = phone.data_volume().unwrap();
+        assert_eq!(vol.read_block(3).unwrap(), vec![0x77; 4096]);
+    }
+
+    #[test]
+    fn side_channel_protection_keeps_public_logs_clean() {
+        let mut phone = ready_phone(8);
+        phone.enter_boot_password("decoy").unwrap();
+        phone.record_activity("browsing");
+        phone.switch_to_hidden("hidden").unwrap();
+        phone.record_activity("editing secret_report.pdf");
+        phone.exit_hidden_mode();
+        assert!(!phone.logs().persistent_mentions("secret_report"));
+        assert!(!phone.logs().persistent_mentions("hidden volume"));
+        assert!(phone.logs().ram().is_empty(), "reboot cleared RAM");
+    }
+
+    #[test]
+    fn unprotected_phone_leaks_hidden_traces() {
+        let clock = SimClock::new();
+        let mut phone = AndroidPhone::new(clock, 4096, 4096, fast_config())
+            .without_side_channel_protection();
+        phone.initialize_mobiceal("decoy", &["hidden"], 9).unwrap();
+        phone.enter_boot_password("decoy").unwrap();
+        phone.switch_to_hidden("hidden").unwrap();
+        phone.record_activity("editing secret_report.pdf");
+        phone.exit_hidden_mode();
+        assert!(
+            phone.logs().persistent_mentions("secret_report"),
+            "the HIVE/DEFY-style configuration must exhibit the leak"
+        );
+    }
+
+    #[test]
+    fn power_on_from_cold() {
+        let clock = SimClock::new();
+        let mut phone = AndroidPhone::new(clock, 4096, 4096, fast_config());
+        phone.initialize_mobiceal("decoy", &[], 10).unwrap();
+        phone.reboot();
+        assert_eq!(phone.state(), PhoneState::PreBootAuth);
+        assert!(phone.enter_boot_password("decoy").is_ok());
+    }
+
+    #[test]
+    fn public_writes_on_phone_generate_dummies() {
+        let mut phone = ready_phone(11);
+        phone.enter_boot_password("decoy").unwrap();
+        let vol = phone.data_volume().unwrap().clone();
+        for i in 0..300 {
+            vol.write_block(i, &vec![1u8; 4096]).unwrap();
+        }
+        let stats = phone.mobiceal().unwrap().dummy_stats();
+        assert_eq!(stats.trigger_checks, 300);
+    }
+}

@@ -1,0 +1,35 @@
+//! Comparator systems the paper evaluates MobiCeal against.
+//!
+//! Table I, Table II, Fig. 4 and the related-work analysis all compare
+//! MobiCeal with running systems, so this crate implements each of them at
+//! the block layer:
+//!
+//! * [`AndroidFde`] — stock Android full-disk encryption (§II-A): dm-crypt
+//!   over the whole userdata partition, no deniability. The baseline of
+//!   Fig. 4 and the "Android FDE" row of Table II.
+//! * [`MobiPluto`] — a MobiPluto/Mobiflage-class *static* hidden-volume
+//!   system (§VII-A): disk pre-filled with randomness, sequential public
+//!   allocation, hidden data at key-derived offsets. Deniable against one
+//!   snapshot; broken by snapshot differencing (§IV-A) — the property the
+//!   security-game experiment demonstrates.
+//! * [`HiveWoOram`] — HIVE's write-only ORAM (§VII-B): every logical write
+//!   rewrites `k = 3` uniformly random physical blocks plus position-map
+//!   and stash state, with a sync per write. Multi-snapshot secure but
+//!   crushingly slow (the ≥ 99 % overhead row of Table I).
+//! * [`DefyLite`] — a DEFY-class log-structured deniable store (§VII-B):
+//!   all writes are appends encrypted under per-epoch chained keys, with
+//!   log cleaning. Reproduces DEFY's ~94 % overhead regime in its original
+//!   (RAM-disk) test environment.
+//! * [`worlds`] — adapters plugging MobiCeal and the baselines into the
+//!   empirical multi-snapshot security game of `mobiceal-adversary`.
+
+mod defy;
+mod fde;
+mod hive;
+mod mobipluto;
+pub mod worlds;
+
+pub use defy::DefyLite;
+pub use fde::AndroidFde;
+pub use hive::HiveWoOram;
+pub use mobipluto::MobiPluto;

@@ -1,0 +1,307 @@
+//! A MobiPluto/Mobiflage-class static hidden-volume system (§II-B, §VII-A).
+//!
+//! The recipe all pre-MobiCeal mobile PDE systems share:
+//!
+//! 1. at initialization the whole disk is overwritten with randomness;
+//! 2. the public volume allocates **sequentially from the front** (here via
+//!    a stock thin pool, as in MobiPluto);
+//! 3. hidden data is encrypted and placed at a password-derived secret
+//!    offset in the back of the disk, with **no metadata trace**.
+//!
+//! One snapshot reveals nothing: hidden ciphertext is indistinguishable
+//! from the initialization randomness. But any *change* to the randomness
+//! between two snapshots is unexplainable — the exact weakness MobiCeal's
+//! dummy writes remove (§IV-A).
+
+use mobiceal::{EncryptionFooter, MobiCealError, FOOTER_BYTES};
+use mobiceal_blockdev::{BlockDevice, SharedDevice};
+use mobiceal_crypto::{Aes256, CbcEssiv, ChaCha20Rng, SectorCipher};
+use mobiceal_dm::{DmCrypt, DmLinear};
+use mobiceal_sim::{CpuCostModel, SimClock};
+use mobiceal_thinp::{AllocStrategy, MetadataView, PoolConfig, ThinPool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The legacy hidden-volume baseline. See the module docs.
+pub struct MobiPluto {
+    disk: SharedDevice,
+    clock: SimClock,
+    pool: Arc<ThinPool>,
+    footer: EncryptionFooter,
+    cpu: CpuCostModel,
+    metadata_blocks: u64,
+    data_blocks: u64,
+    hidden_cipher: Option<CbcEssiv<Aes256>>,
+    hidden_offset: u64,
+    hidden_cursor: Mutex<u64>,
+}
+
+impl std::fmt::Debug for MobiPluto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobiPluto").field("data_blocks", &self.data_blocks).finish_non_exhaustive()
+    }
+}
+
+impl MobiPluto {
+    /// Initializes the device: random-fills the disk, formats the
+    /// (sequential) thin pool for the public volume, prepares the hidden
+    /// region for `hidden_password` if given.
+    ///
+    /// # Errors
+    ///
+    /// Capacity or device errors.
+    pub fn initialize(
+        disk: SharedDevice,
+        clock: SimClock,
+        decoy_password: &str,
+        hidden_password: Option<&str>,
+        seed: u64,
+    ) -> Result<Self, MobiCealError> {
+        let mut rng = ChaCha20Rng::from_u64_seed(seed);
+        let metadata_blocks = 64u64;
+        let footer_blocks = (FOOTER_BYTES as u64).div_ceil(disk.block_size() as u64);
+        if disk.num_blocks() < metadata_blocks + footer_blocks + 64 {
+            return Err(MobiCealError::DiskTooSmall {
+                required: metadata_blocks + footer_blocks + 64,
+                available: disk.num_blocks(),
+            });
+        }
+        let data_blocks = disk.num_blocks() - metadata_blocks - footer_blocks;
+
+        // Step 1: fill the data region with randomness (the static defence).
+        let data_dev: SharedDevice =
+            Arc::new(DmLinear::new(disk.clone(), metadata_blocks, data_blocks)?);
+        {
+            let mut fill_rng = ChaCha20Rng::from_u64_seed(seed ^ 0xF111);
+            let bs = disk.block_size();
+            let mut buf = vec![0u8; bs];
+            for b in 0..data_blocks {
+                fill_rng.fill_bytes(&mut buf);
+                data_dev.write_block(b, &buf)?;
+            }
+        }
+
+        // Footer (same format as FDE).
+        let (footer, master) = EncryptionFooter::create(&mut rng, decoy_password, 64);
+        let bytes = footer.to_bytes();
+        let bs = disk.block_size();
+        for i in 0..footer_blocks {
+            let mut block = vec![0u8; bs];
+            let lo = i as usize * bs;
+            if lo < bytes.len() {
+                let hi = (lo + bs).min(bytes.len());
+                block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+            }
+            disk.write_block(metadata_blocks + data_blocks + i, &block)?;
+        }
+
+        // Step 2: a stock (sequential) thin pool hosting the public volume.
+        let meta_dev: SharedDevice = Arc::new(DmLinear::new(disk.clone(), 0, metadata_blocks)?);
+        let pool = Arc::new(ThinPool::create_seeded(
+            data_dev,
+            meta_dev,
+            PoolConfig::new(1),
+            AllocStrategy::Sequential,
+            rng.next_u64(),
+        )?);
+        pool.set_read_overhead(clock.clone(), mobiceal::THIN_READ_LOOKUP);
+        pool.create_volume(1, data_blocks)?;
+
+        let cpu = CpuCostModel::nexus4();
+        clock.advance(cpu.pbkdf2_cost());
+
+        // Step 3: the hidden region at a password-derived offset in the
+        // back half, with its own cipher. No metadata anywhere.
+        let (hidden_cipher, hidden_offset) = match hidden_password {
+            Some(pwd) => {
+                let key = footer.derive_key(pwd);
+                clock.advance(cpu.pbkdf2_cost());
+                let back_half = data_blocks / 2;
+                let span = data_blocks - back_half - 8;
+                let mut digest = [0u8; 8];
+                mobiceal_crypto::pbkdf2_hmac_sha256(pwd.as_bytes(), &footer.salt, 64, &mut digest);
+                let offset = back_half + (u64::from_le_bytes(digest) % span.max(1));
+                let cipher =
+                    CbcEssiv::with_essiv_key(Aes256::new(&key), &mobiceal_crypto::sha256(&key));
+                (Some(cipher), offset)
+            }
+            None => (None, 0),
+        };
+
+        let mp = MobiPluto {
+            disk,
+            clock,
+            pool,
+            footer,
+            cpu,
+            metadata_blocks,
+            data_blocks,
+            hidden_cipher,
+            hidden_offset,
+            hidden_cursor: Mutex::new(0),
+        };
+
+        // Public volume password-check header at vblock 0.
+        let key = master;
+        let vol = mp.pool.open_volume(1)?;
+        let crypt = DmCrypt::new_essiv(Arc::new(vol), &key);
+        crypt.write_block(0, &public_header(decoy_password, bs))?;
+        mp.pool.commit()?;
+        Ok(mp)
+    }
+
+    /// Unlocks the public volume.
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::BadPassword`] on a wrong decoy password.
+    pub fn unlock_public(&self, password: &str) -> Result<SharedDevice, MobiCealError> {
+        let key = self.footer.derive_key(password);
+        self.clock.advance(self.cpu.pbkdf2_cost());
+        let vol = self.pool.open_volume(1)?;
+        let crypt = DmCrypt::new_essiv(Arc::new(vol), &key)
+            .with_timing(self.clock.clone(), self.cpu.clone());
+        let header = crypt.read_block(0)?;
+        if !mobiceal_crypto::ct_eq(&header, &public_header(password, self.disk.block_size())) {
+            return Err(MobiCealError::BadPassword);
+        }
+        Ok(Arc::new(crypt))
+    }
+
+    /// Writes one hidden block (sequentially within the hidden region, as
+    /// Mobiflage's FAT-style hidden volume would).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no hidden password was configured, or on device errors.
+    pub fn hidden_write(&self, data: &[u8]) -> Result<(), MobiCealError> {
+        let cipher = self.hidden_cipher.as_ref().ok_or(MobiCealError::BadPassword)?;
+        let mut cursor = self.hidden_cursor.lock();
+        let sector = self.hidden_offset + *cursor;
+        let ct = cipher.encrypt_sector(sector, data);
+        self.disk.write_block(self.metadata_blocks + sector, &ct)?;
+        self.clock.advance(self.cpu.aes_cost(data.len()));
+        *cursor += 1;
+        Ok(())
+    }
+
+    /// Pool metadata (public volume only -- hidden data has none).
+    pub fn metadata_view(&self) -> MetadataView {
+        self.pool.metadata_view()
+    }
+
+    /// Start of the data region on the raw disk.
+    pub fn data_region_start(&self) -> u64 {
+        self.metadata_blocks
+    }
+
+    /// Length of the data region in blocks.
+    pub fn data_region_blocks(&self) -> u64 {
+        self.data_blocks
+    }
+
+    /// Commits pool metadata.
+    ///
+    /// # Errors
+    ///
+    /// Metadata I/O errors.
+    pub fn commit(&self) -> Result<(), MobiCealError> {
+        Ok(self.pool.commit()?)
+    }
+}
+
+fn public_header(password: &str, block_size: usize) -> Vec<u8> {
+    let mut plain = vec![0u8; block_size];
+    plain[..8].copy_from_slice(b"MPVOLHDR");
+    let pwd = password.as_bytes();
+    let len = pwd.len().min(255);
+    plain[8] = len as u8;
+    plain[9..9 + len].copy_from_slice(&pwd[..len]);
+    plain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::MemDisk;
+
+    fn device(seed: u64, hidden: bool) -> (Arc<MemDisk>, MobiPluto) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+        let mp = MobiPluto::initialize(
+            disk.clone(),
+            clock,
+            "decoy",
+            hidden.then_some("hidden"),
+            seed,
+        )
+        .unwrap();
+        (disk, mp)
+    }
+
+    #[test]
+    fn public_volume_roundtrip() {
+        let (_disk, mp) = device(1, true);
+        let vol = mp.unlock_public("decoy").unwrap();
+        vol.write_block(5, &vec![0x12; 4096]).unwrap();
+        assert_eq!(vol.read_block(5).unwrap(), vec![0x12; 4096]);
+        assert!(mp.unlock_public("bad").is_err());
+    }
+
+    #[test]
+    fn single_snapshot_reveals_nothing() {
+        // With and without hidden data, a single image is all-randomness in
+        // the non-public area: per-block entropy is uniformly high.
+        let (disk_h, mp_h) = device(2, true);
+        for _ in 0..20 {
+            mp_h.hidden_write(&vec![0xAB; 4096]).unwrap();
+        }
+        let (disk_p, _mp_p) = device(2, false);
+        for snap in [disk_h.snapshot(), disk_p.snapshot()] {
+            for b in 64..1024 {
+                assert!(snap.block_entropy(b) > 7.0, "block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_snapshot_exposes_hidden_changes() {
+        let (disk, mp) = device(3, true);
+        let snap1 = disk.snapshot();
+        for _ in 0..10 {
+            mp.hidden_write(&vec![0xCD; 4096]).unwrap();
+        }
+        let snap2 = disk.snapshot();
+        let changed = snap1.changed_blocks(&snap2);
+        assert_eq!(changed.len(), 10, "hidden writes visibly change 'free' randomness");
+        // And none of those blocks belong to the public volume's mappings.
+        let view = mp.metadata_view();
+        let public: std::collections::HashSet<u64> = view.volumes[&1]
+            .mappings
+            .values()
+            .map(|p| p + mp.data_region_start())
+            .collect();
+        assert!(changed.iter().all(|b| !public.contains(b)));
+    }
+
+    #[test]
+    fn no_hidden_configured_rejects_hidden_write() {
+        let (_disk, mp) = device(4, false);
+        assert!(mp.hidden_write(&vec![0u8; 4096]).is_err());
+    }
+
+    #[test]
+    fn public_allocation_is_sequential() {
+        let (_disk, mp) = device(5, true);
+        let vol = mp.unlock_public("decoy").unwrap();
+        for i in 1..=20 {
+            vol.write_block(i, &vec![1u8; 4096]).unwrap();
+        }
+        let view = mp.metadata_view();
+        let phys: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let mut sorted = phys.clone();
+        sorted.sort_unstable();
+        assert_eq!(phys, sorted, "stock thin allocation is front-to-back");
+        assert!(*sorted.last().unwrap() < 64, "allocations cluster at the front");
+    }
+}

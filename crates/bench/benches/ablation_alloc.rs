@@ -1,0 +1,135 @@
+//! **Ablation (design §IV-B)**: sequential vs random block allocation.
+//!
+//! The paper argues sequential allocation leaks through physical layout:
+//! "an adversary can observe that seven data blocks are allocated between
+//! D_v1" — i.e. a hidden burst forms a long physically-consecutive run that
+//! no bounded dummy budget explains. This bench runs the run-length
+//! distinguisher against a MobiCeal variant with the stock sequential
+//! allocator and against real MobiCeal (random allocation).
+//!
+//! Expected: the distinguisher convicts the sequential variant and is blind
+//! against random allocation.
+//!
+//! Run with: `cargo bench -p mobiceal-bench --bench ablation_alloc`
+
+use mobiceal_adversary::{
+    run_distinguisher_game, GameConfig, GameWorld, Observation, SequentialRunDistinguisher,
+};
+use mobiceal_blockdev::{BlockDevice, MemDisk};
+use mobiceal_crypto::ChaCha20Rng;
+use mobiceal_sim::SimClock;
+use mobiceal_thinp::{AllocStrategy, PoolConfig, ThinPool};
+use mobiceal_workloads::{render_table, Cell, Table};
+use std::sync::Arc;
+
+const DISK_BLOCKS: u64 = 4096;
+const BS: usize = 4096;
+
+/// A bare-pool world isolating only the allocation strategy: volume 1 is
+/// public, volume 2 hidden (when present), no encryption layer (the
+/// distinguisher works on layout, not content).
+struct AllocWorld {
+    disk: Arc<MemDisk>,
+    pool: Arc<ThinPool>,
+    with_hidden: bool,
+    pub_cursor: u64,
+    hid_cursor: u64,
+    payload: ChaCha20Rng,
+}
+
+impl AllocWorld {
+    fn build(strategy: AllocStrategy, seed: u64, with_hidden: bool) -> Self {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(DISK_BLOCKS, BS, clock.clone()));
+        let meta: mobiceal_blockdev::SharedDevice =
+            Arc::new(MemDisk::new(256, BS, clock.clone()));
+        let pool = Arc::new(
+            ThinPool::create_seeded(
+                disk.clone() as mobiceal_blockdev::SharedDevice,
+                meta,
+                PoolConfig::new(2),
+                strategy,
+                seed,
+            )
+            .expect("pool"),
+        );
+        pool.create_volume(1, DISK_BLOCKS).expect("public");
+        pool.create_volume(2, DISK_BLOCKS).expect("hidden");
+        AllocWorld {
+            disk,
+            pool,
+            with_hidden,
+            pub_cursor: 0,
+            hid_cursor: 0,
+            payload: ChaCha20Rng::from_u64_seed(seed ^ 0xA110C),
+        }
+    }
+}
+
+impl GameWorld for AllocWorld {
+    fn public_write(&mut self, blocks: u64) {
+        let vol = self.pool.open_volume(1).expect("open public");
+        let mut buf = vec![0u8; BS];
+        for _ in 0..blocks {
+            self.payload.fill_bytes(&mut buf);
+            vol.write_block(self.pub_cursor % DISK_BLOCKS, &buf).expect("write");
+            self.pub_cursor += 1;
+        }
+    }
+
+    fn hidden_write(&mut self, blocks: u64) {
+        if !self.with_hidden {
+            return;
+        }
+        let vol = self.pool.open_volume(2).expect("open hidden");
+        let mut buf = vec![0u8; BS];
+        for _ in 0..blocks {
+            self.payload.fill_bytes(&mut buf);
+            vol.write_block(self.hid_cursor % DISK_BLOCKS, &buf).expect("write");
+            self.hid_cursor += 1;
+        }
+    }
+
+    fn observe(&self) -> Observation {
+        Observation {
+            snapshot: self.disk.snapshot(),
+            metadata: Some(self.pool.metadata_view()),
+            logs: Vec::new(),
+        }
+    }
+}
+
+fn main() {
+    let cfg = GameConfig {
+        rounds: 50,
+        events_per_round: 8,
+        public_blocks: (2, 10),
+        hidden_blocks: (8, 24), // bursty hidden writes: the leaky pattern
+        hidden_event_prob: 0.5,
+    };
+    let d = SequentialRunDistinguisher { public_volume: 1, data_region_start: 0, min_run: 6 };
+
+    let mut table = Table::new(
+        "Allocation-strategy ablation: run-length distinguisher (50 rounds)",
+        &["allocator", "accuracy", "advantage", "blind?"],
+    );
+    for (label, strategy) in [
+        ("sequential (stock dm-thin)", AllocStrategy::Sequential),
+        ("random (MobiCeal §IV-B)", AllocStrategy::Random),
+    ] {
+        let r = run_distinguisher_game(
+            |seed, hidden| AllocWorld::build(strategy, seed, hidden),
+            &d,
+            &cfg,
+            0xA110,
+        );
+        table.push_row(vec![
+            label.into(),
+            Cell::Num(r.accuracy),
+            Cell::Num(r.advantage),
+            Cell::Text(if r.is_blind() { "yes" } else { "NO (layout leaks)" }.into()),
+        ]);
+    }
+    println!("{}", render_table(&table));
+    println!("paper: random allocation is what makes dummy-write accounting deniable");
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the substrate primitives: AES sector
+//! modes, SHA-256/PBKDF2, ChaCha20 noise generation, bitmap allocation and
+//! the two allocators, and WoORAM write amplification.
+//!
+//! These measure *real* CPU time of this implementation (unlike the
+//! table/figure benches, which measure simulated device time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mobiceal_crypto::{
+    pbkdf2_hmac_sha256, sha256, Aes256, CbcEssiv, ChaCha20Rng, SectorCipher, Xts,
+};
+use mobiceal_thinp::{Allocator, Bitmap, RandomAllocator, SequentialAllocator};
+use std::collections::HashSet;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let sector = vec![0xABu8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+
+    let essiv = CbcEssiv::with_essiv_key(Aes256::new(&[1u8; 32]), &sha256(&[1u8; 32]));
+    group.bench_function("aes256_cbc_essiv_encrypt_4k", |b| {
+        b.iter(|| essiv.encrypt_sector(7, &sector))
+    });
+
+    let xts = Xts::new(Aes256::new(&[2u8; 32]), Aes256::new(&[3u8; 32]));
+    group.bench_function("aes256_xts_encrypt_4k", |b| b.iter(|| xts.encrypt_sector(7, &sector)));
+
+    group.bench_function("sha256_4k", |b| b.iter(|| sha256(&sector)));
+
+    group.bench_function("chacha20_noise_4k", |b| {
+        let mut rng = ChaCha20Rng::from_u64_seed(1);
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| rng.fill_bytes(&mut buf))
+    });
+    group.finish();
+
+    c.bench_function("pbkdf2_sha256_2000iters", |b| {
+        let mut out = [0u8; 32];
+        b.iter(|| pbkdf2_hmac_sha256(b"password", b"salt", 2000, &mut out))
+    });
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    let make_bitmap = || {
+        let mut bm = Bitmap::new(65536);
+        for i in (0..65536).step_by(3) {
+            bm.set(i);
+        }
+        bm
+    };
+    group.bench_function("sequential_allocate", |b| {
+        b.iter_batched(
+            || (make_bitmap(), SequentialAllocator::new(), HashSet::new()),
+            |(bm, mut alloc, reserved)| alloc.allocate(&bm, &reserved),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("random_allocate", |b| {
+        b.iter_batched(
+            || (make_bitmap(), RandomAllocator::with_seed(5), HashSet::new()),
+            |(bm, mut alloc, reserved)| alloc.allocate(&bm, &reserved),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bitmap_nth_free", |b| {
+        let bm = make_bitmap();
+        b.iter(|| bm.nth_free(10_000))
+    });
+    group.finish();
+}
+
+fn bench_oram(c: &mut Criterion) {
+    use mobiceal_baselines::HiveWoOram;
+    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    c.bench_function("hive_woram_logical_write_4k", |b| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(600, 4096, clock.clone()));
+        let oram = HiveWoOram::new(disk, clock, 256, [9u8; 64], 1).expect("oram");
+        let buf = vec![1u8; 4096];
+        let mut i = 0u64;
+        b.iter(|| {
+            oram.write_block(i % 256, &buf).expect("write");
+            i += 1;
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_allocators, bench_oram
+}
+criterion_main!(benches);

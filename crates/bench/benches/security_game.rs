@@ -1,0 +1,126 @@
+//! **Security-game experiment** (empirical counterpart of §III-C /
+//! Theorem VI.2): distinguisher advantage against MobiCeal vs the
+//! MobiPluto-class baseline, plus the §IV-D side-channel check.
+//!
+//! Expected shape: every distinguisher is statistically blind against
+//! MobiCeal (advantage ≈ 0, CI covering ½), while snapshot differencing
+//! breaks MobiPluto with accuracy ≈ 1. The side-channel grep breaks a
+//! HIVE/DEFY-style configuration that shares logs between modes, but not
+//! MobiCeal's tmpfs-isolated hidden mode.
+//!
+//! Run with: `cargo bench -p mobiceal-bench --bench security_game`
+
+use mobiceal::MobiCealConfig;
+use mobiceal_adversary::{
+    run_distinguisher_game, ChangedFreeSpaceDistinguisher, Distinguisher,
+    DummyBudgetDistinguisher, EntropyAnomalyDistinguisher, GameConfig,
+    SequentialRunDistinguisher, SideChannelDistinguisher,
+};
+use mobiceal_android::AndroidPhone;
+use mobiceal_baselines::worlds::{MobiCealWorld, MobiPlutoWorld, WORLD_DISK_BLOCKS};
+use mobiceal_sim::SimClock;
+use mobiceal_workloads::{render_table, Cell, Table};
+
+fn game_config() -> GameConfig {
+    GameConfig {
+        rounds: 60,
+        events_per_round: 10,
+        public_blocks: (4, 24),
+        hidden_blocks: (2, 12),
+        hidden_event_prob: 0.5,
+    }
+}
+
+fn main() {
+    let cfg = game_config();
+    let mut table = Table::new(
+        "Empirical multi-snapshot game: distinguisher accuracy (60 rounds, 95% CI)",
+        &["distinguisher", "system", "accuracy", "advantage", "blind?"],
+    );
+
+    let distinguishers: Vec<Box<dyn Distinguisher>> = vec![
+        Box::new(ChangedFreeSpaceDistinguisher {
+            public_volume: 1,
+            data_region_start: MobiCealWorld::data_region_start(),
+            data_region_blocks: MobiCealWorld::data_region_blocks(),
+        }),
+        Box::new(DummyBudgetDistinguisher {
+            public_volume: 1,
+            lambda: MobiCealWorld::lambda(),
+            safety_sigmas: 4.0,
+        }),
+        Box::new(SequentialRunDistinguisher {
+            public_volume: 1,
+            data_region_start: MobiCealWorld::data_region_start(),
+            min_run: 8,
+        }),
+        Box::new(EntropyAnomalyDistinguisher {
+            public_volume: 1,
+            data_region_start: MobiCealWorld::data_region_start(),
+            entropy_floor: 7.0,
+        }),
+    ];
+
+    for d in &distinguishers {
+        let r = run_distinguisher_game(MobiCealWorld::build, d.as_ref(), &cfg, 0xCEA1);
+        table.push_row(vec![
+            d.name().into(),
+            "MobiCeal".into(),
+            Cell::Num(r.accuracy),
+            Cell::Num(r.advantage),
+            Cell::Text(if r.is_blind() { "yes" } else { "NO" }.into()),
+        ]);
+    }
+    // The classic attack against the legacy baseline.
+    let d = ChangedFreeSpaceDistinguisher {
+        public_volume: 1,
+        data_region_start: 64,
+        data_region_blocks: WORLD_DISK_BLOCKS - 64 - 4,
+    };
+    let r = run_distinguisher_game(MobiPlutoWorld::build, &d, &cfg, 0xCEA1);
+    table.push_row(vec![
+        d.name().into(),
+        "MobiPluto".into(),
+        Cell::Num(r.accuracy),
+        Cell::Num(r.advantage),
+        Cell::Text(if r.is_blind() { "yes" } else { "NO (broken)" }.into()),
+    ]);
+    println!("{}", render_table(&table));
+
+    // §IV-D side channel: protected vs unprotected phone.
+    let side = SideChannelDistinguisher::default();
+    let mut side_table = Table::new(
+        "Side-channel attack (grep public logs after a hidden session)",
+        &["configuration", "hidden traces found?"],
+    );
+    for (label, protected) in
+        [("MobiCeal (tmpfs isolation)", true), ("HIVE/DEFY-style shared logs", false)]
+    {
+        let cfg = MobiCealConfig {
+            num_volumes: 6,
+            pbkdf2_iterations: 4,
+            metadata_blocks: 64,
+            ..Default::default()
+        };
+        let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, cfg);
+        if !protected {
+            phone = phone.without_side_channel_protection();
+        }
+        phone.initialize_mobiceal("decoy", &["hidden"], 77).expect("init");
+        phone.enter_boot_password("decoy").expect("boot");
+        phone.switch_to_hidden("hidden").expect("switch");
+        phone.record_activity("opened secret_dossier.pdf in hidden volume");
+        phone.exit_hidden_mode();
+        let obs = mobiceal_adversary::Observation {
+            snapshot: phone.snapshot(),
+            metadata: None,
+            logs: phone.logs().persistent().to_vec(),
+        };
+        let found = side.decide(&[obs]);
+        side_table.push_row(vec![
+            label.into(),
+            Cell::Text(if found { "YES (deniability compromised)" } else { "no" }.into()),
+        ]);
+    }
+    println!("{}", render_table(&side_table));
+}

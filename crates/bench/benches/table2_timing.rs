@@ -1,0 +1,120 @@
+//! **Table II**: initialization, booting and mode-switching times for
+//! Android FDE, MobiPluto and MobiCeal.
+//!
+//! Paper values (means, Nexus 4):
+//!
+//! | flow                | Android FDE | MobiPluto  | MobiCeal |
+//! |---------------------|-------------|------------|----------|
+//! | initialization      | 18min23s    | 37min2s    | 2min16s  |
+//! | booting (decoy pwd) | 0.29s       | 1.36s      | 1.68s    |
+//! | switch into hidden  | n/a         | 68s        | 9.27s    |
+//! | switch out of hidden| n/a         | 64s        | 63s      |
+//!
+//! Android FDE and MobiPluto flows are reconstructed from the same step
+//! costs ([`AndroidTimingModel`]) MobiCeal's phone model uses; MobiCeal's
+//! flows run the full state machine on the real (simulated) stack.
+//!
+//! Run with: `cargo bench -p mobiceal-bench --bench table2_timing`
+
+use mobiceal::MobiCealConfig;
+use mobiceal_android::{AndroidPhone, AndroidTimingModel};
+use mobiceal_bench::{human_secs, mean_sigma, repeat_stat};
+use mobiceal_sim::SimClock;
+use mobiceal_workloads::{render_table, Cell, Table};
+
+const REPEATS: u32 = 10;
+
+fn fast_config() -> MobiCealConfig {
+    MobiCealConfig { num_volumes: 6, pbkdf2_iterations: 4, metadata_blocks: 64, ..Default::default() }
+}
+
+/// Android FDE flows assembled from the step model.
+fn fde_times(t: &AndroidTimingModel) -> (f64, f64) {
+    // Initialization: in-place encryption of the whole partition + reboot.
+    let init = t.fde_inplace_encrypt() + t.full_reboot;
+    // Boot: PBKDF2 + dm-crypt setup + mount.
+    let cpu = mobiceal_sim::CpuCostModel::nexus4();
+    let boot = cpu.pbkdf2_cost() + t.dm_crypt_setup + t.mount;
+    (init.as_secs_f64(), boot.as_secs_f64())
+}
+
+/// MobiPluto flows assembled from the step model (2 thin volumes; mode
+/// switching requires a reboot both ways).
+fn mobipluto_times(t: &AndroidTimingModel) -> (f64, f64, f64, f64) {
+    let cpu = mobiceal_sim::CpuCostModel::nexus4();
+    let init = t.full_random_fill() + t.lvm_setup + t.mkfs + t.full_reboot;
+    let boot = cpu.pbkdf2_cost()
+        + t.thin_pool_activation
+        + t.per_volume_activation * 2
+        + t.dm_crypt_setup
+        + t.mount;
+    let switch_in = t.full_reboot.as_secs_f64() + boot.as_secs_f64() + 5.0; // + user re-entry
+    let switch_out = t.full_reboot.as_secs_f64() + boot.as_secs_f64();
+    (init.as_secs_f64(), boot.as_secs_f64(), switch_in, switch_out)
+}
+
+fn main() {
+    let timing = AndroidTimingModel::nexus4();
+
+    // MobiCeal: measured on the full state machine.
+    let init = repeat_stat(REPEATS, |i| {
+        let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());
+        phone
+            .initialize_mobiceal("decoy", &["hidden"], 50 + i as u64)
+            .expect("init")
+            .as_secs_f64()
+    });
+    let boot = repeat_stat(REPEATS, |i| {
+        let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());
+        phone.initialize_mobiceal("decoy", &["hidden"], 100 + i as u64).expect("init");
+        phone.enter_boot_password("decoy").expect("boot").as_secs_f64()
+    });
+    let switch_in = repeat_stat(REPEATS, |i| {
+        let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());
+        phone.initialize_mobiceal("decoy", &["hidden"], 200 + i as u64).expect("init");
+        phone.enter_boot_password("decoy").expect("boot");
+        phone.switch_to_hidden("hidden").expect("switch").as_secs_f64()
+    });
+    let switch_out = repeat_stat(REPEATS, |i| {
+        let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());
+        phone.initialize_mobiceal("decoy", &["hidden"], 300 + i as u64).expect("init");
+        phone.enter_boot_password("decoy").expect("boot");
+        phone.switch_to_hidden("hidden").expect("switch");
+        let out = phone.exit_hidden_mode().as_secs_f64();
+        out + phone.enter_boot_password("decoy").expect("boot").as_secs_f64()
+    });
+
+    let (fde_init, fde_boot) = fde_times(&timing);
+    let (mp_init, mp_boot, mp_in, mp_out) = mobipluto_times(&timing);
+
+    let mut table = Table::new(
+        "Table II: initialization, booting and switching times",
+        &["system", "initialization", "booting (decoy)", "switch in", "switch out"],
+    );
+    table.push_row(vec![
+        "Android FDE".into(),
+        Cell::Text(human_secs(fde_init)),
+        Cell::Text(human_secs(fde_boot)),
+        "N/A".into(),
+        "N/A".into(),
+    ]);
+    table.push_row(vec![
+        "MobiPluto".into(),
+        Cell::Text(human_secs(mp_init)),
+        Cell::Text(human_secs(mp_boot)),
+        Cell::Text(human_secs(mp_in)),
+        Cell::Text(human_secs(mp_out)),
+    ]);
+    table.push_row(vec![
+        "MobiCeal".into(),
+        Cell::Text(format!("{} ({})", human_secs(init.mean()), mean_sigma(&init))),
+        Cell::Text(format!("{} ({})", human_secs(boot.mean()), mean_sigma(&boot))),
+        Cell::Text(format!("{} ({})", human_secs(switch_in.mean()), mean_sigma(&switch_in))),
+        Cell::Text(format!("{} ({})", human_secs(switch_out.mean()), mean_sigma(&switch_out))),
+    ]);
+    println!("{}", render_table(&table));
+    println!(
+        "paper: FDE 18min23s/0.29s; MobiPluto 37min2s/1.36s/68s/64s; \
+         MobiCeal 2min16s/1.68s/9.27s/63s"
+    );
+}

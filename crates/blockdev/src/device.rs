@@ -1,0 +1,232 @@
+//! The [`BlockDevice`] trait and its error type.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a block on a device, starting at 0.
+pub type BlockIndex = u64;
+
+/// Errors surfaced by block-device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockDeviceError {
+    /// Access beyond the end of the device.
+    OutOfRange {
+        /// The offending block index.
+        index: BlockIndex,
+        /// Total number of blocks on the device.
+        num_blocks: u64,
+    },
+    /// Buffer length does not match the device's block size.
+    WrongBufferSize {
+        /// Length supplied by the caller.
+        got: usize,
+        /// Block size required by the device.
+        expected: usize,
+    },
+    /// Simulated medium failure (fault injection).
+    Io {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The device (or the volume it backs) has no free capacity left.
+    NoSpace,
+    /// The operation is not supported by this device/layer.
+    Unsupported {
+        /// What was attempted.
+        what: String,
+    },
+    /// Cryptographic verification failed (wrong key/password).
+    BadKey,
+    /// On-disk metadata is corrupt or from an incompatible layout.
+    CorruptMetadata {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BlockDeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockDeviceError::OutOfRange { index, num_blocks } => {
+                write!(f, "block {index} out of range (device has {num_blocks} blocks)")
+            }
+            BlockDeviceError::WrongBufferSize { got, expected } => {
+                write!(f, "buffer of {got} bytes does not match block size {expected}")
+            }
+            BlockDeviceError::Io { reason } => write!(f, "i/o error: {reason}"),
+            BlockDeviceError::NoSpace => write!(f, "no space left on device"),
+            BlockDeviceError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            BlockDeviceError::BadKey => write!(f, "cryptographic verification failed"),
+            BlockDeviceError::CorruptMetadata { detail } => {
+                write!(f, "corrupt metadata: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockDeviceError {}
+
+/// A fixed-geometry array of blocks: the substrate every storage layer in
+/// the reproduction stacks on.
+///
+/// Implementations take `&self`; interior mutability (with locking where
+/// needed) keeps stacking ergonomic, mirroring how kernel block devices are
+/// shared between layers.
+pub trait BlockDevice: Send + Sync {
+    /// Number of addressable blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Size of each block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Reads block `index` into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::OutOfRange`] if `index >= num_blocks()`, or a
+    /// layer-specific error.
+    fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError>;
+
+    /// Writes `data` (exactly `block_size()` bytes) to block `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::OutOfRange`], [`BlockDeviceError::WrongBufferSize`],
+    /// or a layer-specific error.
+    fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError>;
+
+    /// Flushes caches / commits metadata. Default: no-op.
+    ///
+    /// # Errors
+    ///
+    /// Layer-specific.
+    fn flush(&self) -> Result<(), BlockDeviceError> {
+        Ok(())
+    }
+
+    /// Total capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.num_blocks() * self.block_size() as u64
+    }
+
+    /// Convenience: validates an index against the geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::OutOfRange`] when out of bounds.
+    fn check_index(&self, index: BlockIndex) -> Result<(), BlockDeviceError> {
+        if index >= self.num_blocks() {
+            Err(BlockDeviceError::OutOfRange { index, num_blocks: self.num_blocks() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Convenience: validates a buffer against the block size.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::WrongBufferSize`] when mismatched.
+    fn check_buffer(&self, data: &[u8]) -> Result<(), BlockDeviceError> {
+        if data.len() != self.block_size() {
+            Err(BlockDeviceError::WrongBufferSize {
+                got: data.len(),
+                expected: self.block_size(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A reference-counted device handle, the currency of device stacking.
+pub type SharedDevice = Arc<dyn BlockDevice>;
+
+impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
+        (**self).read_block(index)
+    }
+
+    fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
+        (**self).write_block(index, data)
+    }
+
+    fn flush(&self) -> Result<(), BlockDeviceError> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TinyDev;
+
+    impl BlockDevice for TinyDev {
+        fn num_blocks(&self) -> u64 {
+            4
+        }
+
+        fn block_size(&self) -> usize {
+            8
+        }
+
+        fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
+            self.check_index(index)?;
+            Ok(vec![index as u8; 8])
+        }
+
+        fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
+            self.check_index(index)?;
+            self.check_buffer(data)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_helpers() {
+        let dev = TinyDev;
+        assert_eq!(dev.capacity_bytes(), 32);
+        assert!(dev.check_index(3).is_ok());
+        assert_eq!(
+            dev.check_index(4),
+            Err(BlockDeviceError::OutOfRange { index: 4, num_blocks: 4 })
+        );
+        assert!(dev.check_buffer(&[0; 8]).is_ok());
+        assert!(dev.check_buffer(&[0; 7]).is_err());
+        assert!(dev.flush().is_ok());
+    }
+
+    #[test]
+    fn arc_passthrough() {
+        let dev: SharedDevice = Arc::new(TinyDev);
+        assert_eq!(dev.num_blocks(), 4);
+        assert_eq!(dev.read_block(2).unwrap(), vec![2u8; 8]);
+        assert!(dev.write_block(1, &[0; 8]).is_ok());
+        assert!(dev.write_block(9, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let samples: Vec<(BlockDeviceError, &str)> = vec![
+            (BlockDeviceError::OutOfRange { index: 9, num_blocks: 4 }, "out of range"),
+            (BlockDeviceError::WrongBufferSize { got: 1, expected: 8 }, "block size"),
+            (BlockDeviceError::Io { reason: "bad sector".into() }, "bad sector"),
+            (BlockDeviceError::NoSpace, "no space"),
+            (BlockDeviceError::Unsupported { what: "trim".into() }, "trim"),
+            (BlockDeviceError::BadKey, "verification"),
+            (BlockDeviceError::CorruptMetadata { detail: "magic".into() }, "magic"),
+        ];
+        for (err, needle) in samples {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated block devices.
+//!
+//! The bottom of every storage stack in this reproduction is a
+//! [`BlockDevice`]: a fixed geometry of equally sized blocks addressed by
+//! [`BlockIndex`]. The concrete implementation, [`MemDisk`], keeps the block
+//! contents in memory, charges simulated time per operation according to an
+//! eMMC [`mobiceal_sim::CostModel`], records per-operation statistics, and —
+//! crucially for the paper's threat model — can produce [`DiskSnapshot`]s:
+//! bit-exact images of the medium that the multi-snapshot adversary analyses
+//! (§III-A of the paper).
+//!
+//! Layered devices (`dm-crypt`, thin volumes, MobiCeal itself) also implement
+//! [`BlockDevice`], so any block-based file system can be deployed on any
+//! layer — the paper's "file system friendly" design principle.
+//!
+//! # Example
+//!
+//! ```
+//! use mobiceal_blockdev::{BlockDevice, MemDisk};
+//!
+//! let disk = MemDisk::with_default_timing(128, 4096);
+//! disk.write_block(5, &vec![0xAB; 4096])?;
+//! assert_eq!(disk.read_block(5)?[0], 0xAB);
+//! let snap = disk.snapshot();
+//! assert_eq!(snap.block(5)[0], 0xAB);
+//! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
+//! ```
+
+mod device;
+mod memdisk;
+mod snapshot;
+mod stats;
+
+pub use device::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
+pub use memdisk::{FaultInjection, MemDisk};
+pub use snapshot::DiskSnapshot;
+pub use stats::{DeviceStats, OpCounter};

@@ -1,0 +1,368 @@
+//! [`MemDisk`]: the RAM-backed simulated eMMC device.
+
+use crate::device::{BlockDevice, BlockDeviceError, BlockIndex};
+use crate::snapshot::DiskSnapshot;
+use crate::stats::DeviceStats;
+use mobiceal_sim::{CostModel, EmmcCostModel, OpKind, SimClock};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Fault-injection configuration: force specific blocks to fail.
+///
+/// Used by failure-path tests ("what happens when the medium dies under the
+/// thin pool / under MobiCeal metadata?").
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    /// Blocks whose reads fail.
+    pub failing_reads: HashSet<BlockIndex>,
+    /// Blocks whose writes fail.
+    pub failing_writes: HashSet<BlockIndex>,
+    /// Fail every operation after this many total ops (simulates device
+    /// death). `None` disables.
+    pub die_after_ops: Option<u64>,
+}
+
+struct Inner {
+    blocks: Vec<u8>,
+    stats: DeviceStats,
+    last_block: Option<BlockIndex>,
+    faults: FaultInjection,
+    total_ops: u64,
+}
+
+/// An in-memory block device with eMMC timing, statistics, snapshots and
+/// fault injection.
+///
+/// Cloning the wrapper is cheap and shares the same underlying storage
+/// (mirroring how multiple dm targets can open one kernel block device).
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_blockdev::{BlockDevice, MemDisk};
+/// use mobiceal_sim::SimClock;
+///
+/// let clock = SimClock::new();
+/// let disk = MemDisk::new(64, 4096, clock.clone());
+/// disk.write_block(0, &vec![1u8; 4096])?;
+/// assert!(clock.now().as_nanos() > 0, "writes consume simulated time");
+/// # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
+/// ```
+#[derive(Clone)]
+pub struct MemDisk {
+    inner: Arc<Mutex<Inner>>,
+    num_blocks: u64,
+    block_size: usize,
+    clock: SimClock,
+    cost: Arc<dyn CostModel>,
+}
+
+impl std::fmt::Debug for MemDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDisk")
+            .field("num_blocks", &self.num_blocks)
+            .field("block_size", &self.block_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemDisk {
+    /// Creates a disk with Nexus 4 eMMC timing on `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0` or `block_size == 0`.
+    pub fn new(num_blocks: u64, block_size: usize, clock: SimClock) -> Self {
+        Self::with_cost_model(num_blocks, block_size, clock, Arc::new(EmmcCostModel::nexus4()))
+    }
+
+    /// Creates a disk with Nexus 4 timing and a private clock — convenient
+    /// for tests that do not inspect time.
+    pub fn with_default_timing(num_blocks: u64, block_size: usize) -> Self {
+        Self::new(num_blocks, block_size, SimClock::new())
+    }
+
+    /// Creates a disk with an explicit cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0` or `block_size == 0`.
+    pub fn with_cost_model(
+        num_blocks: u64,
+        block_size: usize,
+        clock: SimClock,
+        cost: Arc<dyn CostModel>,
+    ) -> Self {
+        assert!(num_blocks > 0, "device must have at least one block");
+        assert!(block_size > 0, "block size must be positive");
+        let bytes = usize::try_from(num_blocks)
+            .ok()
+            .and_then(|n| n.checked_mul(block_size))
+            .expect("device too large for memory simulation");
+        MemDisk {
+            inner: Arc::new(Mutex::new(Inner {
+                blocks: vec![0u8; bytes],
+                stats: DeviceStats::default(),
+                last_block: None,
+                faults: FaultInjection::default(),
+                total_ops: 0,
+            })),
+            num_blocks,
+            block_size,
+            clock,
+            cost,
+        }
+    }
+
+    /// The clock this disk charges time to.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Snapshot of the I/O statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = DeviceStats::default();
+    }
+
+    /// Installs a fault-injection configuration.
+    pub fn set_faults(&self, faults: FaultInjection) {
+        self.inner.lock().faults = faults;
+    }
+
+    /// Takes a bit-exact image of the medium — what the paper's
+    /// multi-snapshot adversary captures at a checkpoint (§III-A).
+    pub fn snapshot(&self) -> DiskSnapshot {
+        let inner = self.inner.lock();
+        DiskSnapshot::new(self.block_size, self.num_blocks, inner.blocks.clone())
+    }
+
+    /// Overwrites the whole medium with the given byte (e.g. secure wipe).
+    pub fn fill(&self, byte: u8) {
+        let mut inner = self.inner.lock();
+        inner.blocks.fill(byte);
+    }
+
+    /// Overwrites the whole medium with caller-provided content generator,
+    /// charging sequential-write time for every block (used for the
+    /// initialization step that fills the disk with randomness).
+    pub fn fill_with(&self, mut gen: impl FnMut(&mut [u8])) {
+        let mut inner = self.inner.lock();
+        let bs = self.block_size;
+        for i in 0..self.num_blocks {
+            let start = i as usize * bs;
+            gen(&mut inner.blocks[start..start + bs]);
+            let t = self.cost.cost(OpKind::SequentialWrite, bs);
+            self.clock.advance(t);
+            inner.stats.record(OpKind::SequentialWrite, bs, t);
+        }
+        inner.last_block = Some(self.num_blocks - 1);
+    }
+
+    fn classify(last: Option<BlockIndex>, index: BlockIndex, write: bool) -> OpKind {
+        let sequential = matches!(last, Some(prev) if index == prev + 1);
+        match (write, sequential) {
+            (false, true) => OpKind::SequentialRead,
+            (false, false) => OpKind::RandomRead,
+            (true, true) => OpKind::SequentialWrite,
+            (true, false) => OpKind::RandomWrite,
+        }
+    }
+
+    fn check_faults(
+        inner: &mut Inner,
+        index: BlockIndex,
+        write: bool,
+    ) -> Result<(), BlockDeviceError> {
+        inner.total_ops += 1;
+        if let Some(limit) = inner.faults.die_after_ops {
+            if inner.total_ops > limit {
+                return Err(BlockDeviceError::Io { reason: format!("device died after {limit} ops") });
+            }
+        }
+        let failing =
+            if write { &inner.faults.failing_writes } else { &inner.faults.failing_reads };
+        if failing.contains(&index) {
+            return Err(BlockDeviceError::Io {
+                reason: format!("injected {} fault at block {index}", if write { "write" } else { "read" }),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
+        self.check_index(index)?;
+        let mut inner = self.inner.lock();
+        Self::check_faults(&mut inner, index, false)?;
+        let op = Self::classify(inner.last_block, index, false);
+        inner.last_block = Some(index);
+        let t = self.cost.cost(op, self.block_size);
+        self.clock.advance(t);
+        inner.stats.record(op, self.block_size, t);
+        let start = index as usize * self.block_size;
+        Ok(inner.blocks[start..start + self.block_size].to_vec())
+    }
+
+    fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
+        self.check_index(index)?;
+        self.check_buffer(data)?;
+        let mut inner = self.inner.lock();
+        Self::check_faults(&mut inner, index, true)?;
+        let op = Self::classify(inner.last_block, index, true);
+        inner.last_block = Some(index);
+        let t = self.cost.cost(op, self.block_size);
+        self.clock.advance(t);
+        inner.stats.record(op, self.block_size, t);
+        let start = index as usize * self.block_size;
+        inner.blocks[start..start + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), BlockDeviceError> {
+        let mut inner = self.inner.lock();
+        let t = self.cost.cost(OpKind::Flush, 0);
+        self.clock.advance(t);
+        inner.stats.record(OpKind::Flush, 0, t);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let disk = MemDisk::with_default_timing(16, 512);
+        let data = vec![0x5Au8; 512];
+        disk.write_block(7, &data).unwrap();
+        assert_eq!(disk.read_block(7).unwrap(), data);
+        assert_eq!(disk.read_block(6).unwrap(), vec![0u8; 512]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_bad_buffers() {
+        let disk = MemDisk::with_default_timing(4, 512);
+        assert!(matches!(
+            disk.read_block(4),
+            Err(BlockDeviceError::OutOfRange { index: 4, .. })
+        ));
+        assert!(matches!(
+            disk.write_block(0, &[0u8; 100]),
+            Err(BlockDeviceError::WrongBufferSize { got: 100, expected: 512 })
+        ));
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(64, 4096, clock);
+        let buf = vec![0u8; 4096];
+        disk.write_block(0, &buf).unwrap(); // first op: random (no predecessor)
+        disk.write_block(1, &buf).unwrap(); // sequential
+        disk.write_block(2, &buf).unwrap(); // sequential
+        disk.write_block(10, &buf).unwrap(); // random
+        let s = disk.stats();
+        assert_eq!(s.seq_writes.ops, 2);
+        assert_eq!(s.rand_writes.ops, 2);
+    }
+
+    #[test]
+    fn writes_cost_more_time_than_reads() {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(64, 4096, clock.clone());
+        let buf = vec![0u8; 4096];
+        let (_, w) = clock.measure(|| disk.write_block(1, &buf).unwrap());
+        let (_, r) = clock.measure(|| {
+            disk.read_block(2).unwrap();
+        });
+        assert!(w > r, "write {w} should exceed read {r}");
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        disk.write_block(3, &vec![9u8; 512]).unwrap();
+        let snap = disk.snapshot();
+        disk.write_block(3, &vec![7u8; 512]).unwrap();
+        assert_eq!(snap.block(3), &vec![9u8; 512][..]);
+        assert_eq!(disk.read_block(3).unwrap(), vec![7u8; 512]);
+    }
+
+    #[test]
+    fn clone_shares_contents_and_stats() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        let alias = disk.clone();
+        disk.write_block(0, &vec![1u8; 512]).unwrap();
+        assert_eq!(alias.read_block(0).unwrap(), vec![1u8; 512]);
+        assert_eq!(alias.stats().total_writes(), 1);
+    }
+
+    #[test]
+    fn fill_with_writes_everything_and_charges_time() {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(32, 512, clock.clone());
+        let mut counter = 0u8;
+        disk.fill_with(|blk| {
+            counter = counter.wrapping_add(1);
+            blk.fill(counter);
+        });
+        assert_eq!(disk.read_block(0).unwrap()[0], 1);
+        assert_eq!(disk.read_block(31).unwrap()[0], 32);
+        assert!(clock.now().as_nanos() > 0);
+        // fill_with counts 32 sequential writes plus the 2 verification reads.
+        assert_eq!(disk.stats().total_writes(), 32);
+    }
+
+    #[test]
+    fn injected_faults_fire() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        let mut faults = FaultInjection::default();
+        faults.failing_reads.insert(2);
+        faults.failing_writes.insert(3);
+        disk.set_faults(faults);
+        assert!(disk.read_block(2).is_err());
+        assert!(disk.read_block(1).is_ok());
+        assert!(disk.write_block(3, &vec![0u8; 512]).is_err());
+        assert!(disk.write_block(4, &vec![0u8; 512]).is_ok());
+    }
+
+    #[test]
+    fn device_death_after_n_ops() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        disk.set_faults(FaultInjection { die_after_ops: Some(2), ..Default::default() });
+        assert!(disk.read_block(0).is_ok());
+        assert!(disk.read_block(1).is_ok());
+        assert!(disk.read_block(2).is_err());
+        assert!(disk.write_block(0, &vec![0u8; 512]).is_err());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        disk.write_block(0, &vec![0u8; 512]).unwrap();
+        disk.reset_stats();
+        assert_eq!(disk.stats().total_writes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = MemDisk::with_default_timing(0, 512);
+    }
+}

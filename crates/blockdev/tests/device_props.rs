@@ -1,0 +1,105 @@
+//! Property-based tests of the simulated block device and snapshots.
+
+use mobiceal_blockdev::{BlockDevice, DiskSnapshot, MemDisk};
+use mobiceal_sim::SimClock;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The device is a faithful array of blocks: reads always return the
+    /// last write, untouched blocks stay zero.
+    #[test]
+    fn device_matches_model(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 0..100),
+    ) {
+        let disk = MemDisk::with_default_timing(64, 512);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for &(block, fill) in &writes {
+            disk.write_block(block, &vec![fill; 512]).unwrap();
+            model.insert(block, fill);
+        }
+        for b in 0..64 {
+            let expect = model.get(&b).copied().unwrap_or(0);
+            prop_assert_eq!(disk.read_block(b).unwrap(), vec![expect; 512]);
+        }
+    }
+
+    /// Snapshot diffing reports exactly the blocks whose content changed
+    /// between two captures.
+    #[test]
+    fn changed_blocks_is_exact(
+        first in prop::collection::vec((0u64..32, any::<u8>()), 0..40),
+        second in prop::collection::vec((0u64..32, any::<u8>()), 0..40),
+    ) {
+        let disk = MemDisk::with_default_timing(32, 512);
+        for &(block, fill) in &first {
+            disk.write_block(block, &vec![fill; 512]).unwrap();
+        }
+        let snap1 = disk.snapshot();
+        for &(block, fill) in &second {
+            disk.write_block(block, &vec![fill; 512]).unwrap();
+        }
+        let snap2 = disk.snapshot();
+        let reported: Vec<u64> = snap1.changed_blocks(&snap2);
+        // Recompute expectation directly from the snapshots.
+        let expected: Vec<u64> =
+            (0..32).filter(|&b| snap1.block(b) != snap2.block(b)).collect();
+        prop_assert_eq!(reported, expected);
+    }
+
+    /// Time on the shared clock is monotone and strictly increases with
+    /// every transfer operation.
+    #[test]
+    fn clock_monotone_under_io(ops in prop::collection::vec((0u64..16, any::<bool>()), 1..50)) {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(16, 512, clock.clone());
+        let mut last = clock.now();
+        for &(block, write) in &ops {
+            if write {
+                disk.write_block(block, &vec![1u8; 512]).unwrap();
+            } else {
+                disk.read_block(block).unwrap();
+            }
+            let now = clock.now();
+            prop_assert!(now > last, "every op must consume time");
+            last = now;
+        }
+    }
+
+    /// Snapshots are deep copies: later writes never mutate an existing
+    /// snapshot, and snapshots round-trip through their raw bytes.
+    #[test]
+    fn snapshots_are_immutable_and_reconstructible(
+        writes in prop::collection::vec((0u64..16, any::<u8>()), 1..30),
+    ) {
+        let disk = MemDisk::with_default_timing(16, 512);
+        for &(block, fill) in &writes {
+            disk.write_block(block, &vec![fill; 512]).unwrap();
+        }
+        let snap = disk.snapshot();
+        let bytes = snap.as_bytes().to_vec();
+        disk.fill(0xFF);
+        prop_assert_eq!(snap.as_bytes(), &bytes[..], "snapshot unaffected by fill");
+        let rebuilt = DiskSnapshot::new(512, 16, bytes);
+        prop_assert_eq!(rebuilt, snap);
+    }
+
+    /// Statistics account for every operation.
+    #[test]
+    fn stats_count_everything(reads in 0u64..50, writes in 0u64..50) {
+        let disk = MemDisk::with_default_timing(64, 512);
+        for i in 0..writes {
+            disk.write_block(i % 64, &vec![1u8; 512]).unwrap();
+        }
+        for i in 0..reads {
+            disk.read_block(i % 64).unwrap();
+        }
+        let s = disk.stats();
+        prop_assert_eq!(s.total_writes(), writes);
+        prop_assert_eq!(s.total_reads(), reads);
+        prop_assert_eq!(s.bytes_written(), writes * 512);
+        prop_assert_eq!(s.bytes_read(), reads * 512);
+    }
+}

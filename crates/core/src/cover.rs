@@ -1,0 +1,118 @@
+//! Cover-write discipline (§IV-B's behavioural mitigation).
+//!
+//! The residual leak in the dummy-write design: the adversary can bound the
+//! dummy traffic explainable by the observed public traffic, so "a very
+//! large file in the hidden volume" without public cover is detectable.
+//! The paper's advice: *"we recommend that the user should store a file
+//! with approximately equal size in the public volume after storing a
+//! large file in the hidden volume."*
+//!
+//! [`CoverDiscipline`] turns that advice into an accountable policy: it
+//! tracks the hidden-write debt accumulated since the last cover and tells
+//! the caller (an app, a sync daemon, the example binaries) how much public
+//! data to write so the dummy-budget distinguisher stays blind.
+
+/// Tracks how much public cover traffic the user still owes for their
+/// hidden writes.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal::CoverDiscipline;
+///
+/// let mut cover = CoverDiscipline::new(1.0);
+/// cover.record_hidden_write(100);          // a large hidden file
+/// assert_eq!(cover.outstanding_cover(), 100);
+/// cover.record_public_write(60);           // partial cover so far
+/// assert_eq!(cover.outstanding_cover(), 40);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverDiscipline {
+    /// Public blocks owed per hidden block written ("approximately equal
+    /// size" → 1.0).
+    ratio: f64,
+    owed: f64,
+}
+
+impl CoverDiscipline {
+    /// Creates a discipline owing `ratio` public blocks per hidden block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not finite and positive.
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
+        CoverDiscipline { ratio, owed: 0.0 }
+    }
+
+    /// The paper's recommendation: equal-size cover.
+    pub fn paper_recommendation() -> Self {
+        CoverDiscipline::new(1.0)
+    }
+
+    /// Records `blocks` of hidden writes: the debt grows.
+    pub fn record_hidden_write(&mut self, blocks: u64) {
+        self.owed += blocks as f64 * self.ratio;
+    }
+
+    /// Records `blocks` of ordinary public writes: the debt shrinks (any
+    /// public traffic counts as cover — the adversary cannot tell cover
+    /// from organic use).
+    pub fn record_public_write(&mut self, blocks: u64) {
+        self.owed = (self.owed - blocks as f64).max(0.0);
+    }
+
+    /// Public blocks that still need to be written before the next
+    /// checkpoint to keep the dummy-budget account balanced.
+    pub fn outstanding_cover(&self) -> u64 {
+        self.owed.ceil() as u64
+    }
+
+    /// Whether the account is balanced (safe to present the device).
+    pub fn is_balanced(&self) -> bool {
+        self.outstanding_cover() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debt_accumulates_and_drains() {
+        let mut c = CoverDiscipline::paper_recommendation();
+        assert!(c.is_balanced());
+        c.record_hidden_write(50);
+        assert_eq!(c.outstanding_cover(), 50);
+        assert!(!c.is_balanced());
+        c.record_public_write(20);
+        assert_eq!(c.outstanding_cover(), 30);
+        c.record_public_write(100);
+        assert!(c.is_balanced());
+    }
+
+    #[test]
+    fn surplus_public_traffic_does_not_go_negative() {
+        let mut c = CoverDiscipline::new(1.0);
+        c.record_public_write(1000);
+        assert_eq!(c.outstanding_cover(), 0);
+        c.record_hidden_write(10);
+        assert_eq!(c.outstanding_cover(), 10, "old surplus is not banked");
+    }
+
+    #[test]
+    fn ratio_scales_the_debt() {
+        let mut generous = CoverDiscipline::new(2.0);
+        generous.record_hidden_write(10);
+        assert_eq!(generous.outstanding_cover(), 20);
+        let mut thrifty = CoverDiscipline::new(0.5);
+        thrifty.record_hidden_write(10);
+        assert_eq!(thrifty.outstanding_cover(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ratio_rejected() {
+        let _ = CoverDiscipline::new(0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! MobiCeal's error type.
+
+use mobiceal_blockdev::BlockDeviceError;
+use std::fmt;
+
+/// Errors surfaced by the MobiCeal device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MobiCealError {
+    /// A password failed verification (decoy at boot, hidden at switch).
+    BadPassword,
+    /// The configuration is unusable (e.g. fewer than 3 volumes).
+    BadConfig {
+        /// What is wrong.
+        detail: String,
+    },
+    /// The disk is too small for the requested layout.
+    DiskTooSmall {
+        /// Blocks required.
+        required: u64,
+        /// Blocks available.
+        available: u64,
+    },
+    /// Hidden passwords collide onto the same volume index even after
+    /// re-salting.
+    VolumeCollision,
+    /// Operation requires hidden mode (e.g. garbage collection).
+    NotInHiddenMode,
+    /// The device does not hold a MobiCeal layout.
+    NotInitialized {
+        /// Detail for diagnostics.
+        detail: String,
+    },
+    /// Underlying storage error.
+    Device(BlockDeviceError),
+}
+
+impl fmt::Display for MobiCealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobiCealError::BadPassword => write!(f, "password verification failed"),
+            MobiCealError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            MobiCealError::DiskTooSmall { required, available } => {
+                write!(f, "disk too small: need {required} blocks, have {available}")
+            }
+            MobiCealError::VolumeCollision => {
+                write!(f, "hidden passwords collide on a volume index")
+            }
+            MobiCealError::NotInHiddenMode => {
+                write!(f, "operation is only permitted in hidden mode")
+            }
+            MobiCealError::NotInitialized { detail } => {
+                write!(f, "device not initialized for MobiCeal: {detail}")
+            }
+            MobiCealError::Device(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MobiCealError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MobiCealError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockDeviceError> for MobiCealError {
+    fn from(e: BlockDeviceError) -> Self {
+        MobiCealError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(MobiCealError, &str)> = vec![
+            (MobiCealError::BadPassword, "verification failed"),
+            (MobiCealError::BadConfig { detail: "n too small".into() }, "n too small"),
+            (MobiCealError::DiskTooSmall { required: 10, available: 5 }, "10"),
+            (MobiCealError::VolumeCollision, "collide"),
+            (MobiCealError::NotInHiddenMode, "hidden mode"),
+            (MobiCealError::NotInitialized { detail: "magic".into() }, "magic"),
+            (MobiCealError::Device(BlockDeviceError::NoSpace), "no space"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn device_error_has_source() {
+        let e = MobiCealError::from(BlockDeviceError::BadKey);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MobiCealError::BadPassword).is_none());
+    }
+}

@@ -1,0 +1,226 @@
+//! The encryption footer (last 16 KiB of the userdata partition).
+//!
+//! Android FDE stores the encrypted master key and the PBKDF2 salt in a
+//! footer at the end of the partition (§II-A of the paper). MobiCeal reuses
+//! it unchanged — which matters for deniability, because the footer of a
+//! MobiCeal device is byte-indistinguishable from a stock FDE footer.
+//!
+//! The key trick (§V-B): the footer holds `C = E_{KDF(decoy_pwd)}(master)`.
+//! * Decrypting `C` with the **decoy** password recovers the real master
+//!   key for the public volume.
+//! * Decrypting `C` with a **hidden** password yields a *different but
+//!   deterministic* byte string — which MobiCeal simply uses as that hidden
+//!   volume's key. No hidden-key ciphertext is ever stored, so there is
+//!   nothing for the adversary to count.
+
+use crate::error::MobiCealError;
+use mobiceal_crypto::{pbkdf2_hmac_sha256, Aes256, BlockCipher, ChaCha20Rng};
+
+/// Size of the footer region in bytes (Android uses the last 16 KiB).
+pub const FOOTER_BYTES: usize = 16 * 1024;
+
+const MAGIC: &[u8; 8] = b"MCFOOTR1";
+
+/// Decoded contents of the encryption footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptionFooter {
+    /// PBKDF2 salt (also drives hidden-volume index derivation, §IV-C).
+    pub salt: [u8; 16],
+    /// The master key encrypted under the decoy-password-derived KEK
+    /// (two AES blocks, ECB over the 32-byte key like Android's cryptfs).
+    pub encrypted_master_key: [u8; 32],
+    /// PBKDF2 iteration count recorded at initialization.
+    pub kdf_iterations: u32,
+}
+
+impl EncryptionFooter {
+    /// Creates a footer for a fresh device: generates a random salt and
+    /// master key, and returns `(footer, master_key)`.
+    pub fn create(rng: &mut ChaCha20Rng, decoy_password: &str, kdf_iterations: u32) -> (Self, [u8; 32]) {
+        let salt = rng.gen_nonce16();
+        let master_key = rng.gen_key();
+        let footer = Self::with_salt(salt, &master_key, decoy_password, kdf_iterations);
+        (footer, master_key)
+    }
+
+    /// Creates a footer with a caller-chosen salt (used when re-salting to
+    /// resolve hidden-volume index collisions).
+    pub fn with_salt(
+        salt: [u8; 16],
+        master_key: &[u8; 32],
+        decoy_password: &str,
+        kdf_iterations: u32,
+    ) -> Self {
+        let kek = derive_kek(decoy_password, &salt, kdf_iterations);
+        let encrypted_master_key = aes256_keyblob_encrypt(&kek, master_key);
+        EncryptionFooter { salt, encrypted_master_key, kdf_iterations }
+    }
+
+    /// Derives the volume key that `password` unlocks. For the decoy
+    /// password this is the true master key; for any other password it is a
+    /// deterministic pseudorandom key (used as the hidden key, §V-B).
+    pub fn derive_key(&self, password: &str) -> [u8; 32] {
+        let kek = derive_kek(password, &self.salt, self.kdf_iterations);
+        aes256_keyblob_decrypt(&kek, &self.encrypted_master_key)
+    }
+
+    /// Hidden-volume index for `password`:
+    /// `k = (PBKDF2(pwd ‖ salt) mod (n-1)) + 2` (§IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_volumes < 3`.
+    pub fn hidden_volume_index(&self, password: &str, num_volumes: u32) -> u32 {
+        assert!(num_volumes >= 3, "need at least 3 volumes");
+        let mut digest = [0u8; 8];
+        pbkdf2_hmac_sha256(
+            password.as_bytes(),
+            &self.salt,
+            self.kdf_iterations,
+            &mut digest,
+        );
+        let h = u64::from_le_bytes(digest);
+        ((h % (num_volumes as u64 - 1)) + 2) as u32
+    }
+
+    /// Serializes into a [`FOOTER_BYTES`]-sized buffer (zero-padded, like
+    /// the mostly-empty real footer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; FOOTER_BYTES];
+        out[..8].copy_from_slice(MAGIC);
+        out[8..24].copy_from_slice(&self.salt);
+        out[24..56].copy_from_slice(&self.encrypted_master_key);
+        out[56..60].copy_from_slice(&self.kdf_iterations.to_le_bytes());
+        out
+    }
+
+    /// Parses a footer region.
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::NotInitialized`] if the magic is absent or the
+    /// region is too short.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, MobiCealError> {
+        if data.len() < 60 {
+            return Err(MobiCealError::NotInitialized { detail: "footer too short".into() });
+        }
+        if &data[..8] != MAGIC {
+            return Err(MobiCealError::NotInitialized { detail: "no footer magic".into() });
+        }
+        let mut salt = [0u8; 16];
+        salt.copy_from_slice(&data[8..24]);
+        let mut encrypted_master_key = [0u8; 32];
+        encrypted_master_key.copy_from_slice(&data[24..56]);
+        let kdf_iterations = u32::from_le_bytes(data[56..60].try_into().unwrap());
+        if kdf_iterations == 0 {
+            return Err(MobiCealError::NotInitialized { detail: "zero kdf iterations".into() });
+        }
+        Ok(EncryptionFooter { salt, encrypted_master_key, kdf_iterations })
+    }
+}
+
+fn derive_kek(password: &str, salt: &[u8; 16], iterations: u32) -> [u8; 32] {
+    let mut kek = [0u8; 32];
+    pbkdf2_hmac_sha256(password.as_bytes(), salt, iterations, &mut kek);
+    kek
+}
+
+fn aes256_keyblob_encrypt(kek: &[u8; 32], key: &[u8; 32]) -> [u8; 32] {
+    let aes = Aes256::new(kek);
+    let mut out = [0u8; 32];
+    for (i, chunk) in key.chunks(16).enumerate() {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        aes.encrypt_block(&mut block);
+        out[i * 16..(i + 1) * 16].copy_from_slice(&block);
+    }
+    out
+}
+
+fn aes256_keyblob_decrypt(kek: &[u8; 32], blob: &[u8; 32]) -> [u8; 32] {
+    let aes = Aes256::new(kek);
+    let mut out = [0u8; 32];
+    for (i, chunk) in blob.chunks(16).enumerate() {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        aes.decrypt_block(&mut block);
+        out[i * 16..(i + 1) * 16].copy_from_slice(&block);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::from_u64_seed(11)
+    }
+
+    #[test]
+    fn decoy_password_recovers_master_key() {
+        let (footer, master) = EncryptionFooter::create(&mut rng(), "decoy", 16);
+        assert_eq!(footer.derive_key("decoy"), master);
+    }
+
+    #[test]
+    fn other_passwords_get_deterministic_distinct_keys() {
+        let (footer, master) = EncryptionFooter::create(&mut rng(), "decoy", 16);
+        let h1 = footer.derive_key("hidden-one");
+        let h2 = footer.derive_key("hidden-two");
+        assert_ne!(h1, master);
+        assert_ne!(h2, master);
+        assert_ne!(h1, h2);
+        assert_eq!(h1, footer.derive_key("hidden-one"), "derivation is deterministic");
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_size() {
+        let (footer, _) = EncryptionFooter::create(&mut rng(), "p", 16);
+        let bytes = footer.to_bytes();
+        assert_eq!(bytes.len(), FOOTER_BYTES);
+        assert_eq!(EncryptionFooter::from_bytes(&bytes).unwrap(), footer);
+    }
+
+    #[test]
+    fn from_bytes_rejects_uninitialized_region() {
+        assert!(EncryptionFooter::from_bytes(&[0u8; FOOTER_BYTES]).is_err());
+        assert!(EncryptionFooter::from_bytes(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn hidden_index_in_range_and_salt_dependent() {
+        let (footer, _) = EncryptionFooter::create(&mut rng(), "decoy", 16);
+        for n in [3u32, 6, 17] {
+            for pwd in ["a", "b", "c", "longer password!"] {
+                let k = footer.hidden_volume_index(pwd, n);
+                assert!((2..=n).contains(&k), "k={k} out of range for n={n}");
+            }
+        }
+        // A different salt moves the index for at least one of a few
+        // passwords (overwhelmingly likely).
+        let (footer2, _) = EncryptionFooter::create(&mut ChaCha20Rng::from_u64_seed(99), "decoy", 16);
+        let moved = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .any(|p| footer.hidden_volume_index(p, 16) != footer2.hidden_volume_index(p, 16));
+        assert!(moved);
+    }
+
+    #[test]
+    fn footer_mostly_zero_like_android() {
+        // Beyond the 60 metadata bytes the footer is zero padding, like the
+        // real 16 KiB crypto footer.
+        let (footer, _) = EncryptionFooter::create(&mut rng(), "p", 16);
+        let bytes = footer.to_bytes();
+        assert!(bytes[60..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn keyblob_roundtrip() {
+        let kek = [3u8; 32];
+        let key = [9u8; 32];
+        let blob = aes256_keyblob_encrypt(&kek, &key);
+        assert_ne!(blob, key);
+        assert_eq!(aes256_keyblob_decrypt(&kek, &blob), key);
+    }
+}

@@ -1,0 +1,211 @@
+//! Garbage collection of dummy-write space (§IV-D).
+//!
+//! Dummy data accumulates and would eventually fill the disk. MobiCeal
+//! reclaims it with two safeguards from the paper:
+//!
+//! 1. **Hidden-mode only**: only in hidden mode does the system know which
+//!    volumes are truly dummy, so hidden data is never collected. We model
+//!    this by requiring a verified hidden password.
+//! 2. **Random partial reclamation**: collecting *all* dummy space would
+//!    let the adversary identify hidden data as the randomness that
+//!    survives GC. Instead a random fraction is reclaimed — large with high
+//!    probability (we sample `p = f^{1/4}`, mean ≈ 0.8) — so surviving
+//!    noise remains plausible.
+
+use crate::device::MobiCeal;
+use crate::error::MobiCealError;
+use mobiceal_crypto::ChaCha20Rng;
+
+/// Outcome of one garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcReport {
+    /// Volumes examined (all non-public, non-hidden volumes).
+    pub dummy_volumes: u32,
+    /// Blocks mapped by those volumes before the pass.
+    pub blocks_before: u64,
+    /// Blocks reclaimed.
+    pub blocks_reclaimed: u64,
+    /// The sampled reclamation fraction.
+    pub fraction: f64,
+}
+
+impl MobiCeal {
+    /// Runs one GC pass. `hidden_passwords` must contain every hidden
+    /// password in use: the first is verified to prove hidden mode, and all
+    /// of them identify volumes that must never be collected.
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::NotInHiddenMode`] if no password verifies;
+    /// device errors from discards.
+    pub fn garbage_collect(
+        &self,
+        hidden_passwords: &[&str],
+        seed: u64,
+    ) -> Result<GcReport, MobiCealError> {
+        // Prove hidden mode: at least one hidden password must verify.
+        let mut protected = vec![1u32]; // the public volume
+        let mut any_verified = false;
+        for pwd in hidden_passwords {
+            match self.unlock_hidden(pwd) {
+                Ok(vol) => {
+                    protected.push(vol.volume_id());
+                    any_verified = true;
+                }
+                Err(MobiCealError::BadPassword) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        if !any_verified {
+            return Err(MobiCealError::NotInHiddenMode);
+        }
+
+        let mut rng = ChaCha20Rng::from_u64_seed(seed);
+        // Large-with-high-probability fraction: p = f^(1/4), f ~ U(0,1).
+        let fraction = rng.next_f64().powf(0.25);
+
+        let view = self.metadata_view();
+        let mut report = GcReport {
+            dummy_volumes: 0,
+            blocks_before: 0,
+            blocks_reclaimed: 0,
+            fraction,
+        };
+        for (&id, vol) in &view.volumes {
+            if protected.contains(&id) {
+                continue;
+            }
+            report.dummy_volumes += 1;
+            // Keep vblock 0 (the init-time noise header) so the uniform
+            // one-block footprint of §IV-C is preserved.
+            let candidates: Vec<u64> =
+                vol.mappings.keys().copied().filter(|&v| v != 0).collect();
+            report.blocks_before += candidates.len() as u64;
+            let reclaim_count = (candidates.len() as f64 * fraction).floor() as usize;
+            // Reclaim a uniformly random subset of that size.
+            let mut indices: Vec<u64> = candidates;
+            for i in (1..indices.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                indices.swap(i, j);
+            }
+            for &vblock in indices.iter().take(reclaim_count) {
+                self.pool().discard(id, vblock)?;
+                report.blocks_reclaimed += 1;
+            }
+        }
+        self.pool().commit()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::MobiCealConfig;
+    use crate::device::MobiCeal;
+    use crate::error::MobiCealError;
+    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    fn fast_config() -> MobiCealConfig {
+        MobiCealConfig {
+            num_volumes: 5,
+            pbkdf2_iterations: 4,
+            metadata_blocks: 64,
+            ..MobiCealConfig::default()
+        }
+    }
+
+    fn device_with_dummy_traffic(seed: u64) -> MobiCeal {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(8192, 4096, clock.clone()));
+        let mc = MobiCeal::initialize(
+            disk,
+            clock,
+            fast_config(),
+            "decoy",
+            &["hidden-a"],
+            seed,
+        )
+        .unwrap();
+        let public = mc.unlock_public("decoy").unwrap();
+        for i in 0..600 {
+            public.write_block(i, &vec![1u8; 4096]).unwrap();
+        }
+        mc
+    }
+
+    #[test]
+    fn gc_requires_a_hidden_password() {
+        let mc = device_with_dummy_traffic(1);
+        assert_eq!(
+            mc.garbage_collect(&["not-a-password"], 7).unwrap_err(),
+            MobiCealError::NotInHiddenMode
+        );
+        assert!(mc.garbage_collect(&["hidden-a"], 7).is_ok());
+    }
+
+    #[test]
+    fn gc_reclaims_a_partial_fraction() {
+        let mc = device_with_dummy_traffic(2);
+        let before = mc.metadata_view();
+        let dummy_before: u64 = before
+            .volumes
+            .keys()
+            .filter(|&&v| v != 1 && v != mc.volume_index_for("hidden-a"))
+            .map(|&v| before.mapped_blocks(v))
+            .sum();
+        let report = mc.garbage_collect(&["hidden-a"], 3).unwrap();
+        assert!(report.blocks_reclaimed > 0, "{report:?}");
+        assert!(
+            report.blocks_reclaimed < dummy_before,
+            "GC must never reclaim all dummy space: {report:?}"
+        );
+        assert!((0.0..=1.0).contains(&report.fraction));
+    }
+
+    #[test]
+    fn gc_never_touches_hidden_or_public_data() {
+        let mc = device_with_dummy_traffic(3);
+        let hidden = mc.unlock_hidden("hidden-a").unwrap();
+        for i in 0..50 {
+            hidden.write_block(i, &vec![0xDD; 4096]).unwrap();
+        }
+        let public = mc.unlock_public("decoy").unwrap();
+        mc.garbage_collect(&["hidden-a"], 4).unwrap();
+        for i in 0..50 {
+            assert_eq!(hidden.read_block(i).unwrap(), vec![0xDD; 4096], "hidden block {i}");
+        }
+        assert_eq!(public.read_block(0).unwrap(), vec![1u8; 4096]);
+    }
+
+    #[test]
+    fn gc_frees_pool_space() {
+        let mc = device_with_dummy_traffic(4);
+        let free_before = mc.free_blocks();
+        let report = mc.garbage_collect(&["hidden-a"], 5).unwrap();
+        assert_eq!(mc.free_blocks(), free_before + report.blocks_reclaimed);
+    }
+
+    #[test]
+    fn gc_preserves_uniform_header_footprint() {
+        let mc = device_with_dummy_traffic(5);
+        mc.garbage_collect(&["hidden-a"], 6).unwrap();
+        let view = mc.metadata_view();
+        for v in 2..=5 {
+            assert!(view.mapped_blocks(v) >= 1, "volume {v} lost its header block");
+        }
+    }
+
+    #[test]
+    fn repeated_gc_converges_without_emptying() {
+        let mc = device_with_dummy_traffic(6);
+        for round in 0..5 {
+            let _ = mc.garbage_collect(&["hidden-a"], 100 + round).unwrap();
+        }
+        let view = mc.metadata_view();
+        for v in 2..=5 {
+            assert!(view.mapped_blocks(v) >= 1, "volume {v} emptied after repeated GC");
+        }
+    }
+}

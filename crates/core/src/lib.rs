@@ -1,0 +1,82 @@
+//! MobiCeal: block-layer plausibly deniable encryption against
+//! multi-snapshot adversaries (Chang et al., DSN 2018).
+//!
+//! This crate is the paper's primary contribution, rebuilt in userspace
+//! Rust over the substrates in this workspace:
+//!
+//! * **Dummy writes** (§IV-B): when a public write allocates a fresh block,
+//!   a burst of `m ~ Exp(λ)` blocks of cryptographic noise is written — with
+//!   probability at most 50 %, gated by `rand ≤ stored_rand mod x` — into a
+//!   randomly chosen dummy volume. Snapshot-to-snapshot changes caused by
+//!   hidden data are therefore explainable as dummy traffic.
+//! * **Random allocation** (§IV-B, §V-A): the thin pool allocates every
+//!   block uniformly at random, destroying the spatial-locality signature
+//!   that would otherwise expose "public block followed by a run of hidden
+//!   blocks".
+//! * **Multi-level deniability** (§IV-C): `n` thin volumes; `V1` is public,
+//!   each hidden password selects `V_k` with
+//!   `k = (PBKDF2(pwd‖salt) mod (n-1)) + 2`, all remaining volumes are
+//!   dummy. Without a hidden password, hidden and dummy volumes are
+//!   indistinguishable.
+//! * **Encryption footer** (§IV-C, §V-B): the last 16 KiB stores the salt
+//!   and the decoy-password-encrypted master key. Decrypting that
+//!   ciphertext with a *hidden* password deterministically yields that
+//!   volume's hidden key, so no extra (observable) key material exists.
+//! * **Mode switching** (§IV-D): one-way fast switch from public to hidden
+//!   mode; hidden→public requires a reboot so RAM holds no residue. The
+//!   timing costs live in `mobiceal-android`.
+//! * **Dummy-space garbage collection** (§IV-D): reclaims a random fraction
+//!   of dummy blocks, only ever in hidden mode (so hidden blocks are never
+//!   victims).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mobiceal::{MobiCeal, MobiCealConfig};
+//! use mobiceal_blockdev::{BlockDevice, MemDisk};
+//! use mobiceal_sim::SimClock;
+//!
+//! let clock = SimClock::new();
+//! let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+//! let mc = MobiCeal::initialize(
+//!     disk.clone(),
+//!     clock,
+//!     MobiCealConfig::default(),
+//!     "decoy-password",
+//!     &["hidden-password"],
+//!     7,
+//! )?;
+//!
+//! // Daily use: the public volume. Dummy noise rides along automatically.
+//! let public = mc.unlock_public("decoy-password")?;
+//! public.write_block(0, &vec![1u8; 4096])?;
+//!
+//! // Emergency: fast-switch into the hidden volume.
+//! let hidden = mc.unlock_hidden("hidden-password")?;
+//! hidden.write_block(0, &vec![2u8; 4096])?;
+//!
+//! // Coercion: the decoy password decrypts the public volume; nothing
+//! // distinguishes the hidden volume from a dummy volume.
+//! assert!(mc.unlock_public("decoy-password").is_ok());
+//! assert!(mc.unlock_hidden("wrong-guess").is_err());
+//! # Ok::<(), mobiceal::MobiCealError>(())
+//! ```
+
+mod config;
+mod cover;
+mod device;
+mod dummy;
+mod error;
+mod footer;
+mod gc;
+mod pde_volume;
+
+pub use config::MobiCealConfig;
+pub use cover::CoverDiscipline;
+pub use device::{DeviceLayout, MobiCeal, UnlockedVolume, VolumeRole, THIN_READ_LOOKUP};
+pub use dummy::{DummyStats, DummyWriter};
+pub use error::MobiCealError;
+pub use footer::{EncryptionFooter, FOOTER_BYTES};
+pub use gc::GcReport;
+pub use pde_volume::PdeVolume;

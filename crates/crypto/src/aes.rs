@@ -1,0 +1,433 @@
+//! AES-128/192/256 (FIPS 197).
+//!
+//! The S-box and its inverse are *derived at compile time* from the GF(2^8)
+//! definition (multiplicative inverse + affine map) rather than transcribed,
+//! and the whole cipher is validated against the FIPS 197 example vectors in
+//! the tests. Performance is adequate for the simulation (timing in the
+//! experiments is charged to the virtual clock, not measured from this code).
+
+/// AES block size in bytes.
+pub const AES_BLOCK_SIZE: usize = 16;
+
+const fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+const fn gf_mul(a: u8, b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut x = a;
+    let mut y = b;
+    while y != 0 {
+        if y & 1 != 0 {
+            p ^= x;
+        }
+        x = xtime(x);
+        y >>= 1;
+    }
+    p
+}
+
+const fn gf_inv(a: u8) -> u8 {
+    // a^254 in GF(2^8) equals the multiplicative inverse (and 0 maps to 0).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+const fn rotl8(x: u8, n: u32) -> u8 {
+    x.rotate_left(n)
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = gf_inv(i as u8);
+        sbox[i] = b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63;
+        i += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const SBOX: [u8; 256] = build_sbox();
+const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// A block cipher operating on 16-byte blocks.
+///
+/// Implemented by [`Aes128`], [`Aes192`] and [`Aes256`]; sector modes
+/// ([`crate::CbcEssiv`], [`crate::Xts`]) are generic over it.
+pub trait BlockCipher: Send + Sync {
+    /// Encrypts one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+    /// Decrypts one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+    /// Key length in bytes (used by ESSIV to derive the IV key).
+    fn key_len(&self) -> usize;
+}
+
+/// Generic AES implementation parameterised by the number of rounds.
+#[derive(Debug, Clone)]
+struct AesCore {
+    round_keys: Vec<[u8; 16]>,
+    key_len: usize,
+}
+
+impl AesCore {
+    fn new(key: &[u8]) -> Self {
+        let nk = key.len() / 4;
+        let nr = nk + 6;
+        assert!(
+            matches!(key.len(), 16 | 24 | 32),
+            "AES key must be 16, 24 or 32 bytes"
+        );
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / nk - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            } else if nk > 6 && i % nk == 4 {
+                temp = [
+                    SBOX[temp[0] as usize],
+                    SBOX[temp[1] as usize],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                ];
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        AesCore { round_keys, key_len: key.len() }
+    }
+
+    fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    fn encrypt(&self, state: &mut [u8; 16]) {
+        add_round_key(state, &self.round_keys[0]);
+        for round in 1..self.rounds() {
+            sub_bytes(state);
+            shift_rows(state);
+            mix_columns(state);
+            add_round_key(state, &self.round_keys[round]);
+        }
+        sub_bytes(state);
+        shift_rows(state);
+        add_round_key(state, &self.round_keys[self.rounds()]);
+    }
+
+    fn decrypt(&self, state: &mut [u8; 16]) {
+        add_round_key(state, &self.round_keys[self.rounds()]);
+        for round in (1..self.rounds()).rev() {
+            inv_shift_rows(state);
+            inv_sub_bytes(state);
+            add_round_key(state, &self.round_keys[round]);
+            inv_mix_columns(state);
+        }
+        inv_shift_rows(state);
+        inv_sub_bytes(state);
+        add_round_key(state, &self.round_keys[0]);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State layout: state[r + 4c] is row r, column c (column-major, FIPS 197).
+fn shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[c] = state[r + 4 * ((c + r) % 4)];
+        }
+        for c in 0..4 {
+            state[r + 4 * c] = row[c];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[c] = state[r + 4 * ((c + 4 - r) % 4)];
+        }
+        for c in 0..4 {
+            state[r + 4 * c] = row[c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+macro_rules! aes_variant {
+    ($(#[$doc:meta])* $name:ident, $key_len:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: AesCore,
+        }
+
+        impl $name {
+            /// Expands `key` into round keys.
+            pub fn new(key: &[u8; $key_len]) -> Self {
+                $name { core: AesCore::new(key) }
+            }
+
+            /// Expands a key provided as a slice.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `key.len() !=` the variant's key length.
+            pub fn from_slice(key: &[u8]) -> Self {
+                assert_eq!(key.len(), $key_len, "wrong key length for {}", stringify!($name));
+                $name { core: AesCore::new(key) }
+            }
+        }
+
+        impl BlockCipher for $name {
+            fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+                self.core.encrypt(block);
+            }
+
+            fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+                self.core.decrypt(block);
+            }
+
+            fn key_len(&self) -> usize {
+                self.core.key_len
+            }
+        }
+    };
+}
+
+aes_variant!(
+    /// AES with a 128-bit key.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mobiceal_crypto::{Aes128, BlockCipher};
+    ///
+    /// let aes = Aes128::new(&[0u8; 16]);
+    /// let mut block = *b"sixteen byte msg";
+    /// let orig = block;
+    /// aes.encrypt_block(&mut block);
+    /// aes.decrypt_block(&mut block);
+    /// assert_eq!(block, orig);
+    /// ```
+    Aes128,
+    16
+);
+aes_variant!(
+    /// AES with a 192-bit key.
+    Aes192,
+    24
+);
+aes_variant!(
+    /// AES with a 256-bit key (the dm-crypt default in Android FDE).
+    Aes256,
+    32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{from_hex, to_hex};
+
+    #[test]
+    fn sbox_known_entries() {
+        // Spot-check against FIPS 197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    fn check_vector(key_hex: &str, pt_hex: &str, ct_hex: &str) {
+        let key = from_hex(key_hex).unwrap();
+        let pt = from_hex(pt_hex).unwrap();
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&pt);
+        let cipher: Box<dyn BlockCipher> = match key.len() {
+            16 => Box::new(Aes128::from_slice(&key)),
+            24 => Box::new(Aes192::from_slice(&key)),
+            32 => Box::new(Aes256::from_slice(&key)),
+            _ => unreachable!(),
+        };
+        cipher.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), ct_hex);
+        cipher.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), pt_hex);
+    }
+
+    #[test]
+    fn fips197_aes128_example() {
+        check_vector(
+            "000102030405060708090a0b0c0d0e0f",
+            "00112233445566778899aabbccddeeff",
+            "69c4e0d86a7b0430d8cdb78070b4c55a",
+        );
+    }
+
+    #[test]
+    fn fips197_aes192_example() {
+        check_vector(
+            "000102030405060708090a0b0c0d0e0f1011121314151617",
+            "00112233445566778899aabbccddeeff",
+            "dda97ca4864cdfe06eaf70a0ec0d7191",
+        );
+    }
+
+    #[test]
+    fn fips197_aes256_example() {
+        check_vector(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+            "00112233445566778899aabbccddeeff",
+            "8ea2b7ca516745bfeafc49904b496089",
+        );
+    }
+
+    #[test]
+    fn fips197_appendix_b_aes128() {
+        check_vector(
+            "2b7e151628aed2a6abf7158809cf4f3c",
+            "3243f6a8885a308d313198a2e0370734",
+            "3925841d02dc09fbdc118597196a0b32",
+        );
+    }
+
+    #[test]
+    fn roundtrip_random_blocks_all_variants() {
+        let mut x: u64 = 0x12345;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 24) as u8
+        };
+        for _ in 0..50 {
+            let mut key32 = [0u8; 32];
+            key32.iter_mut().for_each(|b| *b = next());
+            let mut block = [0u8; 16];
+            block.iter_mut().for_each(|b| *b = next());
+            let orig = block;
+            for cipher in [
+                Box::new(Aes128::from_slice(&key32[..16])) as Box<dyn BlockCipher>,
+                Box::new(Aes192::from_slice(&key32[..24])),
+                Box::new(Aes256::from_slice(&key32)),
+            ] {
+                let mut b = block;
+                cipher.encrypt_block(&mut b);
+                assert_ne!(b, orig);
+                cipher.decrypt_block(&mut b);
+                assert_eq!(b, orig);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong key length")]
+    fn from_slice_rejects_bad_length() {
+        let _ = Aes128::from_slice(&[0u8; 17]);
+    }
+
+    #[test]
+    fn key_len_reported() {
+        assert_eq!(Aes128::new(&[0; 16]).key_len(), 16);
+        assert_eq!(Aes192::new(&[0; 24]).key_len(), 24);
+        assert_eq!(Aes256::new(&[0; 32]).key_len(), 32);
+    }
+}

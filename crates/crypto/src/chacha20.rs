@@ -1,0 +1,327 @@
+//! ChaCha20 (RFC 8439) and a deterministic CSPRNG built on it.
+//!
+//! MobiCeal's dummy writes fill blocks with "random noise ... which should be
+//! indistinguishable from the encrypted data" (§IV-B). We generate that noise
+//! (and all keys/salts) from a ChaCha20-based DRBG: cryptographically strong,
+//! yet seedable so every experiment is reproducible.
+
+const CHACHA_CONST: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block (RFC 8439 §2.3).
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONST);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts/decrypts `data` in place with the ChaCha20 keystream starting at
+/// block `counter` (RFC 8439 §2.4).
+pub fn chacha20_xor(key: &[u8; 32], counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = chacha20_block(key, counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Deterministic CSPRNG: ChaCha20 keystream over an incrementing counter.
+///
+/// Used for every security-relevant random value in the reproduction —
+/// master keys, salts, dummy-write payloads, `stored_rand` refreshes — so
+/// that dummy noise is computationally indistinguishable from ciphertext
+/// (the requirement of §IV-A Q2) while experiments stay replayable.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_crypto::ChaCha20Rng;
+///
+/// let mut a = ChaCha20Rng::from_seed([1u8; 32]);
+/// let mut b = ChaCha20Rng::from_seed([1u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng {
+    key: [u8; 32],
+    nonce: [u8; 12],
+    counter: u32,
+    buf: [u8; 64],
+    buf_pos: usize,
+}
+
+impl ChaCha20Rng {
+    /// Creates a generator from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        ChaCha20Rng { key: seed, nonce: [0u8; 12], counter: 0, buf: [0u8; 64], buf_pos: 64 }
+    }
+
+    /// Creates a generator from a 64-bit seed (expanded via SHA-256).
+    pub fn from_u64_seed(seed: u64) -> Self {
+        let digest = crate::sha256::sha256(&seed.to_le_bytes());
+        Self::from_seed(digest)
+    }
+
+    /// Creates a generator seeded from the operating system
+    /// (`/dev/urandom`); falls back to a time-derived seed if unavailable.
+    pub fn from_os_entropy() -> Self {
+        let read_os = || -> std::io::Result<[u8; 32]> {
+            use std::io::Read;
+            let mut f = std::fs::File::open("/dev/urandom")?;
+            let mut b = [0u8; 32];
+            f.read_exact(&mut b)?;
+            Ok(b)
+        };
+        let seed = read_os().unwrap_or_else(|_| {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0xDEADBEEF);
+            crate::sha256::sha256(&t.to_le_bytes())
+        });
+        Self::from_seed(seed)
+    }
+
+    fn refill(&mut self) {
+        self.buf = chacha20_block(&self.key, self.counter, &self.nonce);
+        self.counter = self.counter.wrapping_add(1);
+        if self.counter == 0 {
+            // 256 GiB of output exhausted the counter: roll the nonce.
+            for b in self.nonce.iter_mut() {
+                *b = b.wrapping_add(1);
+                if *b != 0 {
+                    break;
+                }
+            }
+        }
+        self.buf_pos = 0;
+    }
+
+    /// Fills `out` with random bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut written = 0;
+        while written < out.len() {
+            if self.buf_pos == 64 {
+                self.refill();
+            }
+            let take = (64 - self.buf_pos).min(out.len() - written);
+            out[written..written + take]
+                .copy_from_slice(&self.buf[self.buf_pos..self.buf_pos + take]);
+            self.buf_pos += take;
+            written += take;
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fresh 32-byte key/seed.
+    pub fn gen_key(&mut self) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        self.fill_bytes(&mut k);
+        k
+    }
+
+    /// A fresh 16-byte value (salt, IV).
+    pub fn gen_nonce16(&mut self) -> [u8; 16] {
+        let mut n = [0u8; 16];
+        self.fill_bytes(&mut n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_hex;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            to_hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            to_hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Round-trip.
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn rng_determinism() {
+        let mut a = ChaCha20Rng::from_u64_seed(77);
+        let mut b = ChaCha20Rng::from_u64_seed(77);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_different_seeds_diverge() {
+        let mut a = ChaCha20Rng::from_u64_seed(1);
+        let mut b = ChaCha20Rng::from_u64_seed(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rng_fill_spans_block_boundaries() {
+        let mut a = ChaCha20Rng::from_u64_seed(9);
+        let mut big = vec![0u8; 300];
+        a.fill_bytes(&mut big);
+        let mut b = ChaCha20Rng::from_u64_seed(9);
+        let mut pieces = vec![0u8; 300];
+        let (x, rest) = pieces.split_at_mut(61);
+        let (y, z) = rest.split_at_mut(130);
+        b.fill_bytes(x);
+        b.fill_bytes(y);
+        b.fill_bytes(z);
+        assert_eq!(big, pieces);
+    }
+
+    #[test]
+    fn rng_next_below_bounds() {
+        let mut rng = ChaCha20Rng::from_u64_seed(5);
+        for bound in [1u64, 2, 10, 1000] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_bytes_look_uniform() {
+        // Chi-square-lite: byte histogram of 64 KiB should have no empty or
+        // wildly overfull bucket.
+        let mut rng = ChaCha20Rng::from_u64_seed(1234);
+        let mut buf = vec![0u8; 65536];
+        rng.fill_bytes(&mut buf);
+        let mut hist = [0u32; 256];
+        for &b in &buf {
+            hist[b as usize] += 1;
+        }
+        let expected = 65536.0 / 256.0;
+        for (i, &h) in hist.iter().enumerate() {
+            assert!(
+                (h as f64) > expected * 0.5 && (h as f64) < expected * 1.5,
+                "bucket {i} count {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn os_entropy_rng_works() {
+        let mut rng = ChaCha20Rng::from_os_entropy();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,295 @@
+//! Sector encryption modes: CBC-ESSIV and XTS.
+//!
+//! `dm-crypt` encrypts each 512-byte (or 4096-byte) sector independently so
+//! that random block I/O stays random. Android 4.2's FDE used
+//! `aes-cbc-essiv:sha256`; modern deployments use `aes-xts-plain64`. Both are
+//! provided so the reproduction can model either stack.
+
+use crate::aes::{BlockCipher, AES_BLOCK_SIZE};
+use crate::sha256::sha256;
+
+/// A length-preserving cipher over whole device sectors, keyed by sector
+/// number. This is the interface `mobiceal-dm`'s crypt target consumes.
+pub trait SectorCipher: Send + Sync {
+    /// Encrypts `sector_data`, whose position on the device is `sector_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not a positive multiple of 16.
+    fn encrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8>;
+
+    /// Inverse of [`SectorCipher::encrypt_sector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not a positive multiple of 16.
+    fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8>;
+}
+
+fn check_len(len: usize) {
+    assert!(len > 0 && len.is_multiple_of(AES_BLOCK_SIZE), "sector length {len} not a multiple of 16");
+}
+
+/// CBC with Encrypted Salt-Sector IV (the `aes-cbc-essiv:sha256` dm-crypt
+/// mode used by Android 4.2 FDE, §II-A).
+///
+/// The per-sector IV is `E_{SHA256(key)}(sector_index_le)`, which hides
+/// sector-number structure from the ciphertext.
+pub struct CbcEssiv<C: BlockCipher> {
+    data_cipher: C,
+    iv_cipher: crate::aes::Aes256,
+}
+
+impl<C: BlockCipher> CbcEssiv<C> {
+    /// Wraps `data_cipher`; the ESSIV key is SHA-256 of an encoding of the
+    /// data key's identity. Because the trait does not expose raw key bytes,
+    /// callers that need exact dm-crypt compatibility should construct via
+    /// [`CbcEssiv::with_essiv_key`]; for the simulation the derived variant
+    /// is sufficient and still gives each instance a distinct IV key.
+    pub fn new(data_cipher: C) -> Self {
+        // Derive an ESSIV key by encrypting two known blocks with the data
+        // cipher and hashing the result: a keyed fingerprint of the data key.
+        let mut b0 = [0u8; 16];
+        let mut b1 = [0xffu8; 16];
+        data_cipher.encrypt_block(&mut b0);
+        data_cipher.encrypt_block(&mut b1);
+        let mut seed = Vec::with_capacity(32);
+        seed.extend_from_slice(&b0);
+        seed.extend_from_slice(&b1);
+        let essiv_key = sha256(&seed);
+        CbcEssiv { data_cipher, iv_cipher: crate::aes::Aes256::new(&essiv_key) }
+    }
+
+    /// Wraps `data_cipher` with an explicit ESSIV key (`SHA256(data_key)` in
+    /// real dm-crypt).
+    pub fn with_essiv_key(data_cipher: C, essiv_key: &[u8; 32]) -> Self {
+        CbcEssiv { data_cipher, iv_cipher: crate::aes::Aes256::new(essiv_key) }
+    }
+
+    fn iv_for(&self, sector_index: u64) -> [u8; 16] {
+        let mut iv = [0u8; 16];
+        iv[..8].copy_from_slice(&sector_index.to_le_bytes());
+        self.iv_cipher.encrypt_block(&mut iv);
+        iv
+    }
+}
+
+impl<C: BlockCipher> SectorCipher for CbcEssiv<C> {
+    fn encrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
+        check_len(sector_data.len());
+        let mut out = sector_data.to_vec();
+        let mut prev = self.iv_for(sector_index);
+        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
+            let mut block = [0u8; AES_BLOCK_SIZE];
+            block.copy_from_slice(chunk);
+            for i in 0..AES_BLOCK_SIZE {
+                block[i] ^= prev[i];
+            }
+            self.data_cipher.encrypt_block(&mut block);
+            chunk.copy_from_slice(&block);
+            prev = block;
+        }
+        out
+    }
+
+    fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
+        check_len(sector_data.len());
+        let mut out = sector_data.to_vec();
+        let mut prev = self.iv_for(sector_index);
+        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
+            let mut block = [0u8; AES_BLOCK_SIZE];
+            block.copy_from_slice(chunk);
+            let ct = block;
+            self.data_cipher.decrypt_block(&mut block);
+            for i in 0..AES_BLOCK_SIZE {
+                block[i] ^= prev[i];
+            }
+            chunk.copy_from_slice(&block);
+            prev = ct;
+        }
+        out
+    }
+}
+
+impl<C: BlockCipher> std::fmt::Debug for CbcEssiv<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CbcEssiv").finish_non_exhaustive()
+    }
+}
+
+/// XTS mode (IEEE 1619-2007), the `aes-xts-plain64` dm-crypt mode.
+///
+/// Uses two independent keys: one for data, one for the tweak.
+pub struct Xts<C: BlockCipher> {
+    data_cipher: C,
+    tweak_cipher: C,
+}
+
+impl<C: BlockCipher> Xts<C> {
+    /// Creates an XTS cipher from the data-key cipher and tweak-key cipher.
+    pub fn new(data_cipher: C, tweak_cipher: C) -> Self {
+        Xts { data_cipher, tweak_cipher }
+    }
+
+    fn initial_tweak(&self, sector_index: u64) -> [u8; 16] {
+        let mut t = [0u8; 16];
+        t[..8].copy_from_slice(&sector_index.to_le_bytes());
+        self.tweak_cipher.encrypt_block(&mut t);
+        t
+    }
+
+    fn gf_double(t: &mut [u8; 16]) {
+        let mut carry = 0u8;
+        for b in t.iter_mut() {
+            let new_carry = *b >> 7;
+            *b = (*b << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            t[0] ^= 0x87;
+        }
+    }
+
+    fn process(&self, sector_index: u64, data: &[u8], encrypt: bool) -> Vec<u8> {
+        check_len(data.len());
+        let mut out = data.to_vec();
+        let mut tweak = self.initial_tweak(sector_index);
+        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
+            let mut block = [0u8; AES_BLOCK_SIZE];
+            block.copy_from_slice(chunk);
+            for i in 0..AES_BLOCK_SIZE {
+                block[i] ^= tweak[i];
+            }
+            if encrypt {
+                self.data_cipher.encrypt_block(&mut block);
+            } else {
+                self.data_cipher.decrypt_block(&mut block);
+            }
+            for i in 0..AES_BLOCK_SIZE {
+                block[i] ^= tweak[i];
+            }
+            chunk.copy_from_slice(&block);
+            Self::gf_double(&mut tweak);
+        }
+        out
+    }
+}
+
+impl<C: BlockCipher> SectorCipher for Xts<C> {
+    fn encrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
+        self.process(sector_index, sector_data, true)
+    }
+
+    fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
+        self.process(sector_index, sector_data, false)
+    }
+}
+
+impl<C: BlockCipher> std::fmt::Debug for Xts<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Xts").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Aes128, Aes256};
+    use crate::util::{from_hex, to_hex};
+
+    #[test]
+    fn xts_ieee1619_vector_1() {
+        // IEEE 1619 Vector 1: all-zero keys, sector 0, 32 zero bytes.
+        let key1 = [0u8; 16];
+        let key2 = [0u8; 16];
+        let xts = Xts::new(Aes128::new(&key1), Aes128::new(&key2));
+        let pt = [0u8; 32];
+        let ct = xts.encrypt_sector(0, &pt);
+        assert_eq!(
+            to_hex(&ct),
+            "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e"
+        );
+        assert_eq!(xts.decrypt_sector(0, &ct), pt);
+    }
+
+    #[test]
+    fn xts_ieee1619_vector_2() {
+        // IEEE 1619 Vector 2: key1=0x11.., key2=0x22.., sector 0x3333333333,
+        // PT = 32 bytes of 0x44.
+        let key1 = [0x11u8; 16];
+        let key2 = [0x22u8; 16];
+        let xts = Xts::new(Aes128::new(&key1), Aes128::new(&key2));
+        let pt = [0x44u8; 32];
+        let ct = xts.encrypt_sector(0x3333333333, &pt);
+        assert_eq!(
+            to_hex(&ct),
+            "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0"
+        );
+        assert_eq!(xts.decrypt_sector(0x3333333333, &ct), pt);
+    }
+
+    #[test]
+    fn xts_full_sector_roundtrip() {
+        let xts = Xts::new(Aes256::new(&[3u8; 32]), Aes256::new(&[9u8; 32]));
+        let pt: Vec<u8> = (0..512).map(|i| (i % 256) as u8).collect();
+        let ct = xts.encrypt_sector(1234, &pt);
+        assert_ne!(ct, pt);
+        assert_eq!(xts.decrypt_sector(1234, &ct), pt);
+        // Different sector => different ciphertext.
+        assert_ne!(xts.encrypt_sector(1235, &pt), ct);
+    }
+
+    #[test]
+    fn essiv_roundtrip_and_sector_dependence() {
+        let c = CbcEssiv::new(Aes256::new(&[5u8; 32]));
+        let pt: Vec<u8> = (0..4096).map(|i| (i * 7 % 256) as u8).collect();
+        let ct0 = c.encrypt_sector(0, &pt);
+        let ct1 = c.encrypt_sector(1, &pt);
+        assert_ne!(ct0, pt);
+        assert_ne!(ct0, ct1, "IV must depend on sector number");
+        assert_eq!(c.decrypt_sector(0, &ct0), pt);
+        assert_eq!(c.decrypt_sector(1, &ct1), pt);
+    }
+
+    #[test]
+    fn essiv_wrong_sector_fails_to_decrypt() {
+        let c = CbcEssiv::new(Aes256::new(&[5u8; 32]));
+        let pt = vec![0u8; 64];
+        let ct = c.encrypt_sector(7, &pt);
+        assert_ne!(c.decrypt_sector(8, &ct), pt);
+    }
+
+    #[test]
+    fn essiv_explicit_key_matches_dm_crypt_shape() {
+        let data_key = from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+            .unwrap();
+        let essiv_key = crate::sha256::sha256(&data_key);
+        let c = CbcEssiv::with_essiv_key(Aes256::from_slice(&data_key), &essiv_key);
+        let pt = vec![0xABu8; 512];
+        let ct = c.encrypt_sector(42, &pt);
+        assert_eq!(c.decrypt_sector(42, &ct), pt);
+    }
+
+    #[test]
+    fn ciphertext_is_length_preserving() {
+        let c = CbcEssiv::new(Aes128::new(&[1u8; 16]));
+        for len in [16usize, 512, 4096] {
+            assert_eq!(c.encrypt_sector(0, &vec![0u8; len]).len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_unaligned_sector() {
+        let c = CbcEssiv::new(Aes128::new(&[1u8; 16]));
+        let _ = c.encrypt_sector(0, &[0u8; 15]);
+    }
+
+    #[test]
+    fn two_instances_same_key_agree() {
+        let a = CbcEssiv::new(Aes256::new(&[8u8; 32]));
+        let b = CbcEssiv::new(Aes256::new(&[8u8; 32]));
+        let pt = vec![1u8; 64];
+        assert_eq!(a.encrypt_sector(3, &pt), b.encrypt_sector(3, &pt));
+    }
+}

@@ -1,0 +1,137 @@
+//! PBKDF2-HMAC-SHA256 (RFC 8018 / PKCS #5 v2.0).
+//!
+//! Android FDE derives the disk-encryption key-encryption-key from the user
+//! password with PBKDF2 (§II-A of the paper); MobiCeal additionally derives
+//! the hidden-volume index `k = (H(pwd||salt) mod (n-1)) + 2` from the same
+//! primitive (§IV-C).
+
+use crate::hmac::HmacSha256;
+use crate::sha256::SHA256_OUTPUT_LEN;
+
+/// Derives `out.len()` bytes from `password` and `salt` with `iterations`
+/// rounds of PBKDF2-HMAC-SHA256.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0` or `out` is empty.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_crypto::pbkdf2_hmac_sha256;
+///
+/// let mut key = [0u8; 32];
+/// pbkdf2_hmac_sha256(b"password", b"salt", 4096, &mut key);
+/// assert_ne!(key, [0u8; 32]);
+/// ```
+pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
+    assert!(iterations > 0, "iterations must be positive");
+    assert!(!out.is_empty(), "output must be non-empty");
+    for (i, chunk) in out.chunks_mut(SHA256_OUTPUT_LEN).enumerate() {
+        let block_index = i as u32 + 1;
+        let mut mac = HmacSha256::new(password);
+        mac.update(salt);
+        mac.update(&block_index.to_be_bytes());
+        let mut u = mac.finalize();
+        let mut acc = u;
+        for _ in 1..iterations {
+            let mut mac = HmacSha256::new(password);
+            mac.update(&u);
+            u = mac.finalize();
+            for (a, b) in acc.iter_mut().zip(u.iter()) {
+                *a ^= b;
+            }
+        }
+        chunk.copy_from_slice(&acc[..chunk.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::to_hex;
+
+    // PBKDF2-HMAC-SHA256 vectors from RFC 7914 §11 and the widely used
+    // Josefsson test set.
+    #[test]
+    fn one_iteration() {
+        let mut out = [0u8; 32];
+        pbkdf2_hmac_sha256(b"password", b"salt", 1, &mut out);
+        assert_eq!(
+            to_hex(&out),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"
+        );
+    }
+
+    #[test]
+    fn two_iterations() {
+        let mut out = [0u8; 32];
+        pbkdf2_hmac_sha256(b"password", b"salt", 2, &mut out);
+        assert_eq!(
+            to_hex(&out),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43"
+        );
+    }
+
+    #[test]
+    fn many_iterations() {
+        let mut out = [0u8; 32];
+        pbkdf2_hmac_sha256(b"password", b"salt", 4096, &mut out);
+        assert_eq!(
+            to_hex(&out),
+            "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"
+        );
+    }
+
+    #[test]
+    fn long_derived_key_multiple_blocks() {
+        let mut out = [0u8; 40];
+        pbkdf2_hmac_sha256(
+            b"passwordPASSWORDpassword",
+            b"saltSALTsaltSALTsaltSALTsaltSALTsalt",
+            4096,
+            &mut out,
+        );
+        assert_eq!(
+            to_hex(&out),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1c635518c7dac47e9"
+        );
+    }
+
+    #[test]
+    fn rfc7914_scrypt_appendix_vector() {
+        let mut out = [0u8; 64];
+        pbkdf2_hmac_sha256(b"passwd", b"salt", 1, &mut out);
+        assert_eq!(
+            to_hex(&out),
+            "55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc\
+             49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"
+        );
+    }
+
+    #[test]
+    fn different_salts_give_different_keys() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        pbkdf2_hmac_sha256(b"pwd", b"salt-a", 10, &mut a);
+        pbkdf2_hmac_sha256(b"pwd", b"salt-b", 10, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prefix_consistency_across_lengths() {
+        // dkLen=16 must be a prefix of dkLen=32 for the same inputs.
+        let mut short = [0u8; 16];
+        let mut long = [0u8; 32];
+        pbkdf2_hmac_sha256(b"pwd", b"salt", 3, &mut short);
+        pbkdf2_hmac_sha256(b"pwd", b"salt", 3, &mut long);
+        assert_eq!(short, long[..16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations")]
+    fn zero_iterations_panics() {
+        let mut out = [0u8; 16];
+        pbkdf2_hmac_sha256(b"p", b"s", 0, &mut out);
+    }
+}

@@ -1,0 +1,109 @@
+//! Hex helpers and constant-time comparison.
+
+use std::fmt;
+
+/// Error returned by [`from_hex`] for malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHexError {
+    offset: usize,
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hex input at byte offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mobiceal_crypto::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decodes a hex string (whitespace ignored).
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if a non-hex character is found or the digit
+/// count is odd.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut hi: Option<u8> = None;
+    for (offset, c) in s.char_indices() {
+        if c.is_whitespace() {
+            continue;
+        }
+        let d = c.to_digit(16).ok_or(ParseHexError { offset })? as u8;
+        match hi.take() {
+            None => hi = Some(d),
+            Some(h) => out.push((h << 4) | d),
+        }
+    }
+    if hi.is_some() {
+        return Err(ParseHexError { offset: s.len() });
+    }
+    Ok(out)
+}
+
+/// Constant-time equality for secrets (password hashes, key check values).
+///
+/// Runs in time dependent only on the lengths, not the contents.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_ignores_whitespace() {
+        assert_eq!(from_hex("de ad\nbe ef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn hex_rejects_bad_chars() {
+        assert!(from_hex("zz").is_err());
+        let err = from_hex("0g").unwrap_err();
+        assert_eq!(err, ParseHexError { offset: 1 });
+        assert!(err.to_string().contains("offset 1"));
+    }
+
+    #[test]
+    fn hex_rejects_odd_length() {
+        assert!(from_hex("abc").is_err());
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"diff"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the cryptographic primitives.
+
+use mobiceal_crypto::{
+    chacha20_xor, from_hex, hmac_sha256, pbkdf2_hmac_sha256, sha256, to_hex, Aes128, Aes192,
+    Aes256, BlockCipher, CbcEssiv, ChaCha20Rng, HmacSha256, SectorCipher, Sha256, Xts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aes_roundtrip_all_key_sizes(key in prop::array::uniform32(any::<u8>()),
+                                   block in prop::array::uniform16(any::<u8>())) {
+        for cipher in [
+            Box::new(Aes128::from_slice(&key[..16])) as Box<dyn BlockCipher>,
+            Box::new(Aes192::from_slice(&key[..24])),
+            Box::new(Aes256::from_slice(&key)),
+        ] {
+            let mut b = block;
+            cipher.encrypt_block(&mut b);
+            prop_assert_ne!(b, block, "16-byte fixed point is astronomically unlikely");
+            cipher.decrypt_block(&mut b);
+            prop_assert_eq!(b, block);
+        }
+    }
+
+    #[test]
+    fn essiv_roundtrip_arbitrary_sectors(
+        key in prop::array::uniform32(any::<u8>()),
+        sector in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Pad to a 16-byte multiple as the mode requires.
+        let mut plain = data;
+        while plain.len() % 16 != 0 {
+            plain.push(0);
+        }
+        let cipher = CbcEssiv::with_essiv_key(Aes256::new(&key), &sha256(&key));
+        let ct = cipher.encrypt_sector(sector, &plain);
+        prop_assert_eq!(ct.len(), plain.len());
+        prop_assert_ne!(&ct, &plain);
+        prop_assert_eq!(cipher.decrypt_sector(sector, &ct), plain);
+    }
+
+    #[test]
+    fn xts_roundtrip_and_sector_separation(
+        key in prop::array::uniform32(any::<u8>()),
+        tweak_key in prop::array::uniform32(any::<u8>()),
+        sector in any::<u64>(),
+    ) {
+        let xts = Xts::new(Aes256::new(&key), Aes256::new(&tweak_key));
+        let plain = vec![0x5Au8; 512];
+        let ct = xts.encrypt_sector(sector, &plain);
+        prop_assert_eq!(xts.decrypt_sector(sector, &ct), plain.clone());
+        let ct2 = xts.encrypt_sector(sector.wrapping_add(1), &plain);
+        prop_assert_ne!(ct, ct2, "adjacent sectors must differ");
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..500),
+        split in 0usize..500,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hmac_incremental_equals_oneshot(
+        key in prop::collection::vec(any::<u8>(), 0..100),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(data.len());
+        let mut mac = HmacSha256::new(&key);
+        mac.update(&data[..split]);
+        mac.update(&data[split..]);
+        prop_assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
+    }
+
+    #[test]
+    fn pbkdf2_prefix_property(
+        pwd in prop::collection::vec(any::<u8>(), 1..32),
+        salt in prop::collection::vec(any::<u8>(), 1..32),
+        iters in 1u32..8,
+    ) {
+        let mut short = [0u8; 16];
+        let mut long = [0u8; 48];
+        pbkdf2_hmac_sha256(&pwd, &salt, iters, &mut short);
+        pbkdf2_hmac_sha256(&pwd, &salt, iters, &mut long);
+        prop_assert_eq!(&short[..], &long[..16]);
+    }
+
+    #[test]
+    fn chacha20_xor_is_an_involution(
+        key in prop::array::uniform32(any::<u8>()),
+        counter in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let nonce = [7u8; 12];
+        let mut buf = data.clone();
+        chacha20_xor(&key, counter, &nonce, &mut buf);
+        if !data.is_empty() {
+            prop_assert_ne!(&buf, &data);
+        }
+        chacha20_xor(&key, counter, &nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn chacha_rng_streams_are_split_invariant(
+        seed in any::<u64>(),
+        splits in prop::collection::vec(1usize..50, 1..6),
+    ) {
+        let total: usize = splits.iter().sum();
+        let mut whole = vec![0u8; total];
+        ChaCha20Rng::from_u64_seed(seed).fill_bytes(&mut whole);
+        let mut pieces = Vec::new();
+        let mut rng = ChaCha20Rng::from_u64_seed(seed);
+        for &s in &splits {
+            let mut buf = vec![0u8; s];
+            rng.fill_bytes(&mut buf);
+            pieces.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(pieces, whole);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        prop_assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn different_keys_never_collide_on_sector(
+        k1 in prop::array::uniform32(any::<u8>()),
+        k2 in prop::array::uniform32(any::<u8>()),
+    ) {
+        prop_assume!(k1 != k2);
+        let c1 = CbcEssiv::with_essiv_key(Aes256::new(&k1), &sha256(&k1));
+        let c2 = CbcEssiv::with_essiv_key(Aes256::new(&k2), &sha256(&k2));
+        let plain = vec![0u8; 64];
+        prop_assert_ne!(c1.encrypt_sector(0, &plain), c2.encrypt_sector(0, &plain));
+    }
+}

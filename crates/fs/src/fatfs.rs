@@ -1,0 +1,538 @@
+//! [`FatFs`]: a FAT-like file system with strictly sequential allocation.
+//!
+//! Models the FAT32-class file systems that the original hidden-volume PDE
+//! technique targeted (Mobiflage, §VII-A of the paper): cluster chains in a
+//! file allocation table, and allocation that always takes the **lowest**
+//! free cluster, so data fills the disk front-to-back. On a hidden-volume
+//! design this is what keeps the public volume away from the hidden tail of
+//! the disk — and on MobiCeal it is just another workload whose locality the
+//! random allocator hides.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! block 0        superblock
+//! blocks 1..     FAT (one u32 entry per data cluster)
+//! blocks ..      root directory table (fixed entry count)
+//! blocks ..      data clusters
+//! ```
+
+use crate::fs_trait::{FileSystem, FsError};
+use mobiceal_blockdev::SharedDevice;
+
+const MAGIC: &[u8; 8] = b"FATSIM01";
+const NAME_MAX: usize = 27;
+const DIRENT_SIZE: usize = 40;
+/// FAT entry marking a free cluster.
+const FAT_FREE: u32 = 0;
+/// FAT entry terminating a chain.
+const FAT_EOC: u32 = u32::MAX;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DirEntry {
+    used: bool,
+    name: String,
+    size: u64,
+    first_cluster: u32,
+}
+
+impl DirEntry {
+    fn empty() -> Self {
+        DirEntry { used: false, name: String::new(), size: 0, first_cluster: 0 }
+    }
+
+    // Layout: [0]=used [1]=name_len [2..30]=name [30..34]=first_cluster
+    // [34..40]=size (48-bit).
+    fn encode(&self, out: &mut [u8]) {
+        out.fill(0);
+        out[0] = self.used as u8;
+        let name = self.name.as_bytes();
+        out[1] = name.len() as u8;
+        out[2..2 + name.len()].copy_from_slice(name);
+        out[30..34].copy_from_slice(&self.first_cluster.to_le_bytes());
+        out[34..40].copy_from_slice(&self.size.to_le_bytes()[..6]);
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, FsError> {
+        let bad = |d: &str| FsError::NotFormatted { detail: d.into() };
+        if data.len() < DIRENT_SIZE {
+            return Err(bad("short dirent"));
+        }
+        let used = data[0] == 1;
+        let name_len = data[1] as usize;
+        if name_len > NAME_MAX {
+            return Err(bad("bad dirent name length"));
+        }
+        let name = String::from_utf8(data[2..2 + name_len].to_vec())
+            .map_err(|_| bad("non-utf8 dirent name"))?;
+        let first_cluster = u32::from_le_bytes(data[30..34].try_into().unwrap());
+        let mut size_bytes = [0u8; 8];
+        size_bytes[..6].copy_from_slice(&data[34..40]);
+        let size = u64::from_le_bytes(size_bytes);
+        Ok(DirEntry { used, name, size, first_cluster })
+    }
+}
+
+/// A FAT-like file system over any block device. See the module docs.
+pub struct FatFs {
+    dev: SharedDevice,
+    block_size: usize,
+    total_blocks: u64,
+    fat_start: u64,
+    fat_blocks: u32,
+    dir_start: u64,
+    dir_blocks: u32,
+    data_start: u64,
+    /// Cluster `c` occupies device block `data_start + c - 1`
+    /// (cluster numbers start at 1; 0 means "none").
+    cluster_count: u32,
+    fat: Vec<u32>,
+    dir: Vec<DirEntry>,
+    meta_dirty: bool,
+}
+
+impl std::fmt::Debug for FatFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FatFs")
+            .field("total_blocks", &self.total_blocks)
+            .field("cluster_count", &self.cluster_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FatFs {
+    /// Formats `dev` with an empty FAT file system (128 root entries).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is too small or on device errors.
+    pub fn format(dev: SharedDevice) -> Result<Self, FsError> {
+        Self::format_with_entries(dev, 128)
+    }
+
+    /// Formats with a custom root-directory capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is too small or on device errors.
+    pub fn format_with_entries(dev: SharedDevice, dir_entries: u32) -> Result<Self, FsError> {
+        let block_size = dev.block_size();
+        if block_size < 512 {
+            return Err(FsError::NotFormatted { detail: "block size below 512".into() });
+        }
+        let total_blocks = dev.num_blocks();
+        // Estimate cluster count ignoring metadata, then iterate once.
+        let mut cluster_count = total_blocks.saturating_sub(1) as u32;
+        for _ in 0..4 {
+            let fat_blocks =
+                ((cluster_count as u64 + 1) * 4).div_ceil(block_size as u64) as u32;
+            let dir_blocks =
+                (dir_entries as u64 * DIRENT_SIZE as u64).div_ceil(block_size as u64) as u32;
+            let data_start = 1 + fat_blocks as u64 + dir_blocks as u64;
+            if data_start >= total_blocks {
+                return Err(FsError::NotFormatted { detail: "device too small".into() });
+            }
+            cluster_count = (total_blocks - data_start) as u32;
+        }
+        let fat_blocks = ((cluster_count as u64 + 1) * 4).div_ceil(block_size as u64) as u32;
+        let dir_blocks =
+            (dir_entries as u64 * DIRENT_SIZE as u64).div_ceil(block_size as u64) as u32;
+        let fat_start = 1;
+        let dir_start = fat_start + fat_blocks as u64;
+        let data_start = dir_start + dir_blocks as u64;
+        let mut fs = FatFs {
+            dev,
+            block_size,
+            total_blocks,
+            fat_start,
+            fat_blocks,
+            dir_start,
+            dir_blocks,
+            data_start,
+            cluster_count,
+            fat: vec![FAT_FREE; cluster_count as usize + 1],
+            dir: vec![DirEntry::empty(); dir_entries as usize],
+            meta_dirty: true,
+        };
+        fs.sync()?;
+        Ok(fs)
+    }
+
+    /// Mounts an existing FAT file system.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFormatted`] on a bad superblock, or device errors.
+    pub fn mount(dev: SharedDevice) -> Result<Self, FsError> {
+        let bad = |d: &str| FsError::NotFormatted { detail: d.into() };
+        let sb = dev.read_block(0)?;
+        if &sb[..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let block_size = u32::from_le_bytes(sb[8..12].try_into().unwrap()) as usize;
+        if block_size != dev.block_size() {
+            return Err(bad("block size mismatch"));
+        }
+        let total_blocks = u64::from_le_bytes(sb[12..20].try_into().unwrap());
+        if total_blocks != dev.num_blocks() {
+            return Err(bad("geometry mismatch"));
+        }
+        let cluster_count = u32::from_le_bytes(sb[20..24].try_into().unwrap());
+        let fat_start = u64::from_le_bytes(sb[24..32].try_into().unwrap());
+        let fat_blocks = u32::from_le_bytes(sb[32..36].try_into().unwrap());
+        let dir_start = u64::from_le_bytes(sb[36..44].try_into().unwrap());
+        let dir_blocks = u32::from_le_bytes(sb[44..48].try_into().unwrap());
+        let data_start = u64::from_le_bytes(sb[48..56].try_into().unwrap());
+        let dir_entries = u32::from_le_bytes(sb[56..60].try_into().unwrap());
+        if data_start > total_blocks || data_start + cluster_count as u64 > total_blocks + 1 {
+            return Err(bad("bad geometry"));
+        }
+        // FAT.
+        let mut fat_bytes = Vec::with_capacity(fat_blocks as usize * block_size);
+        for i in 0..fat_blocks as u64 {
+            fat_bytes.extend_from_slice(&dev.read_block(fat_start + i)?);
+        }
+        let mut fat = Vec::with_capacity(cluster_count as usize + 1);
+        for i in 0..=cluster_count as usize {
+            fat.push(u32::from_le_bytes(fat_bytes[i * 4..i * 4 + 4].try_into().unwrap()));
+        }
+        // Directory.
+        let mut dir_bytes = Vec::with_capacity(dir_blocks as usize * block_size);
+        for i in 0..dir_blocks as u64 {
+            dir_bytes.extend_from_slice(&dev.read_block(dir_start + i)?);
+        }
+        let mut dir = Vec::with_capacity(dir_entries as usize);
+        for i in 0..dir_entries as usize {
+            dir.push(DirEntry::decode(&dir_bytes[i * DIRENT_SIZE..(i + 1) * DIRENT_SIZE])?);
+        }
+        Ok(FatFs {
+            dev,
+            block_size,
+            total_blocks,
+            fat_start,
+            fat_blocks,
+            dir_start,
+            dir_blocks,
+            data_start,
+            cluster_count,
+            fat,
+            dir,
+            meta_dirty: false,
+        })
+    }
+
+    /// Free clusters remaining.
+    pub fn free_clusters(&self) -> u32 {
+        self.fat[1..].iter().filter(|&&e| e == FAT_FREE).count() as u32
+    }
+
+    fn cluster_block(&self, cluster: u32) -> u64 {
+        debug_assert!(cluster >= 1 && cluster <= self.cluster_count);
+        self.data_start + cluster as u64 - 1
+    }
+
+    /// Lowest-numbered free cluster: the strictly sequential policy.
+    fn alloc_cluster(&mut self) -> Result<u32, FsError> {
+        for c in 1..=self.cluster_count as usize {
+            if self.fat[c] == FAT_FREE {
+                self.fat[c] = FAT_EOC;
+                self.meta_dirty = true;
+                return Ok(c as u32);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn find_entry(&self, name: &str) -> Option<usize> {
+        self.dir.iter().position(|e| e.used && e.name == name)
+    }
+
+    /// Cluster holding file-block `fbn`, extending the chain if `allocate`.
+    ///
+    /// Freshly materialised clusters are zeroed on the device: FAT has no
+    /// holes, and a reused cluster must not leak the bytes of a previously
+    /// deleted file into a sparse extension.
+    fn map_cluster(&mut self, entry: usize, fbn: u64, allocate: bool) -> Result<u32, FsError> {
+        let mut cluster = self.dir[entry].first_cluster;
+        if cluster == 0 {
+            if !allocate {
+                return Ok(0);
+            }
+            cluster = self.alloc_cluster()?;
+            self.dev.write_block(self.cluster_block(cluster), &vec![0u8; self.block_size])?;
+            self.dir[entry].first_cluster = cluster;
+            self.meta_dirty = true;
+        }
+        for _ in 0..fbn {
+            let next = self.fat[cluster as usize];
+            if next == FAT_EOC {
+                if !allocate {
+                    return Ok(0);
+                }
+                let fresh = self.alloc_cluster()?;
+                self.dev.write_block(self.cluster_block(fresh), &vec![0u8; self.block_size])?;
+                self.fat[cluster as usize] = fresh;
+                cluster = fresh;
+            } else {
+                cluster = next;
+            }
+        }
+        Ok(cluster)
+    }
+}
+
+impl FileSystem for FatFs {
+    fn create(&mut self, name: &str) -> Result<(), FsError> {
+        if name.len() > NAME_MAX {
+            return Err(FsError::NameTooLong { name: name.into() });
+        }
+        if self.find_entry(name).is_some() {
+            return Err(FsError::AlreadyExists { name: name.into() });
+        }
+        let slot = self.dir.iter().position(|e| !e.used).ok_or(FsError::NoSpace)?;
+        self.dir[slot] =
+            DirEntry { used: true, name: name.to_string(), size: 0, first_cluster: 0 };
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn write(&mut self, name: &str, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let entry =
+            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let bs = self.block_size as u64;
+        let mut written = 0usize;
+        while written < data.len() {
+            let pos = offset + written as u64;
+            let fbn = pos / bs;
+            let in_block = (pos % bs) as usize;
+            let take = (self.block_size - in_block).min(data.len() - written);
+            let cluster = self.map_cluster(entry, fbn, true)?;
+            let block_idx = self.cluster_block(cluster);
+            if in_block == 0 && take == self.block_size {
+                self.dev.write_block(block_idx, &data[written..written + take])?;
+            } else {
+                let mut block = self.dev.read_block(block_idx)?;
+                block[in_block..in_block + take].copy_from_slice(&data[written..written + take]);
+                self.dev.write_block(block_idx, &block)?;
+            }
+            written += take;
+        }
+        let end = offset + data.len() as u64;
+        if end > self.dir[entry].size {
+            self.dir[entry].size = end;
+            self.meta_dirty = true;
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
+        let entry =
+            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let size = self.dir[entry].size;
+        if offset > size {
+            return Err(FsError::BadOffset { offset, size });
+        }
+        let len = len.min((size - offset) as usize);
+        let bs = self.block_size as u64;
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let pos = offset + out.len() as u64;
+            let fbn = pos / bs;
+            let in_block = (pos % bs) as usize;
+            let take = (self.block_size - in_block).min(len - out.len());
+            let cluster = self.map_cluster(entry, fbn, false)?;
+            if cluster == 0 {
+                out.extend(std::iter::repeat_n(0u8, take));
+            } else {
+                let block = self.dev.read_block(self.cluster_block(cluster))?;
+                out.extend_from_slice(&block[in_block..in_block + take]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn file_size(&self, name: &str) -> Result<u64, FsError> {
+        let entry =
+            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        Ok(self.dir[entry].size)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), FsError> {
+        let entry =
+            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let mut cluster = self.dir[entry].first_cluster;
+        while cluster != 0 && cluster != FAT_EOC {
+            let next = self.fat[cluster as usize];
+            self.fat[cluster as usize] = FAT_FREE;
+            cluster = next;
+        }
+        self.dir[entry] = DirEntry::empty();
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.dir.iter().filter(|e| e.used).map(|e| e.name.clone()).collect()
+    }
+
+    fn sync(&mut self) -> Result<(), FsError> {
+        if !self.meta_dirty {
+            return Ok(());
+        }
+        let mut sb = vec![0u8; self.block_size];
+        sb[..8].copy_from_slice(MAGIC);
+        sb[8..12].copy_from_slice(&(self.block_size as u32).to_le_bytes());
+        sb[12..20].copy_from_slice(&self.total_blocks.to_le_bytes());
+        sb[20..24].copy_from_slice(&self.cluster_count.to_le_bytes());
+        sb[24..32].copy_from_slice(&self.fat_start.to_le_bytes());
+        sb[32..36].copy_from_slice(&self.fat_blocks.to_le_bytes());
+        sb[36..44].copy_from_slice(&self.dir_start.to_le_bytes());
+        sb[44..48].copy_from_slice(&self.dir_blocks.to_le_bytes());
+        sb[48..56].copy_from_slice(&self.data_start.to_le_bytes());
+        sb[56..60].copy_from_slice(&(self.dir.len() as u32).to_le_bytes());
+        self.dev.write_block(0, &sb)?;
+        // FAT.
+        let mut fat_bytes = vec![0u8; self.fat_blocks as usize * self.block_size];
+        for (i, &e) in self.fat.iter().enumerate() {
+            fat_bytes[i * 4..i * 4 + 4].copy_from_slice(&e.to_le_bytes());
+        }
+        for i in 0..self.fat_blocks as u64 {
+            let lo = i as usize * self.block_size;
+            self.dev.write_block(self.fat_start + i, &fat_bytes[lo..lo + self.block_size])?;
+        }
+        // Directory.
+        let mut dir_bytes = vec![0u8; self.dir_blocks as usize * self.block_size];
+        for (i, e) in self.dir.iter().enumerate() {
+            e.encode(&mut dir_bytes[i * DIRENT_SIZE..(i + 1) * DIRENT_SIZE]);
+        }
+        for i in 0..self.dir_blocks as u64 {
+            let lo = i as usize * self.block_size;
+            self.dev.write_block(self.dir_start + i, &dir_bytes[lo..lo + self.block_size])?;
+        }
+        self.dev.flush()?;
+        self.meta_dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::MemDisk;
+    use std::sync::Arc;
+
+    fn fs_with(blocks: u64) -> FatFs {
+        FatFs::format(Arc::new(MemDisk::with_default_timing(blocks, 4096))).unwrap()
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut fs = fs_with(128);
+        fs.create("doc").unwrap();
+        let data: Vec<u8> = (0..20_000).map(|i| (i % 255) as u8).collect();
+        fs.write("doc", 0, &data).unwrap();
+        assert_eq!(fs.read("doc", 0, 20_000).unwrap(), data);
+        assert_eq!(fs.file_size("doc").unwrap(), 20_000);
+    }
+
+    #[test]
+    fn allocation_is_strictly_sequential_from_front() {
+        let disk = Arc::new(MemDisk::with_default_timing(128, 4096));
+        let mut fs = FatFs::format(disk.clone()).unwrap();
+        fs.create("a").unwrap();
+        fs.write("a", 0, &vec![1u8; 5 * 4096]).unwrap();
+        // First free cluster is 1 → blocks data_start..data_start+5.
+        let snap = disk.snapshot();
+        let ds = fs.data_start;
+        for i in 0..5 {
+            assert!(!snap.is_zero_block(ds + i), "cluster {i} should be written");
+        }
+        assert!(snap.is_zero_block(ds + 5));
+    }
+
+    #[test]
+    fn deleted_clusters_are_reused_lowest_first() {
+        let mut fs = fs_with(128);
+        fs.create("a").unwrap();
+        fs.write("a", 0, &vec![1u8; 3 * 4096]).unwrap();
+        fs.create("b").unwrap();
+        fs.write("b", 0, &vec![2u8; 4096]).unwrap();
+        let free_before = fs.free_clusters();
+        fs.delete("a").unwrap();
+        assert_eq!(fs.free_clusters(), free_before + 3);
+        fs.create("c").unwrap();
+        fs.write("c", 0, &vec![3u8; 4096]).unwrap();
+        // c must reuse cluster 1 (lowest), not extend past b.
+        assert_eq!(fs.dir[fs.find_entry("c").unwrap()].first_cluster, 1);
+    }
+
+    #[test]
+    fn chain_traversal_across_many_clusters() {
+        let mut fs = fs_with(256);
+        fs.create("long").unwrap();
+        let total = 50 * 4096;
+        fs.write("long", 0, &vec![0xEE; total]).unwrap();
+        assert_eq!(fs.read("long", (total - 10) as u64, 10).unwrap(), vec![0xEE; 10]);
+    }
+
+    #[test]
+    fn no_space_when_full() {
+        let mut fs = fs_with(32);
+        fs.create("fill").unwrap();
+        let mut off = 0u64;
+        let err = loop {
+            match fs.write("fill", off, &vec![1u8; 4096]) {
+                Ok(()) => off += 4096,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, FsError::NoSpace);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let disk = Arc::new(MemDisk::with_default_timing(128, 4096));
+        let mut fs = FatFs::format(disk.clone()).unwrap();
+        fs.create("keep").unwrap();
+        fs.write("keep", 0, b"fat data").unwrap();
+        fs.sync().unwrap();
+        drop(fs);
+        let mut fs2 = FatFs::mount(disk).unwrap();
+        assert_eq!(fs2.read("keep", 0, 8).unwrap(), b"fat data");
+    }
+
+    #[test]
+    fn mount_rejects_simfs_device() {
+        let disk = Arc::new(MemDisk::with_default_timing(128, 4096));
+        let _simfs = crate::SimFs::format(disk.clone()).unwrap();
+        assert!(matches!(FatFs::mount(disk), Err(FsError::NotFormatted { .. })));
+    }
+
+    #[test]
+    fn directory_capacity_enforced() {
+        let disk = Arc::new(MemDisk::with_default_timing(128, 4096));
+        let mut fs = FatFs::format_with_entries(disk, 3).unwrap();
+        for i in 0..3 {
+            fs.create(&format!("f{i}")).unwrap();
+        }
+        assert!(matches!(fs.create("f3"), Err(FsError::NoSpace)));
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut fs = fs_with(128);
+        fs.create("s").unwrap();
+        fs.write("s", 10_000, b"tail").unwrap();
+        // FAT has no holes: clusters are materialised.
+        assert_eq!(fs.read("s", 0, 4).unwrap(), vec![0u8; 4]);
+        assert_eq!(fs.read("s", 10_000, 4).unwrap(), b"tail");
+    }
+
+    #[test]
+    fn dirent_codec_roundtrip() {
+        let e = DirEntry { used: true, name: "hello.txt".into(), size: 123_456, first_cluster: 77 };
+        let mut buf = [0u8; DIRENT_SIZE];
+        e.encode(&mut buf);
+        assert_eq!(DirEntry::decode(&buf).unwrap(), e);
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`FileSystem`] trait and error type shared by both file systems.
+
+use mobiceal_blockdev::BlockDeviceError;
+use std::fmt;
+
+/// Errors from file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No file with that name.
+    NotFound {
+        /// The missing name.
+        name: String,
+    },
+    /// A file with that name already exists.
+    AlreadyExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Out of data blocks, inodes, or directory space.
+    NoSpace,
+    /// File name exceeds the on-disk limit.
+    NameTooLong {
+        /// The offending name.
+        name: String,
+    },
+    /// Read past the end of a file.
+    BadOffset {
+        /// Requested offset.
+        offset: u64,
+        /// Current file size.
+        size: u64,
+    },
+    /// File would exceed the maximum size addressable by one inode.
+    FileTooLarge,
+    /// The device does not contain this file system (bad magic / geometry).
+    NotFormatted {
+        /// Detail for diagnostics.
+        detail: String,
+    },
+    /// Underlying device error.
+    Device(BlockDeviceError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { name } => write!(f, "file not found: {name}"),
+            FsError::AlreadyExists { name } => write!(f, "file already exists: {name}"),
+            FsError::NoSpace => write!(f, "no space left"),
+            FsError::NameTooLong { name } => write!(f, "file name too long: {name}"),
+            FsError::BadOffset { offset, size } => {
+                write!(f, "offset {offset} beyond file size {size}")
+            }
+            FsError::FileTooLarge => write!(f, "file exceeds maximum addressable size"),
+            FsError::NotFormatted { detail } => write!(f, "not a valid file system: {detail}"),
+            FsError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockDeviceError> for FsError {
+    fn from(e: BlockDeviceError) -> Self {
+        FsError::Device(e)
+    }
+}
+
+/// A minimal flat-namespace file system over a block device.
+///
+/// Rich enough to run the paper's measurement workloads (`dd`-style bulk
+/// I/O; Bonnie++-style create/stat/delete churn) and the example apps.
+pub trait FileSystem {
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::AlreadyExists`], [`FsError::NameTooLong`],
+    /// [`FsError::NoSpace`], or device errors.
+    fn create(&mut self, name: &str) -> Result<(), FsError>;
+
+    /// Writes `data` at byte `offset`, extending the file as needed.
+    /// Writing beyond EOF zero-fills the gap.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::NoSpace`],
+    /// [`FsError::FileTooLarge`], or device errors.
+    fn write(&mut self, name: &str, offset: u64, data: &[u8]) -> Result<(), FsError>;
+
+    /// Reads `len` bytes at `offset`. Short reads at EOF return fewer bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`], [`FsError::BadOffset`] if `offset` is past
+    /// EOF, or device errors.
+    fn read(&mut self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError>;
+
+    /// Current size of the file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    fn file_size(&self, name: &str) -> Result<u64, FsError>;
+
+    /// Removes a file and frees its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] or device errors.
+    fn delete(&mut self, name: &str) -> Result<(), FsError>;
+
+    /// Names of all files.
+    fn list(&self) -> Vec<String>;
+
+    /// Flushes cached metadata to the device.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    fn sync(&mut self) -> Result<(), FsError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let cases: Vec<(FsError, &str)> = vec![
+            (FsError::NotFound { name: "a".into() }, "not found"),
+            (FsError::AlreadyExists { name: "a".into() }, "exists"),
+            (FsError::NoSpace, "no space"),
+            (FsError::NameTooLong { name: "x".into() }, "too long"),
+            (FsError::BadOffset { offset: 9, size: 3 }, "offset 9"),
+            (FsError::FileTooLarge, "maximum"),
+            (FsError::NotFormatted { detail: "magic".into() }, "magic"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+        let dev_err = FsError::from(BlockDeviceError::NoSpace);
+        assert!(std::error::Error::source(&dev_err).is_some());
+    }
+}

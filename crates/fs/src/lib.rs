@@ -1,0 +1,44 @@
+//! Block-based file systems for the MobiCeal reproduction.
+//!
+//! MobiCeal's key practicality claim is being **file system friendly**
+//! (§IV-A): because the PDE lives in the block layer, *any* block-based file
+//! system can be deployed on a MobiCeal volume unchanged. To demonstrate
+//! that — and to drive the paper's `dd`/Bonnie++ workloads through a
+//! realistic write path — this crate provides two file systems that run on
+//! any [`mobiceal_blockdev::BlockDevice`]:
+//!
+//! * [`SimFs`] — an ext4-like design: block/inode bitmaps, inode table with
+//!   direct/indirect/double-indirect pointers, and a locality-seeking block
+//!   allocator. Writes exhibit the spatial locality the paper's footnote 3
+//!   describes ("writes performed by a file system usually exhibit a certain
+//!   level of spatial locality"), which is exactly the signal MobiCeal's
+//!   random physical allocation must mask.
+//! * [`FatFs`] — a FAT-like design: a file allocation table with strictly
+//!   first-fit-from-zero allocation, modelling the sequential-write file
+//!   systems (FAT32) that the original hidden-volume technique relied on.
+//!
+//! Both implement the same [`FileSystem`] trait used by the workload
+//! generators in `mobiceal-workloads`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mobiceal_blockdev::MemDisk;
+//! use mobiceal_fs::{FileSystem, SimFs};
+//!
+//! let disk = Arc::new(MemDisk::with_default_timing(1024, 4096));
+//! let mut fs = SimFs::format(disk)?;
+//! fs.create("hello.txt")?;
+//! fs.write("hello.txt", 0, b"hi there")?;
+//! assert_eq!(fs.read("hello.txt", 0, 8)?, b"hi there");
+//! # Ok::<(), mobiceal_fs::FsError>(())
+//! ```
+
+mod fatfs;
+mod fs_trait;
+mod simfs;
+
+pub use fatfs::FatFs;
+pub use fs_trait::{FileSystem, FsError};
+pub use simfs::SimFs;

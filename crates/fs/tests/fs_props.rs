@@ -1,0 +1,140 @@
+//! Property-based tests: both file systems against a reference model.
+
+use mobiceal_blockdev::{MemDisk, SharedDevice};
+use mobiceal_fs::{FatFs, FileSystem, FsError, SimFs};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create { name: u8 },
+    Write { name: u8, offset: u16, len: u16, fill: u8 },
+    Read { name: u8, offset: u16, len: u16 },
+    Delete { name: u8 },
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        2 => (0u8..6).prop_map(|name| FsOp::Create { name }),
+        4 => (0u8..6, 0u16..5000, 0u16..3000, any::<u8>())
+            .prop_map(|(name, offset, len, fill)| FsOp::Write { name, offset, len, fill }),
+        3 => (0u8..6, 0u16..6000, 0u16..3000)
+            .prop_map(|(name, offset, len)| FsOp::Read { name, offset, len }),
+        1 => (0u8..6).prop_map(|name| FsOp::Delete { name }),
+        1 => Just(FsOp::Sync),
+    ]
+}
+
+/// Reference model: file name -> byte vector.
+fn check_fs(fs: &mut dyn FileSystem, ops: &[FsOp]) -> Result<(), TestCaseError> {
+    let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match *op {
+            FsOp::Create { name } => {
+                let name = format!("file{name}");
+                let result = fs.create(&name);
+                if let std::collections::hash_map::Entry::Vacant(e) = model.entry(name) {
+                    prop_assert!(result.is_ok());
+                    e.insert(Vec::new());
+                } else {
+                    prop_assert!(matches!(result, Err(FsError::AlreadyExists { .. })), "expected AlreadyExists, got {:?}", result);
+                }
+            }
+            FsOp::Write { name, offset, len, fill } => {
+                let name = format!("file{name}");
+                let data = vec![fill; len as usize];
+                let result = fs.write(&name, offset as u64, &data);
+                match model.get_mut(&name) {
+                    Some(content) => {
+                        prop_assert!(result.is_ok(), "write failed: {result:?}");
+                        let end = offset as usize + len as usize;
+                        if content.len() < end {
+                            content.resize(end, 0);
+                        }
+                        content[offset as usize..end].copy_from_slice(&data);
+                    }
+                    None => prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result),
+                }
+            }
+            FsOp::Read { name, offset, len } => {
+                let name = format!("file{name}");
+                let result = fs.read(&name, offset as u64, len as usize);
+                match model.get(&name) {
+                    Some(content) => {
+                        if offset as usize > content.len() {
+                            prop_assert!(matches!(result, Err(FsError::BadOffset { .. })), "expected BadOffset, got {:?}", result);
+                        } else {
+                            let end = (offset as usize + len as usize).min(content.len());
+                            prop_assert_eq!(result.unwrap(), &content[offset as usize..end]);
+                        }
+                    }
+                    None => prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result),
+                }
+            }
+            FsOp::Delete { name } => {
+                let name = format!("file{name}");
+                let result = fs.delete(&name);
+                if model.remove(&name).is_some() {
+                    prop_assert!(result.is_ok());
+                } else {
+                    prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result);
+                }
+            }
+            FsOp::Sync => prop_assert!(fs.sync().is_ok()),
+        }
+    }
+    // Final consistency sweep.
+    let mut listed = fs.list();
+    listed.sort();
+    let mut expected: Vec<String> = model.keys().cloned().collect();
+    expected.sort();
+    prop_assert_eq!(listed, expected);
+    for (name, content) in &model {
+        prop_assert_eq!(fs.file_size(name).unwrap(), content.len() as u64);
+        if !content.is_empty() {
+            prop_assert_eq!(&fs.read(name, 0, content.len()).unwrap(), content);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn simfs_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let disk: SharedDevice = Arc::new(MemDisk::with_default_timing(1024, 4096));
+        let mut fs = SimFs::format(disk).unwrap();
+        check_fs(&mut fs, &ops)?;
+    }
+
+    #[test]
+    fn fatfs_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let disk: SharedDevice = Arc::new(MemDisk::with_default_timing(1024, 4096));
+        let mut fs = FatFs::format(disk).unwrap();
+        check_fs(&mut fs, &ops)?;
+    }
+
+    #[test]
+    fn simfs_persistence_after_sync(
+        files in prop::collection::vec((0u8..5, 1u16..5000, any::<u8>()), 1..6),
+    ) {
+        let disk = Arc::new(MemDisk::with_default_timing(1024, 4096));
+        {
+            let mut fs = SimFs::format(disk.clone() as SharedDevice).unwrap();
+            for (i, &(_, len, fill)) in files.iter().enumerate() {
+                let name = format!("p{i}");
+                fs.create(&name).unwrap();
+                fs.write(&name, 0, &vec![fill; len as usize]).unwrap();
+            }
+            fs.sync().unwrap();
+        }
+        let mut fs = SimFs::mount(disk as SharedDevice).unwrap();
+        for (i, &(_, len, fill)) in files.iter().enumerate() {
+            let name = format!("p{i}");
+            prop_assert_eq!(fs.read(&name, 0, len as usize).unwrap(), vec![fill; len as usize]);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Virtual time: [`SimClock`], [`SimInstant`], [`SimDuration`].
+//!
+//! A [`SimClock`] is a monotonically non-decreasing counter of simulated
+//! nanoseconds shared (via [`SimClock::clone`]) by every component of a
+//! simulated device. Components *charge* time to the clock instead of
+//! sleeping, which makes multi-minute experiments (e.g. Table II's 18-minute
+//! FDE initialization) run in microseconds of real time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A span of simulated time with nanosecond resolution.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(3) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 3500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    nanos: u64,
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { nanos: 0 };
+
+    /// Creates a duration from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration { nanos }
+    }
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { nanos: micros * 1_000 }
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { nanos: millis * 1_000_000 }
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "secs must be finite and non-negative");
+        SimDuration { nanos: (secs * 1e9).round() as u64 }
+    }
+
+    /// Total nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Total whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Total whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Total seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.nanos.checked_add(rhs.nanos).map(|nanos| SimDuration { nanos })
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration { nanos: self.nanos * rhs }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration { nanos: self.nanos / rhs }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.nanos;
+        if n >= 60_000_000_000 {
+            let secs = n / 1_000_000_000;
+            write!(f, "{}min{}s", secs / 60, secs % 60)
+        } else if n >= 1_000_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else if n >= 1_000_000 {
+            write!(f, "{:.2}ms", n as f64 / 1e6)
+        } else if n >= 1_000 {
+            write!(f, "{:.2}us", n as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", n)
+        }
+    }
+}
+
+/// A point in simulated time, measured from the clock's origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// The clock origin (boot of the simulation).
+    pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
+
+    /// Nanoseconds since [`SimInstant::EPOCH`].
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Microseconds since the epoch (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        assert!(earlier.nanos <= self.nanos, "earlier instant is after self");
+        SimDuration { nanos: self.nanos - earlier.nanos }
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant { nanos: self.nanos + rhs.as_nanos() }
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+/// A shareable, monotonically non-decreasing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying counter, so
+/// a device stack assembled from many components observes one coherent
+/// timeline.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_sim::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let handle = clock.clone();
+/// clock.advance(SimDuration::from_millis(5));
+/// assert_eq!(handle.now().as_micros(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        SimClock { nanos: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant { nanos: self.nanos.load(Ordering::SeqCst) }
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: SimDuration) -> SimInstant {
+        let prev = self.nanos.fetch_add(d.as_nanos(), Ordering::SeqCst);
+        SimInstant { nanos: prev + d.as_nanos() }
+    }
+
+    /// Measures the simulated time consumed by `f`.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimDuration) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().duration_since(start))
+    }
+
+    /// Returns `true` if `other` shares the same underlying counter.
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.nanos, &other.nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_micros(10);
+        let b = SimDuration::from_micros(4);
+        assert_eq!((a + b).as_micros(), 14);
+        assert_eq!((a - b).as_micros(), 6);
+        assert_eq!((a * 3).as_micros(), 30);
+        assert_eq!((a / 2).as_micros(), 5);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+        assert_eq!(SimDuration::from_secs_f64(1e-9).as_nanos(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn duration_from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn clock_advances_and_shares_state() {
+        let clock = SimClock::new();
+        let handle = clock.clone();
+        assert!(clock.same_clock(&handle));
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+        clock.advance(SimDuration::from_millis(7));
+        assert_eq!(handle.now().as_nanos() / 1_000_000, 7);
+    }
+
+    #[test]
+    fn distinct_clocks_are_independent() {
+        let a = SimClock::new();
+        let b = SimClock::new();
+        assert!(!a.same_clock(&b));
+        a.advance(SimDuration::from_secs(1));
+        assert_eq!(b.now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn measure_reports_elapsed() {
+        let clock = SimClock::new();
+        let (value, elapsed) = clock.measure(|| {
+            clock.advance(SimDuration::from_micros(42));
+            "done"
+        });
+        assert_eq!(value, "done");
+        assert_eq!(elapsed.as_micros(), 42);
+    }
+
+    #[test]
+    fn instant_ordering_and_difference() {
+        let clock = SimClock::new();
+        let t0 = clock.now();
+        let t1 = clock.advance(SimDuration::from_nanos(10));
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn display_formats_scale() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.00us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.00ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.00s");
+        assert_eq!(SimDuration::from_secs(125).to_string(), "2min5s");
+    }
+}

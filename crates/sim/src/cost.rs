@@ -1,0 +1,302 @@
+//! Cost models: how much simulated time each storage / CPU operation costs.
+//!
+//! The eMMC model is calibrated so that the *uninstrumented* stack reproduces
+//! the absolute ballpark of the paper's Nexus 4 measurements (Fig. 4:
+//! ~19.5 MB/s sequential Ext4 write, ~27 MB/s sequential read on raw FDE),
+//! and so that every layer we add on top (thin provisioning indirection,
+//! dm-crypt AES, dummy writes, ORAM write amplification) shifts throughput by
+//! mechanism, not by hand-tuned fudge factors.
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The kind of a single block-device operation, used for cost lookup and
+/// statistics bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read of one block that directly follows the previously accessed block.
+    SequentialRead,
+    /// Read of one block anywhere else on the device.
+    RandomRead,
+    /// Write of one block that directly follows the previously accessed block.
+    SequentialWrite,
+    /// Write of one block anywhere else on the device.
+    RandomWrite,
+    /// A cache flush / barrier.
+    Flush,
+}
+
+impl OpKind {
+    /// Whether this op transfers data (i.e. is not a flush).
+    pub fn is_transfer(self) -> bool {
+        !matches!(self, OpKind::Flush)
+    }
+
+    /// Whether this op writes to the medium.
+    pub fn is_write(self) -> bool {
+        matches!(self, OpKind::SequentialWrite | OpKind::RandomWrite | OpKind::Flush)
+    }
+}
+
+/// A timing model for a block storage medium.
+pub trait CostModel: Send + Sync + std::fmt::Debug {
+    /// Cost of one operation on `bytes` bytes.
+    fn cost(&self, op: OpKind, bytes: usize) -> SimDuration;
+}
+
+/// eMMC-like flash timing (as exposed through an FTL as a block device).
+///
+/// Defaults are calibrated for a 2012-2013 phone eMMC part (LG Nexus 4
+/// class): ~27 MB/s sequential read, ~21 MB/s sequential write at 4 KiB
+/// granularity, with random I/O paying an additional per-op penalty.
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_sim::{CostModel, EmmcCostModel, OpKind};
+///
+/// let emmc = EmmcCostModel::nexus4();
+/// let seq = emmc.cost(OpKind::SequentialWrite, 4096);
+/// let rnd = emmc.cost(OpKind::RandomWrite, 4096);
+/// assert!(rnd > seq);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmmcCostModel {
+    /// Fixed controller/command overhead per operation.
+    pub per_op_ns: u64,
+    /// Extra seek-equivalent penalty for a non-sequential access.
+    pub random_penalty_ns: u64,
+    /// Transfer cost per byte read.
+    pub read_ns_per_byte: f64,
+    /// Transfer cost per byte written.
+    pub write_ns_per_byte: f64,
+    /// Cost of a flush / cache barrier.
+    pub flush_ns: u64,
+}
+
+impl EmmcCostModel {
+    /// Calibration for the LG Nexus 4 internal eMMC (the paper's main
+    /// evaluation device).
+    ///
+    /// Derived from Fig. 4: raw-FDE sequential write ≈ 19.5 MB/s and read
+    /// ≈ 27 MB/s measured *through* dm-crypt; we budget the medium slightly
+    /// faster so that the AES cost charged by the crypto layer lands the
+    /// stack at the published figure.
+    pub fn nexus4() -> Self {
+        EmmcCostModel {
+            per_op_ns: 28_000,
+            // The FTL log-structures writes and flash has no seek, so the
+            // random-access penalty at the block interface is modest.
+            random_penalty_ns: 16_000,
+            read_ns_per_byte: 29.0,
+            write_ns_per_byte: 38.0,
+            flush_ns: 400_000,
+        }
+    }
+
+    /// Calibration for a SATA SSD of the Samsung 840 EVO class — the device
+    /// HIVE was evaluated on (Table I of the paper): ~216 MB/s sequential
+    /// write, fast but not free random 4 KiB I/O, and an expensive flush
+    /// (HIVE syncs per write, which dominates its overhead).
+    pub fn ssd_840evo() -> Self {
+        EmmcCostModel {
+            per_op_ns: 4_000,
+            random_penalty_ns: 120_000,
+            read_ns_per_byte: 2.5,
+            write_ns_per_byte: 3.7,
+            flush_ns: 1_800_000,
+        }
+    }
+
+    /// Calibration for the `nandsim` MTD RAM-disk DEFY was evaluated on
+    /// (Table I): the medium is nearly free, so cryptographic CPU work
+    /// dominates any measured overhead — exactly the regime in which DEFY
+    /// showed ~94 % slowdown.
+    pub fn nandsim_ramdisk() -> Self {
+        EmmcCostModel {
+            per_op_ns: 1_500,
+            random_penalty_ns: 500,
+            read_ns_per_byte: 0.9,
+            write_ns_per_byte: 1.1,
+            flush_ns: 2_000,
+        }
+    }
+
+    /// A uniform "null" model where every transfer op costs `ns` and flushes
+    /// are free. Useful for unit tests that only need relative ordering.
+    pub fn flat(ns: u64) -> Self {
+        EmmcCostModel {
+            per_op_ns: ns,
+            random_penalty_ns: 0,
+            read_ns_per_byte: 0.0,
+            write_ns_per_byte: 0.0,
+            flush_ns: 0,
+        }
+    }
+}
+
+impl CostModel for EmmcCostModel {
+    fn cost(&self, op: OpKind, bytes: usize) -> SimDuration {
+        let ns = match op {
+            OpKind::SequentialRead => {
+                self.per_op_ns as f64 + self.read_ns_per_byte * bytes as f64
+            }
+            OpKind::RandomRead => {
+                (self.per_op_ns + self.random_penalty_ns) as f64
+                    + self.read_ns_per_byte * bytes as f64
+            }
+            OpKind::SequentialWrite => {
+                self.per_op_ns as f64 + self.write_ns_per_byte * bytes as f64
+            }
+            OpKind::RandomWrite => {
+                (self.per_op_ns + self.random_penalty_ns) as f64
+                    + self.write_ns_per_byte * bytes as f64
+            }
+            OpKind::Flush => self.flush_ns as f64,
+        };
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+/// CPU timing for cryptographic work on the simulated SoC.
+///
+/// The Snapdragon S4 Pro in the Nexus 4 has no AES instructions, so dm-crypt
+/// runs table-based AES at roughly 55–80 MB/s per core; PBKDF2 with Android's
+/// default iteration count takes tens of milliseconds per derivation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// AES-CBC/XTS bulk cost per byte (encrypt or decrypt).
+    pub aes_ns_per_byte: f64,
+    /// Fixed cost per AES call (key schedule reuse assumed).
+    pub aes_call_ns: u64,
+    /// Cost of one PBKDF2 derivation (full iteration count).
+    pub pbkdf2_ns: u64,
+    /// Cost per byte of CSPRNG output (dummy data generation).
+    pub rng_ns_per_byte: f64,
+    /// Cost of one SHA-256 compression-equivalent hash of a small input.
+    pub hash_small_ns: u64,
+}
+
+impl CpuCostModel {
+    /// Calibration for the Nexus 4's Snapdragon APQ8064. The kernel crypto
+    /// layer overlaps AES with device DMA, so the *effective* per-byte cost
+    /// on the dm-crypt path is small (Fig. 4 shows FDE within ~5 % of plain
+    /// Ext4 on this device).
+    pub fn nexus4() -> Self {
+        CpuCostModel {
+            aes_ns_per_byte: 2.5,
+            aes_call_ns: 500,
+            pbkdf2_ns: 45_000_000,
+            rng_ns_per_byte: 4.0,
+            hash_small_ns: 2_000,
+        }
+    }
+
+    /// Calibration for DEFY's testbed: a single-processor PC running the
+    /// whole cipher stack synchronously in Python/C on top of nandsim —
+    /// no DMA overlap, so crypto costs full price per byte.
+    pub fn pc_singlecore() -> Self {
+        CpuCostModel {
+            aes_ns_per_byte: 14.0,
+            aes_call_ns: 1_500,
+            pbkdf2_ns: 45_000_000,
+            rng_ns_per_byte: 4.0,
+            hash_small_ns: 2_000,
+        }
+    }
+
+    /// Free CPU (for tests isolating device costs).
+    pub fn free() -> Self {
+        CpuCostModel {
+            aes_ns_per_byte: 0.0,
+            aes_call_ns: 0,
+            pbkdf2_ns: 0,
+            rng_ns_per_byte: 0.0,
+            hash_small_ns: 0,
+        }
+    }
+
+    /// Cost of encrypting or decrypting `bytes` bytes with AES.
+    pub fn aes_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(self.aes_call_ns + (self.aes_ns_per_byte * bytes as f64) as u64)
+    }
+
+    /// Cost of one PBKDF2 password derivation.
+    pub fn pbkdf2_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.pbkdf2_ns)
+    }
+
+    /// Cost of generating `bytes` bytes of CSPRNG output.
+    pub fn rng_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos((self.rng_ns_per_byte * bytes as f64) as u64)
+    }
+
+    /// Cost of hashing a small (<= one block) input.
+    pub fn hash_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(self.hash_small_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_io_costs_more_than_sequential() {
+        let m = EmmcCostModel::nexus4();
+        for (r, s) in [
+            (OpKind::RandomRead, OpKind::SequentialRead),
+            (OpKind::RandomWrite, OpKind::SequentialWrite),
+        ] {
+            assert!(m.cost(r, 4096) > m.cost(s, 4096), "{r:?} should exceed {s:?}");
+        }
+    }
+
+    #[test]
+    fn write_costs_more_than_read_on_flash() {
+        let m = EmmcCostModel::nexus4();
+        assert!(m.cost(OpKind::SequentialWrite, 4096) > m.cost(OpKind::SequentialRead, 4096));
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let m = EmmcCostModel::nexus4();
+        let small = m.cost(OpKind::SequentialRead, 512);
+        let big = m.cost(OpKind::SequentialRead, 65536);
+        assert!(big > small * 10);
+    }
+
+    #[test]
+    fn nexus4_sequential_write_band() {
+        // Sanity: the raw medium should land in the 20-30 MB/s band so the
+        // full stack with AES lands near the paper's 19.5 MB/s.
+        let m = EmmcCostModel::nexus4();
+        let per_4k = m.cost(OpKind::SequentialWrite, 4096).as_nanos() as f64;
+        let mbps = 4096.0 / per_4k * 1e9 / 1e6;
+        assert!((20.0..=30.0).contains(&mbps), "raw write speed {mbps:.1} MB/s out of band");
+    }
+
+    #[test]
+    fn flat_model_uniform() {
+        let m = EmmcCostModel::flat(100);
+        assert_eq!(m.cost(OpKind::SequentialRead, 4096), m.cost(OpKind::RandomWrite, 4096));
+        assert_eq!(m.cost(OpKind::Flush, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(OpKind::RandomWrite.is_write());
+        assert!(OpKind::Flush.is_write());
+        assert!(!OpKind::SequentialRead.is_write());
+        assert!(OpKind::SequentialRead.is_transfer());
+        assert!(!OpKind::Flush.is_transfer());
+    }
+
+    #[test]
+    fn cpu_model_costs() {
+        let cpu = CpuCostModel::nexus4();
+        assert!(cpu.aes_cost(4096) > cpu.aes_cost(512));
+        assert!(cpu.pbkdf2_cost() >= SimDuration::from_millis(10));
+        assert_eq!(CpuCostModel::free().aes_cost(1 << 20), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulation substrate for the MobiCeal reproduction.
+//!
+//! The paper evaluates MobiCeal on a physical LG Nexus 4 (eMMC storage,
+//! Android 4.2.2). This reproduction runs entirely in userspace, so all
+//! timing-sensitive experiments (Fig. 4, Table I, Table II) are driven by a
+//! **virtual clock**: every simulated component charges time to a shared
+//! [`SimClock`] according to a [`CostModel`] calibrated against the numbers
+//! published in the paper. This keeps every experiment deterministic and
+//! reproducible while preserving the *relative* performance shapes the paper
+//! reports.
+//!
+//! The crate also provides [`SplitMix64`] and [`Xoshiro256`], small
+//! deterministic PRNGs used for simulation decisions (workload shapes,
+//! jitter). Security-relevant randomness (keys, dummy data) instead uses the
+//! ChaCha20-based DRBG in `mobiceal-crypto`.
+//!
+//! # Example
+//!
+//! ```
+//! use mobiceal_sim::{SimClock, SimDuration};
+//!
+//! let clock = SimClock::new();
+//! clock.advance(SimDuration::from_micros(250));
+//! assert_eq!(clock.now().as_micros(), 250);
+//! ```
+
+mod clock;
+mod cost;
+mod rng;
+mod stats;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use cost::{CostModel, CpuCostModel, EmmcCostModel, OpKind};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{RunningStat, Summary};

@@ -1,0 +1,190 @@
+//! Small statistics helpers shared by the benchmark harnesses.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean / variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use mobiceal_sim::RunningStat;
+///
+/// let mut s = RunningStat::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStat { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample standard deviation (0 if fewer than 2 samples).
+    pub fn sample_std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Population standard deviation (0 if empty).
+    pub fn population_std_dev(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Condenses into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            std_dev: self.sample_std_dev(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+impl Extend<f64> for RunningStat {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStat {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStat::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Immutable summary of a sample, as reported in experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2} (n={})", self.mean, self.std_dev, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stat_is_sane() {
+        let s = RunningStat::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: RunningStat = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_std_dev(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let s: RunningStat = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.sample_std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let s: RunningStat = [3.0, -1.0, 7.5, 2.0].into_iter().collect();
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.5);
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: RunningStat = [1.0, 2.0, 3.0].into_iter().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("2.00"), "display should include mean: {text}");
+        assert!(text.contains("n=3"));
+    }
+}

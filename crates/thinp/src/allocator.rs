@@ -1,0 +1,275 @@
+//! Block allocation strategies.
+//!
+//! The stock `dm-thin` allocator hands out blocks **sequentially**, which is
+//! what lets a multi-snapshot adversary correlate "one public block followed
+//! by a long run of non-public blocks" with hidden writes (§IV-B of the
+//! paper). MobiCeal's kernel modification replaces it with **random
+//! allocation**: every write, from any volume, lands on a uniformly random
+//! free block. Both strategies implement [`Allocator`] so the pool — and
+//! every experiment — can swap them.
+
+use crate::bitmap::Bitmap;
+use mobiceal_crypto::ChaCha20Rng;
+use std::collections::HashSet;
+
+/// Strategy selector for [`crate::ThinPool`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// Stock dm-thin behaviour: first-fit ascending. Used by the paper's
+    /// A-T-P / A-T-H configurations and the MobiPluto baseline.
+    Sequential,
+    /// MobiCeal's modification (§IV-B): uniformly random free block.
+    Random,
+}
+
+/// A block allocation policy over the pool's global bitmap.
+///
+/// Implementations must *not* mark the bitmap; the pool does that once the
+/// allocation is accepted. `reserved` carries the blocks already allocated
+/// inside the current transaction but not yet committed to the bitmap — the
+/// "transaction problem" the paper fixes in §V-A ("the block numbers
+/// allocated within a transaction are recorded").
+pub trait Allocator: Send {
+    /// Picks a free block, or `None` if the pool is exhausted.
+    fn allocate(&mut self, bitmap: &Bitmap, reserved: &HashSet<u64>) -> Option<u64>;
+
+    /// The strategy this allocator implements.
+    fn strategy(&self) -> AllocStrategy;
+}
+
+/// First-fit ascending allocation with a roving cursor (stock dm-thin).
+#[derive(Debug, Default)]
+pub struct SequentialAllocator {
+    cursor: u64,
+}
+
+impl SequentialAllocator {
+    /// Creates an allocator scanning from block 0.
+    pub fn new() -> Self {
+        SequentialAllocator { cursor: 0 }
+    }
+}
+
+impl Allocator for SequentialAllocator {
+    fn allocate(&mut self, bitmap: &Bitmap, reserved: &HashSet<u64>) -> Option<u64> {
+        if bitmap.free() as usize <= reserved.len() {
+            return None;
+        }
+        let mut from = self.cursor;
+        let mut wrapped = false;
+        loop {
+            match bitmap.first_free_from(from) {
+                Some(block) if !reserved.contains(&block) => {
+                    self.cursor = block + 1;
+                    return Some(block);
+                }
+                Some(block) => {
+                    from = block + 1;
+                }
+                None if !wrapped => {
+                    wrapped = true;
+                    from = 0;
+                }
+                None => return None,
+            }
+            if wrapped && from >= self.cursor && bitmap.first_free_from(from).is_none() {
+                return None;
+            }
+        }
+    }
+
+    fn strategy(&self) -> AllocStrategy {
+        AllocStrategy::Sequential
+    }
+}
+
+/// Uniformly random allocation (MobiCeal, §IV-B and §V-A).
+///
+/// "We first obtain the number of free blocks (denoted by x), and then we
+/// generate a random number i between 1 and x. The i-th free block is the
+/// result." Blocks already reserved in the open transaction are skipped by
+/// re-drawing, which resolves the paper's transaction problem.
+pub struct RandomAllocator {
+    rng: ChaCha20Rng,
+}
+
+impl std::fmt::Debug for RandomAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomAllocator").finish_non_exhaustive()
+    }
+}
+
+impl RandomAllocator {
+    /// Creates an allocator drawing from the given CSPRNG.
+    pub fn new(rng: ChaCha20Rng) -> Self {
+        RandomAllocator { rng }
+    }
+
+    /// Creates an allocator with a deterministic seed (tests, experiments).
+    pub fn with_seed(seed: u64) -> Self {
+        RandomAllocator { rng: ChaCha20Rng::from_u64_seed(seed) }
+    }
+}
+
+impl Allocator for RandomAllocator {
+    fn allocate(&mut self, bitmap: &Bitmap, reserved: &HashSet<u64>) -> Option<u64> {
+        let free = bitmap.free();
+        if free as usize <= reserved.len() {
+            return None;
+        }
+        // Rejection-sample against the reservation set; the set is small
+        // relative to free space in practice, so this terminates fast. Fall
+        // back to linear enumeration if free space is nearly exhausted.
+        for _ in 0..64 {
+            let n = self.rng.next_below(free);
+            let block = bitmap.nth_free(n).expect("nth_free within free count");
+            if !reserved.contains(&block) {
+                return Some(block);
+            }
+        }
+        // Dense-reservation fallback: pick uniformly among the not-reserved
+        // free blocks by enumeration.
+        let candidates: Vec<u64> =
+            (0..free).filter_map(|n| bitmap.nth_free(n)).filter(|b| !reserved.contains(b)).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            let pick = self.rng.next_below(candidates.len() as u64) as usize;
+            Some(candidates[pick])
+        }
+    }
+
+    fn strategy(&self) -> AllocStrategy {
+        AllocStrategy::Random
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_reserved() -> HashSet<u64> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn sequential_allocates_ascending() {
+        // Even without bitmap marks, the roving cursor advances — matching
+        // dm-thin's behaviour of not reusing an address inside one burst.
+        let bitmap = Bitmap::new(100);
+        let mut alloc = SequentialAllocator::new();
+        let picks: Vec<u64> =
+            (0..5).map(|_| alloc.allocate(&bitmap, &no_reserved()).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_respects_bitmap_and_cursor() {
+        let mut bitmap = Bitmap::new(100);
+        let mut alloc = SequentialAllocator::new();
+        for expected in 0..10u64 {
+            let b = alloc.allocate(&bitmap, &no_reserved()).unwrap();
+            assert_eq!(b, expected);
+            bitmap.set(b);
+        }
+    }
+
+    #[test]
+    fn sequential_skips_reserved() {
+        let bitmap = Bitmap::new(10);
+        let mut alloc = SequentialAllocator::new();
+        let reserved: HashSet<u64> = [0u64, 1, 2].into_iter().collect();
+        assert_eq!(alloc.allocate(&bitmap, &reserved), Some(3));
+    }
+
+    #[test]
+    fn sequential_wraps_around() {
+        let mut bitmap = Bitmap::new(10);
+        let mut alloc = SequentialAllocator::new();
+        for _ in 0..10 {
+            let b = alloc.allocate(&bitmap, &no_reserved()).unwrap();
+            bitmap.set(b);
+        }
+        assert_eq!(alloc.allocate(&bitmap, &no_reserved()), None);
+        bitmap.clear(3);
+        assert_eq!(alloc.allocate(&bitmap, &no_reserved()), Some(3));
+    }
+
+    #[test]
+    fn random_allocates_free_nonreserved_blocks() {
+        let mut bitmap = Bitmap::new(50);
+        for i in 0..25 {
+            bitmap.set(i * 2); // even blocks taken
+        }
+        let mut alloc = RandomAllocator::with_seed(1);
+        let reserved: HashSet<u64> = [1u64, 3, 5].into_iter().collect();
+        for _ in 0..100 {
+            let b = alloc.allocate(&bitmap, &reserved).unwrap();
+            assert!(b % 2 == 1, "only odd blocks are free, got {b}");
+            assert!(!reserved.contains(&b));
+        }
+    }
+
+    #[test]
+    fn random_exhaustion_returns_none() {
+        let mut bitmap = Bitmap::new(4);
+        for i in 0..4 {
+            bitmap.set(i);
+        }
+        let mut alloc = RandomAllocator::with_seed(2);
+        assert_eq!(alloc.allocate(&bitmap, &no_reserved()), None);
+    }
+
+    #[test]
+    fn random_with_everything_reserved_returns_none() {
+        let bitmap = Bitmap::new(4);
+        let reserved: HashSet<u64> = (0..4).collect();
+        let mut alloc = RandomAllocator::with_seed(3);
+        assert_eq!(alloc.allocate(&bitmap, &reserved), None);
+    }
+
+    #[test]
+    fn random_dense_reservation_fallback_still_uniformish() {
+        // Reserve all but 2 free blocks; the allocator must still find them.
+        let bitmap = Bitmap::new(64);
+        let reserved: HashSet<u64> = (0..62).collect();
+        let mut alloc = RandomAllocator::with_seed(4);
+        let mut seen = HashSet::new();
+        for _ in 0..50 {
+            seen.insert(alloc.allocate(&bitmap, &reserved).unwrap());
+        }
+        assert_eq!(seen, [62u64, 63].into_iter().collect());
+    }
+
+    #[test]
+    fn random_spreads_across_disk() {
+        // With 1000 free blocks, 100 draws should not cluster at the front
+        // (that's the sequential signature the adversary exploits).
+        let bitmap = Bitmap::new(1000);
+        let mut alloc = RandomAllocator::with_seed(5);
+        let picks: Vec<u64> =
+            (0..100).map(|_| alloc.allocate(&bitmap, &no_reserved()).unwrap()).collect();
+        let in_back_half = picks.iter().filter(|&&b| b >= 500).count();
+        assert!(
+            (25..=75).contains(&in_back_half),
+            "expected roughly half in back half, got {in_back_half}"
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let bitmap = Bitmap::new(100);
+        let picks = |seed| {
+            let mut alloc = RandomAllocator::with_seed(seed);
+            (0..10).map(|_| alloc.allocate(&bitmap, &no_reserved()).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    fn strategies_report_identity() {
+        assert_eq!(SequentialAllocator::new().strategy(), AllocStrategy::Sequential);
+        assert_eq!(RandomAllocator::with_seed(0).strategy(), AllocStrategy::Random);
+    }
+}

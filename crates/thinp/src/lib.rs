@@ -1,0 +1,52 @@
+//! Userspace thin provisioning, modelled on the kernel's `dm-thin-pool`.
+//!
+//! Thin provisioning is the foundation MobiCeal builds on (§II-C, §V-A of
+//! the paper): a *pool* combines a **data device** (block storage for all
+//! volumes) and a **metadata device** (free-space bitmap + per-volume block
+//! mappings), and exposes any number of *thin volumes* that only consume
+//! physical blocks when written. The properties the paper leans on are all
+//! reproduced here:
+//!
+//! 1. thin volumes occupy no space until written — hidden volumes are free
+//!    to coexist with dummy volumes at zero cost;
+//! 2. blocks are allocated on first write — which is the hook where
+//!    MobiCeal inserts dummy writes;
+//! 3. the shared free-space bitmap makes volume overlap impossible — public
+//!    data can never overwrite hidden data;
+//! 4. any block file system (or `dm-crypt` layer) can sit on a thin volume.
+//!
+//! The stock kernel allocator is **sequential**; MobiCeal's modification
+//! replaces it with **random allocation** ([`RandomAllocator`], §IV-B).
+//! Both are provided, since the paper's baselines (MobiPluto, the A-T-*
+//! configurations of Fig. 4) use the sequential strategy.
+//!
+//! Metadata is persisted with A/B shadow areas and a superblock that is
+//! written last, mirroring dm-thin's crash-consistent commit scheme: a torn
+//! commit falls back to the previous transaction.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mobiceal_blockdev::{BlockDevice, MemDisk};
+//! use mobiceal_thinp::{AllocStrategy, PoolConfig, ThinPool};
+//!
+//! let data = Arc::new(MemDisk::with_default_timing(256, 4096));
+//! let meta = Arc::new(MemDisk::with_default_timing(64, 4096));
+//! let pool = ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential)?;
+//! let vol = pool.create_volume(0, 128)?;
+//! vol.write_block(100, &vec![0xEE; 4096])?;
+//! assert_eq!(vol.read_block(100)?[0], 0xEE);
+//! assert_eq!(pool.allocated_blocks(), 1); // thin: only one physical block used
+//! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
+//! ```
+
+mod allocator;
+mod bitmap;
+mod meta;
+mod pool;
+
+pub use allocator::{AllocStrategy, Allocator, RandomAllocator, SequentialAllocator};
+pub use bitmap::Bitmap;
+pub use meta::{MetadataView, VolumeMeta};
+pub use pool::{PoolConfig, ThinPool, ThinVolume, VolumeId};

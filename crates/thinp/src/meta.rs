@@ -1,0 +1,277 @@
+//! Pool metadata: on-disk format and the adversary-visible view.
+//!
+//! The paper's storage layout (Fig. 3) keeps "the information of virtual
+//! volumes, e.g. the global bitmap, the sizes and mappings of virtual
+//! volumes" in a metadata area at a **known location** that the adversary
+//! can read (§IV-B: "the system keeps the metadata in a known location and
+//! the adversary can have access to them"). Deniability must therefore not
+//! depend on hiding this structure — only on the hidden volume's metadata
+//! being indistinguishable from a dummy volume's.
+//!
+//! Commits are crash-consistent via A/B shadow areas: the payload is written
+//! to the inactive half, then the superblock (which names the active half
+//! and transaction id, and carries a SHA-256 of the payload) is written
+//! last. A torn commit leaves the previous transaction intact.
+
+use crate::bitmap::Bitmap;
+use mobiceal_blockdev::BlockDeviceError;
+use std::collections::BTreeMap;
+
+/// Magic identifying a MobiCeal-thin superblock.
+pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"MCTHNP01";
+
+/// On-disk version understood by this implementation.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Per-volume metadata as persisted and as visible to the adversary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeMeta {
+    /// Volume identifier (V1 = public in MobiCeal's convention).
+    pub id: u32,
+    /// Provisioned (virtual) size in blocks.
+    pub virtual_blocks: u64,
+    /// virtual block → physical block.
+    pub mappings: BTreeMap<u64, u64>,
+}
+
+/// Everything stored in the metadata area, decoded.
+///
+/// Handing this to the adversary models its full metadata access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataView {
+    /// Transaction id of the commit this view reflects.
+    pub transaction_id: u64,
+    /// The global free-space bitmap.
+    pub bitmap: Bitmap,
+    /// All volumes, by id.
+    pub volumes: BTreeMap<u32, VolumeMeta>,
+}
+
+impl MetadataView {
+    /// Total physical blocks mapped by volume `id` (0 if absent).
+    pub fn mapped_blocks(&self, id: u32) -> u64 {
+        self.volumes.get(&id).map(|v| v.mappings.len() as u64).unwrap_or(0)
+    }
+
+    /// Serializes to the on-disk payload format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.transaction_id.to_le_bytes());
+        let bm = self.bitmap.to_bytes();
+        out.extend_from_slice(&(bm.len() as u64).to_le_bytes());
+        out.extend_from_slice(&bm);
+        out.extend_from_slice(&(self.volumes.len() as u32).to_le_bytes());
+        for vol in self.volumes.values() {
+            out.extend_from_slice(&vol.id.to_le_bytes());
+            out.extend_from_slice(&vol.virtual_blocks.to_le_bytes());
+            out.extend_from_slice(&(vol.mappings.len() as u64).to_le_bytes());
+            for (&v, &p) in &vol.mappings {
+                out.extend_from_slice(&v.to_le_bytes());
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the on-disk payload format.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::CorruptMetadata`] on any structural problem.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, BlockDeviceError> {
+        let corrupt = |detail: &str| BlockDeviceError::CorruptMetadata { detail: detail.into() };
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], BlockDeviceError> {
+            if pos + n > data.len() {
+                return Err(corrupt("truncated payload"));
+            }
+            let s = &data[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        let transaction_id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let bm_len = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        let bitmap =
+            Bitmap::from_bytes(take(bm_len)?).ok_or_else(|| corrupt("bad bitmap encoding"))?;
+        let vol_count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut volumes = BTreeMap::new();
+        for _ in 0..vol_count {
+            let id = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            let virtual_blocks = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let map_count = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let mut mappings = BTreeMap::new();
+            for _ in 0..map_count {
+                let v = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let p = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                if v >= virtual_blocks {
+                    return Err(corrupt("mapping beyond virtual size"));
+                }
+                if p >= bitmap.len() {
+                    return Err(corrupt("mapping beyond data device"));
+                }
+                if mappings.insert(v, p).is_some() {
+                    return Err(corrupt("duplicate virtual block mapping"));
+                }
+            }
+            if volumes.insert(id, VolumeMeta { id, virtual_blocks, mappings }).is_some() {
+                return Err(corrupt("duplicate volume id"));
+            }
+        }
+        Ok(MetadataView { transaction_id, bitmap, volumes })
+    }
+}
+
+/// Superblock contents (always block 0 of the metadata device).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Monotonic commit counter.
+    pub transaction_id: u64,
+    /// Which shadow half (0 or 1) holds the payload for this transaction.
+    pub active_half: u8,
+    /// Byte length of the payload in the active half.
+    pub payload_len: u64,
+    /// SHA-256 of the payload.
+    pub payload_digest: [u8; 32],
+}
+
+impl Superblock {
+    /// Encodes into a metadata block (must be at least 61 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is too small.
+    pub fn encode_into(&self, block: &mut [u8]) {
+        assert!(block.len() >= 61, "superblock needs at least 61 bytes");
+        block.fill(0);
+        block[..8].copy_from_slice(SUPERBLOCK_MAGIC);
+        block[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        block[12..20].copy_from_slice(&self.transaction_id.to_le_bytes());
+        block[20] = self.active_half;
+        block[21..29].copy_from_slice(&self.payload_len.to_le_bytes());
+        block[29..61].copy_from_slice(&self.payload_digest);
+    }
+
+    /// Decodes from a metadata block.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::CorruptMetadata`] if the magic, version or shape
+    /// is wrong.
+    pub fn decode(block: &[u8]) -> Result<Self, BlockDeviceError> {
+        let corrupt = |detail: &str| BlockDeviceError::CorruptMetadata { detail: detail.into() };
+        if block.len() < 61 {
+            return Err(corrupt("superblock block too small"));
+        }
+        if &block[..8] != SUPERBLOCK_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let transaction_id = u64::from_le_bytes(block[12..20].try_into().unwrap());
+        let active_half = block[20];
+        if active_half > 1 {
+            return Err(corrupt("bad active half"));
+        }
+        let payload_len = u64::from_le_bytes(block[21..29].try_into().unwrap());
+        let mut payload_digest = [0u8; 32];
+        payload_digest.copy_from_slice(&block[29..61]);
+        Ok(Superblock { transaction_id, active_half, payload_len, payload_digest })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> MetadataView {
+        let mut bitmap = Bitmap::new(128);
+        bitmap.set(3);
+        bitmap.set(77);
+        let mut volumes = BTreeMap::new();
+        let mut m1 = BTreeMap::new();
+        m1.insert(0u64, 3u64);
+        volumes.insert(1, VolumeMeta { id: 1, virtual_blocks: 64, mappings: m1 });
+        let mut m2 = BTreeMap::new();
+        m2.insert(9u64, 77u64);
+        volumes.insert(2, VolumeMeta { id: 2, virtual_blocks: 64, mappings: m2 });
+        MetadataView { transaction_id: 5, bitmap, volumes }
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let view = sample_view();
+        let back = MetadataView::from_bytes(&view.to_bytes()).unwrap();
+        assert_eq!(back, view);
+        assert_eq!(back.mapped_blocks(1), 1);
+        assert_eq!(back.mapped_blocks(42), 0);
+    }
+
+    #[test]
+    fn view_rejects_truncation() {
+        let bytes = sample_view().to_bytes();
+        for cut in [0, 4, 10, bytes.len() - 1] {
+            assert!(
+                MetadataView::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn view_rejects_mapping_beyond_virtual_size() {
+        let mut view = sample_view();
+        let vol = view.volumes.get_mut(&1).unwrap();
+        vol.mappings.insert(64, 5); // virtual_blocks is 64, so index 64 is invalid
+        let bytes = view.to_bytes();
+        assert!(MetadataView::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn view_rejects_mapping_beyond_device() {
+        let mut view = sample_view();
+        let vol = view.volumes.get_mut(&1).unwrap();
+        vol.mappings.insert(1, 999); // bitmap len is 128
+        assert!(MetadataView::from_bytes(&view.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock {
+            transaction_id: 42,
+            active_half: 1,
+            payload_len: 1234,
+            payload_digest: [7u8; 32],
+        };
+        let mut block = vec![0u8; 512];
+        sb.encode_into(&mut block);
+        assert_eq!(Superblock::decode(&block).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_rejects_corruption() {
+        let sb = Superblock {
+            transaction_id: 1,
+            active_half: 0,
+            payload_len: 10,
+            payload_digest: [0u8; 32],
+        };
+        let mut block = vec![0u8; 512];
+        sb.encode_into(&mut block);
+
+        let mut bad_magic = block.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(Superblock::decode(&bad_magic).is_err());
+
+        let mut bad_version = block.clone();
+        bad_version[8] = 99;
+        assert!(Superblock::decode(&bad_version).is_err());
+
+        let mut bad_half = block.clone();
+        bad_half[20] = 2;
+        assert!(Superblock::decode(&bad_half).is_err());
+
+        assert!(Superblock::decode(&block[..10]).is_err());
+    }
+}

@@ -1,0 +1,857 @@
+//! The thin pool and its volumes.
+
+use crate::allocator::{AllocStrategy, Allocator, RandomAllocator, SequentialAllocator};
+use crate::bitmap::Bitmap;
+use crate::meta::{MetadataView, Superblock, VolumeMeta};
+use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
+use mobiceal_crypto::sha256;
+use mobiceal_sim::{SimClock, SimDuration};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Identifier of a thin volume within its pool.
+pub type VolumeId = u32;
+
+/// Pool creation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Maximum number of volumes the pool will host (the paper's `n`).
+    pub max_volumes: u32,
+}
+
+impl PoolConfig {
+    /// Config with the given volume budget.
+    pub fn new(max_volumes: u32) -> Self {
+        PoolConfig { max_volumes }
+    }
+}
+
+#[derive(Debug)]
+struct VolumeState {
+    virtual_blocks: u64,
+    mappings: BTreeMap<u64, u64>,
+}
+
+struct PoolState {
+    /// The bitmap as of the last commit. Blocks allocated in the open
+    /// transaction live in `reserved` until commit folds them in — this is
+    /// exactly the "transaction problem" setup of §V-A: the allocator works
+    /// against the committed bitmap plus a record of in-flight allocations.
+    bitmap: Bitmap,
+    volumes: BTreeMap<VolumeId, VolumeState>,
+    allocator: Box<dyn Allocator>,
+    /// Blocks allocated since the last commit (the open transaction). The
+    /// allocator must not hand these out again (§V-A's transaction fix),
+    /// and a crash before commit releases them.
+    reserved: HashSet<u64>,
+    transaction_id: u64,
+    active_half: u8,
+    /// Optional per-read mapping-lookup cost. Real dm-thin walks a btree on
+    /// the read path (the paper measures ~18 % sequential-read overhead
+    /// from the thin layer, Fig. 4); the write path amortises its btree
+    /// updates into the commit.
+    read_overhead: Option<(SimClock, SimDuration)>,
+}
+
+impl PoolState {
+    /// Committed bitmap with the open transaction folded in — the live
+    /// occupancy an adversary reading the device right now would infer.
+    fn live_bitmap(&self) -> Bitmap {
+        let mut bm = self.bitmap.clone();
+        for &b in &self.reserved {
+            bm.set(b);
+        }
+        bm
+    }
+}
+
+/// A thin-provisioning pool over a data device and a metadata device.
+///
+/// See the crate docs for the role this plays in MobiCeal. All mutation is
+/// internally synchronised; clones of volume handles may be used from
+/// multiple threads.
+pub struct ThinPool {
+    state: Arc<Mutex<PoolState>>,
+    data: SharedDevice,
+    meta: SharedDevice,
+    config: PoolConfig,
+}
+
+impl std::fmt::Debug for ThinPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThinPool").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+fn make_allocator(strategy: AllocStrategy, seed: u64) -> Box<dyn Allocator> {
+    match strategy {
+        AllocStrategy::Sequential => Box::new(SequentialAllocator::new()),
+        AllocStrategy::Random => Box::new(RandomAllocator::with_seed(seed)),
+    }
+}
+
+impl ThinPool {
+    /// Formats a new pool onto `data` + `meta` and commits an empty
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the metadata device is too small for the data device's
+    /// bitmap and volume table, or on I/O error.
+    pub fn create(
+        data: SharedDevice,
+        meta: SharedDevice,
+        config: PoolConfig,
+        strategy: AllocStrategy,
+    ) -> Result<Self, BlockDeviceError> {
+        Self::create_seeded(data, meta, config, strategy, 0x6d6f6263)
+    }
+
+    /// Like [`ThinPool::create`] with an explicit allocator seed, so
+    /// experiments can vary the random allocation stream.
+    pub fn create_seeded(
+        data: SharedDevice,
+        meta: SharedDevice,
+        config: PoolConfig,
+        strategy: AllocStrategy,
+        seed: u64,
+    ) -> Result<Self, BlockDeviceError> {
+        let pool = ThinPool {
+            state: Arc::new(Mutex::new(PoolState {
+                bitmap: Bitmap::new(data.num_blocks()),
+                volumes: BTreeMap::new(),
+                allocator: make_allocator(strategy, seed),
+                reserved: HashSet::new(),
+                transaction_id: 0,
+                active_half: 1, // first commit goes to half 0
+                read_overhead: None,
+            })),
+            data,
+            meta,
+            config,
+        };
+        pool.commit()?;
+        Ok(pool)
+    }
+
+    /// Opens an existing pool from its metadata device (e.g. after a reboot
+    /// or crash). Uncommitted state from a previous run is — by design —
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::CorruptMetadata`] if no valid superblock/payload
+    /// is found, or layer I/O errors.
+    pub fn open(
+        data: SharedDevice,
+        meta: SharedDevice,
+        config: PoolConfig,
+        strategy: AllocStrategy,
+        seed: u64,
+    ) -> Result<Self, BlockDeviceError> {
+        let sb = Superblock::decode(&meta.read_block(0)?)?;
+        let view = Self::read_payload(&meta, &sb)?;
+        if view.bitmap.len() != data.num_blocks() {
+            return Err(BlockDeviceError::CorruptMetadata {
+                detail: format!(
+                    "bitmap covers {} blocks but data device has {}",
+                    view.bitmap.len(),
+                    data.num_blocks()
+                ),
+            });
+        }
+        let volumes = view
+            .volumes
+            .into_iter()
+            .map(|(id, v)| {
+                (id, VolumeState { virtual_blocks: v.virtual_blocks, mappings: v.mappings })
+            })
+            .collect();
+        Ok(ThinPool {
+            state: Arc::new(Mutex::new(PoolState {
+                bitmap: view.bitmap,
+                volumes,
+                allocator: make_allocator(strategy, seed),
+                reserved: HashSet::new(),
+                transaction_id: sb.transaction_id,
+                active_half: sb.active_half,
+                read_overhead: None,
+            })),
+            data,
+            meta,
+            config,
+        })
+    }
+
+    fn half_geometry(meta: &SharedDevice) -> (u64, u64) {
+        // Block 0 is the superblock; the rest is split into two halves.
+        let usable = meta.num_blocks() - 1;
+        let half_len = usable / 2;
+        (1, half_len)
+    }
+
+    fn read_payload(
+        meta: &SharedDevice,
+        sb: &Superblock,
+    ) -> Result<MetadataView, BlockDeviceError> {
+        let (first, half_len) = Self::half_geometry(meta);
+        let bs = meta.block_size();
+        let start = first + sb.active_half as u64 * half_len;
+        let need_blocks = (sb.payload_len as usize).div_ceil(bs) as u64;
+        if need_blocks > half_len {
+            return Err(BlockDeviceError::CorruptMetadata {
+                detail: "payload larger than shadow half".into(),
+            });
+        }
+        let mut payload = Vec::with_capacity(need_blocks as usize * bs);
+        for i in 0..need_blocks {
+            payload.extend_from_slice(&meta.read_block(start + i)?);
+        }
+        payload.truncate(sb.payload_len as usize);
+        if sha256(&payload) != sb.payload_digest {
+            return Err(BlockDeviceError::CorruptMetadata {
+                detail: "payload digest mismatch".into(),
+            });
+        }
+        MetadataView::from_bytes(&payload)
+    }
+
+    /// Persists all metadata crash-consistently and closes the open
+    /// transaction.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the metadata device; on failure the previous
+    /// transaction remains intact.
+    pub fn commit(&self) -> Result<(), BlockDeviceError> {
+        let mut state = self.state.lock();
+        let view = MetadataView {
+            transaction_id: state.transaction_id + 1,
+            bitmap: state.live_bitmap(),
+            volumes: state
+                .volumes
+                .iter()
+                .map(|(&id, v)| {
+                    (
+                        id,
+                        VolumeMeta {
+                            id,
+                            virtual_blocks: v.virtual_blocks,
+                            mappings: v.mappings.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let payload = view.to_bytes();
+        let (first, half_len) = Self::half_geometry(&self.meta);
+        let bs = self.meta.block_size();
+        let target_half = 1 - state.active_half;
+        let start = first + target_half as u64 * half_len;
+        let need_blocks = payload.len().div_ceil(bs) as u64;
+        if need_blocks > half_len {
+            return Err(BlockDeviceError::NoSpace);
+        }
+        for i in 0..need_blocks {
+            let mut block = vec![0u8; bs];
+            let lo = i as usize * bs;
+            let hi = (lo + bs).min(payload.len());
+            block[..hi - lo].copy_from_slice(&payload[lo..hi]);
+            self.meta.write_block(start + i, &block)?;
+        }
+        self.meta.flush()?;
+        // Superblock last: this is the commit point.
+        let sb = Superblock {
+            transaction_id: state.transaction_id + 1,
+            active_half: target_half,
+            payload_len: payload.len() as u64,
+            payload_digest: sha256(&payload),
+        };
+        let mut sb_block = vec![0u8; bs];
+        sb.encode_into(&mut sb_block);
+        self.meta.write_block(0, &sb_block)?;
+        self.meta.flush()?;
+        state.transaction_id += 1;
+        state.active_half = target_half;
+        // Fold the open transaction into the committed bitmap.
+        let reserved: Vec<u64> = state.reserved.drain().collect();
+        for b in reserved {
+            state.bitmap.set(b);
+        }
+        Ok(())
+    }
+
+    /// Creates a thin volume of `virtual_blocks` provisioned size.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id is taken, the pool's volume budget is exhausted, or
+    /// the id is out of the configured range.
+    pub fn create_volume(
+        &self,
+        id: VolumeId,
+        virtual_blocks: u64,
+    ) -> Result<ThinVolume, BlockDeviceError> {
+        let mut state = self.state.lock();
+        if state.volumes.len() as u32 >= self.config.max_volumes {
+            return Err(BlockDeviceError::Unsupported {
+                what: format!("pool limited to {} volumes", self.config.max_volumes),
+            });
+        }
+        if state.volumes.contains_key(&id) {
+            return Err(BlockDeviceError::Unsupported { what: format!("volume {id} exists") });
+        }
+        state.volumes.insert(id, VolumeState { virtual_blocks, mappings: BTreeMap::new() });
+        drop(state);
+        Ok(self.volume_handle(id, virtual_blocks))
+    }
+
+    /// Opens an existing volume.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume does not exist.
+    pub fn open_volume(&self, id: VolumeId) -> Result<ThinVolume, BlockDeviceError> {
+        let state = self.state.lock();
+        let vol = state
+            .volumes
+            .get(&id)
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+        let virtual_blocks = vol.virtual_blocks;
+        drop(state);
+        Ok(self.volume_handle(id, virtual_blocks))
+    }
+
+    /// Deletes a volume, releasing its physical blocks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume does not exist.
+    pub fn delete_volume(&self, id: VolumeId) -> Result<(), BlockDeviceError> {
+        let mut state = self.state.lock();
+        let vol = state
+            .volumes
+            .remove(&id)
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+        let blocks: Vec<u64> = vol.mappings.values().copied().collect();
+        for p in blocks {
+            if !state.reserved.remove(&p) {
+                state.bitmap.clear(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases the physical block backing one virtual block of a volume
+    /// (a discard/trim). No-op if unmapped. Used by MobiCeal's dummy-space
+    /// garbage collection (§IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume does not exist.
+    pub fn discard(&self, id: VolumeId, vblock: u64) -> Result<(), BlockDeviceError> {
+        let mut state = self.state.lock();
+        let vol = state
+            .volumes
+            .get_mut(&id)
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+        if let Some(p) = vol.mappings.remove(&vblock) {
+            if !state.reserved.remove(&p) {
+                state.bitmap.clear(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total physically allocated blocks (committed + open transaction).
+    pub fn allocated_blocks(&self) -> u64 {
+        let state = self.state.lock();
+        state.bitmap.allocated() + state.reserved.len() as u64
+    }
+
+    /// Free physical blocks.
+    pub fn free_blocks(&self) -> u64 {
+        let state = self.state.lock();
+        state.bitmap.free() - state.reserved.len() as u64
+    }
+
+    /// The pool's volume budget.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Charges `cost` on `clock` for every mapped volume read, modelling
+    /// dm-thin's mapping-btree lookups on the read path.
+    pub fn set_read_overhead(&self, clock: SimClock, cost: SimDuration) {
+        self.state.lock().read_overhead = Some((clock, cost));
+    }
+
+    /// Data-device geometry: block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.data.block_size()
+    }
+
+    /// The decoded metadata exactly as an adversary with device access would
+    /// recover it (current in-memory transaction).
+    pub fn metadata_view(&self) -> MetadataView {
+        let state = self.state.lock();
+        MetadataView {
+            transaction_id: state.transaction_id,
+            bitmap: state.live_bitmap(),
+            volumes: state
+                .volumes
+                .iter()
+                .map(|(&id, v)| {
+                    (
+                        id,
+                        VolumeMeta {
+                            id,
+                            virtual_blocks: v.virtual_blocks,
+                            mappings: v.mappings.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Ids of existing volumes.
+    pub fn volume_ids(&self) -> Vec<VolumeId> {
+        self.state.lock().volumes.keys().copied().collect()
+    }
+
+    /// Physical blocks mapped by volume `id` (0 if absent).
+    pub fn volume_mapped_blocks(&self, id: VolumeId) -> u64 {
+        self.state.lock().volumes.get(&id).map(|v| v.mappings.len() as u64).unwrap_or(0)
+    }
+
+    /// Allocates a fresh physical block to `id` at its lowest unmapped
+    /// virtual index and fills it with `data`. This is the primitive dummy
+    /// writes use: "m free blocks will be allocated and ... filled with
+    /// random noise" (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::NoSpace`] if the pool or the volume's virtual
+    /// address space is exhausted; fails if the volume does not exist or
+    /// `data` is not block-sized.
+    pub fn append_block(&self, id: VolumeId, data: &[u8]) -> Result<u64, BlockDeviceError> {
+        if data.len() != self.data.block_size() {
+            return Err(BlockDeviceError::WrongBufferSize {
+                got: data.len(),
+                expected: self.data.block_size(),
+            });
+        }
+        let mut state = self.state.lock();
+        let vol = state
+            .volumes
+            .get(&id)
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+        // Lowest unmapped virtual index.
+        let mut vblock = 0u64;
+        for (&v, _) in vol.mappings.iter() {
+            if v == vblock {
+                vblock += 1;
+            } else {
+                break;
+            }
+        }
+        if vblock >= vol.virtual_blocks {
+            return Err(BlockDeviceError::NoSpace);
+        }
+        let p = Self::allocate_locked(&mut state)?;
+        state.volumes.get_mut(&id).expect("checked above").mappings.insert(vblock, p);
+        drop(state);
+        self.data.write_block(p, data)?;
+        Ok(p)
+    }
+
+    fn allocate_locked(state: &mut PoolState) -> Result<u64, BlockDeviceError> {
+        let PoolState { bitmap, allocator, reserved, .. } = state;
+        let block = allocator.allocate(bitmap, reserved).ok_or(BlockDeviceError::NoSpace)?;
+        debug_assert!(!bitmap.get(block), "allocator returned a committed block");
+        let newly = reserved.insert(block);
+        debug_assert!(newly, "allocator returned a reserved block");
+        Ok(block)
+    }
+
+    fn volume_handle(&self, id: VolumeId, virtual_blocks: u64) -> ThinVolume {
+        ThinVolume {
+            pool_state: Arc::clone(&self.state),
+            data: self.data.clone(),
+            id,
+            virtual_blocks,
+        }
+    }
+}
+
+/// A thin volume: a [`BlockDevice`] whose physical blocks are allocated on
+/// first write from the pool's shared free space.
+#[derive(Clone)]
+pub struct ThinVolume {
+    pool_state: Arc<Mutex<PoolState>>,
+    data: SharedDevice,
+    id: VolumeId,
+    virtual_blocks: u64,
+}
+
+impl std::fmt::Debug for ThinVolume {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThinVolume")
+            .field("id", &self.id)
+            .field("virtual_blocks", &self.virtual_blocks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThinVolume {
+    /// This volume's id.
+    pub fn id(&self) -> VolumeId {
+        self.id
+    }
+
+    /// Physical blocks currently mapped.
+    pub fn mapped_blocks(&self) -> u64 {
+        self.pool_state
+            .lock()
+            .volumes
+            .get(&self.id)
+            .map(|v| v.mappings.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// The physical block backing `vblock`, if mapped.
+    pub fn mapping(&self, vblock: u64) -> Option<u64> {
+        self.pool_state.lock().volumes.get(&self.id).and_then(|v| v.mappings.get(&vblock)).copied()
+    }
+}
+
+impl BlockDevice for ThinVolume {
+    fn num_blocks(&self) -> u64 {
+        self.virtual_blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.data.block_size()
+    }
+
+    fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
+        self.check_index(index)?;
+        let mapping = {
+            let state = self.pool_state.lock();
+            let vol = state.volumes.get(&self.id).ok_or_else(|| {
+                BlockDeviceError::Unsupported { what: format!("volume {} deleted", self.id) }
+            })?;
+            if let Some((clock, cost)) = &state.read_overhead {
+                clock.advance(*cost);
+            }
+            vol.mappings.get(&index).copied()
+        };
+        match mapping {
+            Some(p) => self.data.read_block(p),
+            // Unmapped thin blocks read as zeros without touching the medium.
+            None => Ok(vec![0u8; self.data.block_size()]),
+        }
+    }
+
+    fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
+        self.check_index(index)?;
+        self.check_buffer(data)?;
+        let physical = {
+            let mut state = self.pool_state.lock();
+            if !state.volumes.contains_key(&self.id) {
+                return Err(BlockDeviceError::Unsupported {
+                    what: format!("volume {} deleted", self.id),
+                });
+            }
+            match state.volumes.get(&self.id).expect("checked").mappings.get(&index).copied() {
+                Some(p) => p,
+                None => {
+                    let p = ThinPool::allocate_locked(&mut state)?;
+                    state.volumes.get_mut(&self.id).expect("checked").mappings.insert(index, p);
+                    p
+                }
+            }
+        };
+        self.data.write_block(physical, data)
+    }
+
+    fn flush(&self) -> Result<(), BlockDeviceError> {
+        self.data.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::MemDisk;
+
+    fn devices(data_blocks: u64, meta_blocks: u64) -> (SharedDevice, SharedDevice) {
+        (
+            Arc::new(MemDisk::with_default_timing(data_blocks, 512)) as SharedDevice,
+            Arc::new(MemDisk::with_default_timing(meta_blocks, 512)) as SharedDevice,
+        )
+    }
+
+    fn pool(strategy: AllocStrategy) -> ThinPool {
+        let (data, meta) = devices(256, 128);
+        ThinPool::create(data, meta, PoolConfig::new(8), strategy).unwrap()
+    }
+
+    #[test]
+    fn thin_volume_reads_zeros_before_write() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        assert_eq!(v.read_block(50).unwrap(), vec![0u8; 512]);
+        assert_eq!(p.allocated_blocks(), 0, "reads must not allocate");
+    }
+
+    #[test]
+    fn write_allocates_exactly_one_block() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(42, &vec![7u8; 512]).unwrap();
+        assert_eq!(p.allocated_blocks(), 1);
+        assert_eq!(v.mapped_blocks(), 1);
+        assert_eq!(v.read_block(42).unwrap(), vec![7u8; 512]);
+        // Overwrite reuses the mapping.
+        v.write_block(42, &vec![8u8; 512]).unwrap();
+        assert_eq!(p.allocated_blocks(), 1);
+        assert_eq!(v.read_block(42).unwrap(), vec![8u8; 512]);
+    }
+
+    #[test]
+    fn volumes_never_overlap() {
+        let p = pool(AllocStrategy::Random);
+        let a = p.create_volume(1, 200).unwrap();
+        let b = p.create_volume(2, 200).unwrap();
+        for i in 0..50 {
+            a.write_block(i, &vec![0xAA; 512]).unwrap();
+            b.write_block(i, &vec![0xBB; 512]).unwrap();
+        }
+        // Physical blocks must be disjoint.
+        let view = p.metadata_view();
+        let pa: HashSet<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let pb: HashSet<u64> = view.volumes[&2].mappings.values().copied().collect();
+        assert!(pa.is_disjoint(&pb));
+        for i in 0..50 {
+            assert_eq!(a.read_block(i).unwrap(), vec![0xAA; 512]);
+            assert_eq!(b.read_block(i).unwrap(), vec![0xBB; 512]);
+        }
+    }
+
+    #[test]
+    fn over_provisioning_is_allowed_until_space_runs_out() {
+        let (data, meta) = devices(16, 64);
+        let p = ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential)
+            .unwrap();
+        // Two volumes, each provisioned at the full device size.
+        let a = p.create_volume(1, 16).unwrap();
+        let b = p.create_volume(2, 16).unwrap();
+        for i in 0..8 {
+            a.write_block(i, &vec![1u8; 512]).unwrap();
+        }
+        for i in 0..8 {
+            b.write_block(i, &vec![2u8; 512]).unwrap();
+        }
+        assert_eq!(p.free_blocks(), 0);
+        assert!(matches!(
+            a.write_block(9, &vec![1u8; 512]),
+            Err(BlockDeviceError::NoSpace)
+        ));
+    }
+
+    #[test]
+    fn sequential_allocation_is_front_loaded() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        for i in 0..20 {
+            v.write_block(i, &vec![1u8; 512]).unwrap();
+        }
+        let view = p.metadata_view();
+        let physical: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        assert_eq!(physical, (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_allocation_is_not_front_loaded() {
+        let p = pool(AllocStrategy::Random);
+        let v = p.create_volume(1, 100).unwrap();
+        for i in 0..20 {
+            v.write_block(i, &vec![1u8; 512]).unwrap();
+        }
+        let view = p.metadata_view();
+        let physical: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        assert_ne!(physical, (0..20).collect::<Vec<u64>>());
+        assert!(physical.iter().any(|&b| b >= 64), "some blocks land beyond the front");
+    }
+
+    #[test]
+    fn commit_and_reopen_restores_state() {
+        let (data, meta) = devices(256, 128);
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(5, &vec![0x55; 512]).unwrap();
+        p.commit().unwrap();
+        drop((p, v));
+
+        let p2 =
+            ThinPool::open(data, meta, PoolConfig::new(8), AllocStrategy::Sequential, 0).unwrap();
+        let v2 = p2.open_volume(1).unwrap();
+        assert_eq!(v2.read_block(5).unwrap(), vec![0x55; 512]);
+        assert_eq!(p2.allocated_blocks(), 1);
+    }
+
+    #[test]
+    fn crash_before_commit_loses_uncommitted_mappings() {
+        let (data, meta) = devices(256, 128);
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(5, &vec![0x55; 512]).unwrap();
+        p.commit().unwrap();
+        v.write_block(6, &vec![0x66; 512]).unwrap();
+        // No commit: simulate crash by dropping and reopening.
+        drop((p, v));
+        let p2 =
+            ThinPool::open(data, meta, PoolConfig::new(8), AllocStrategy::Sequential, 0).unwrap();
+        let v2 = p2.open_volume(1).unwrap();
+        assert_eq!(v2.read_block(5).unwrap(), vec![0x55; 512]);
+        assert_eq!(v2.read_block(6).unwrap(), vec![0u8; 512], "uncommitted mapping gone");
+        assert_eq!(p2.allocated_blocks(), 1, "uncommitted allocation released");
+    }
+
+    #[test]
+    fn torn_commit_falls_back_to_previous_transaction() {
+        let (data, _) = devices(256, 1);
+        let meta_disk = Arc::new(MemDisk::with_default_timing(128, 512));
+        let meta: SharedDevice = meta_disk.clone();
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(1, &vec![0x11; 512]).unwrap();
+        p.commit().unwrap(); // tx 2, half 1
+
+        // Make the *superblock* write fail: the payload lands in the
+        // inactive half but the commit point is never reached.
+        let mut faults = mobiceal_blockdev::FaultInjection::default();
+        faults.failing_writes.insert(0);
+        meta_disk.set_faults(faults);
+        v.write_block(2, &vec![0x22; 512]).unwrap();
+        assert!(p.commit().is_err(), "superblock write failure must surface");
+        meta_disk.set_faults(mobiceal_blockdev::FaultInjection::default());
+        drop((p, v));
+
+        let p2 =
+            ThinPool::open(data, meta, PoolConfig::new(8), AllocStrategy::Sequential, 0).unwrap();
+        let v2 = p2.open_volume(1).unwrap();
+        assert_eq!(v2.read_block(1).unwrap(), vec![0x11; 512]);
+        assert_eq!(v2.read_block(2).unwrap(), vec![0u8; 512], "torn commit rolled back");
+    }
+
+    #[test]
+    fn delete_volume_releases_space() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        for i in 0..10 {
+            v.write_block(i, &vec![1u8; 512]).unwrap();
+        }
+        assert_eq!(p.allocated_blocks(), 10);
+        p.delete_volume(1).unwrap();
+        assert_eq!(p.allocated_blocks(), 0);
+        assert!(v.read_block(0).is_err(), "handle to deleted volume errors");
+        assert!(p.open_volume(1).is_err());
+    }
+
+    #[test]
+    fn discard_releases_single_block() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(3, &vec![1u8; 512]).unwrap();
+        v.write_block(4, &vec![2u8; 512]).unwrap();
+        p.discard(1, 3).unwrap();
+        assert_eq!(p.allocated_blocks(), 1);
+        assert_eq!(v.read_block(3).unwrap(), vec![0u8; 512]);
+        assert_eq!(v.read_block(4).unwrap(), vec![2u8; 512]);
+        p.discard(1, 99).unwrap(); // unmapped: no-op
+        assert_eq!(p.allocated_blocks(), 1);
+    }
+
+    #[test]
+    fn append_block_maps_lowest_unmapped_index() {
+        let p = pool(AllocStrategy::Random);
+        p.create_volume(3, 10).unwrap();
+        p.append_block(3, &vec![0xAB; 512]).unwrap();
+        p.append_block(3, &vec![0xCD; 512]).unwrap();
+        let v = p.open_volume(3).unwrap();
+        assert_eq!(v.read_block(0).unwrap(), vec![0xAB; 512]);
+        assert_eq!(v.read_block(1).unwrap(), vec![0xCD; 512]);
+        // Fill the rest, then expect NoSpace on the 11th append.
+        for _ in 2..10 {
+            p.append_block(3, &vec![0u8; 512]).unwrap();
+        }
+        assert!(matches!(p.append_block(3, &vec![0u8; 512]), Err(BlockDeviceError::NoSpace)));
+    }
+
+    #[test]
+    fn volume_budget_enforced() {
+        let (data, meta) = devices(64, 64);
+        let p = ThinPool::create(data, meta, PoolConfig::new(2), AllocStrategy::Sequential)
+            .unwrap();
+        p.create_volume(1, 10).unwrap();
+        p.create_volume(2, 10).unwrap();
+        assert!(p.create_volume(3, 10).is_err());
+        assert!(p.create_volume(1, 10).is_err(), "duplicate id");
+    }
+
+    #[test]
+    fn metadata_view_reflects_live_state() {
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(0, &vec![1u8; 512]).unwrap();
+        let view = p.metadata_view();
+        assert_eq!(view.mapped_blocks(1), 1);
+        assert_eq!(view.bitmap.allocated(), 1);
+        assert_eq!(p.volume_ids(), vec![1]);
+        assert_eq!(p.volume_mapped_blocks(1), 1);
+    }
+
+    #[test]
+    fn open_rejects_geometry_mismatch() {
+        let (data, meta) = devices(256, 128);
+        let p =
+            ThinPool::create(data, meta.clone(), PoolConfig::new(4), AllocStrategy::Sequential)
+                .unwrap();
+        p.commit().unwrap();
+        drop(p);
+        let wrong_data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
+        assert!(matches!(
+            ThinPool::open(wrong_data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0),
+            Err(BlockDeviceError::CorruptMetadata { .. })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_blank_device() {
+        let (data, meta) = devices(64, 64);
+        assert!(ThinPool::open(data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0)
+            .is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the thin pool: random operation sequences
+//! against a reference model, for both allocators.
+
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_thinp::{AllocStrategy, PoolConfig, ThinPool};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Write { vol: u32, vblock: u64, fill: u8 },
+    Read { vol: u32, vblock: u64 },
+    Discard { vol: u32, vblock: u64 },
+    Commit,
+}
+
+fn op_strategy(vols: u32, vblocks: u64) -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        3 => (1..=vols, 0..vblocks, any::<u8>())
+            .prop_map(|(vol, vblock, fill)| PoolOp::Write { vol, vblock, fill }),
+        2 => (1..=vols, 0..vblocks).prop_map(|(vol, vblock)| PoolOp::Read { vol, vblock }),
+        1 => (1..=vols, 0..vblocks).prop_map(|(vol, vblock)| PoolOp::Discard { vol, vblock }),
+        1 => Just(PoolOp::Commit),
+    ]
+}
+
+fn strategies() -> [AllocStrategy; 2] {
+    [AllocStrategy::Sequential, AllocStrategy::Random]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random interleavings of writes, reads, discards and commits across
+    /// three volumes behave exactly like independent HashMaps, under both
+    /// allocation strategies.
+    #[test]
+    fn pool_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(3, 64), 1..80),
+        seed in 0u64..500,
+    ) {
+        for strategy in strategies() {
+            let data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
+            let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+            let pool =
+                ThinPool::create_seeded(data, meta, PoolConfig::new(3), strategy, seed).unwrap();
+            let vols: Vec<_> = (1..=3).map(|v| pool.create_volume(v, 64).unwrap()).collect();
+            let mut model: HashMap<(u32, u64), u8> = HashMap::new();
+            for op in &ops {
+                match *op {
+                    PoolOp::Write { vol, vblock, fill } => {
+                        vols[vol as usize - 1].write_block(vblock, &vec![fill; 512]).unwrap();
+                        model.insert((vol, vblock), fill);
+                    }
+                    PoolOp::Read { vol, vblock } => {
+                        let expect = model.get(&(vol, vblock)).copied().unwrap_or(0);
+                        prop_assert_eq!(
+                            vols[vol as usize - 1].read_block(vblock).unwrap(),
+                            vec![expect; 512]
+                        );
+                    }
+                    PoolOp::Discard { vol, vblock } => {
+                        pool.discard(vol, vblock).unwrap();
+                        model.remove(&(vol, vblock));
+                    }
+                    PoolOp::Commit => pool.commit().unwrap(),
+                }
+            }
+            // Mapped block count equals model size; all contents match.
+            let mapped: u64 = (1..=3).map(|v| pool.volume_mapped_blocks(v)).sum();
+            prop_assert_eq!(mapped, model.len() as u64);
+            for (&(vol, vblock), &fill) in &model {
+                prop_assert_eq!(
+                    vols[vol as usize - 1].read_block(vblock).unwrap(),
+                    vec![fill; 512]
+                );
+            }
+        }
+    }
+
+    /// No physical block is ever shared between volumes or double-mapped,
+    /// whatever the operation sequence.
+    #[test]
+    fn physical_blocks_never_alias(
+        ops in prop::collection::vec(op_strategy(3, 64), 1..80),
+        seed in 0u64..500,
+    ) {
+        for strategy in strategies() {
+            let data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
+            let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+            let pool =
+                ThinPool::create_seeded(data, meta, PoolConfig::new(3), strategy, seed).unwrap();
+            let vols: Vec<_> = (1..=3).map(|v| pool.create_volume(v, 64).unwrap()).collect();
+            for op in &ops {
+                match *op {
+                    PoolOp::Write { vol, vblock, fill } => {
+                        let _ = vols[vol as usize - 1].write_block(vblock, &vec![fill; 512]);
+                    }
+                    PoolOp::Discard { vol, vblock } => {
+                        pool.discard(vol, vblock).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            let view = pool.metadata_view();
+            let mut seen = HashSet::new();
+            for vol in view.volumes.values() {
+                for &p in vol.mappings.values() {
+                    prop_assert!(seen.insert(p), "physical block {} double-mapped", p);
+                    prop_assert!(view.bitmap.get(p), "mapped block {} not marked allocated", p);
+                }
+            }
+        }
+    }
+
+    /// Commit + reopen restores exactly the committed state under both
+    /// allocators.
+    #[test]
+    fn reopen_reflects_last_commit(
+        writes in prop::collection::vec((1u32..=2, 0u64..32, any::<u8>()), 1..30),
+        seed in 0u64..500,
+    ) {
+        for strategy in strategies() {
+            let data: SharedDevice = Arc::new(MemDisk::with_default_timing(256, 512));
+            let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+            let pool = ThinPool::create_seeded(
+                data.clone(), meta.clone(), PoolConfig::new(2), strategy, seed,
+            ).unwrap();
+            let v1 = pool.create_volume(1, 32).unwrap();
+            let v2 = pool.create_volume(2, 32).unwrap();
+            let mut model: HashMap<(u32, u64), u8> = HashMap::new();
+            for &(vol, vblock, fill) in &writes {
+                let v = if vol == 1 { &v1 } else { &v2 };
+                v.write_block(vblock, &vec![fill; 512]).unwrap();
+                model.insert((vol, vblock), fill);
+            }
+            pool.commit().unwrap();
+            drop((pool, v1, v2));
+
+            let pool2 =
+                ThinPool::open(data, meta, PoolConfig::new(2), strategy, seed + 1).unwrap();
+            for (&(vol, vblock), &fill) in &model {
+                let v = pool2.open_volume(vol).unwrap();
+                prop_assert_eq!(v.read_block(vblock).unwrap(), vec![fill; 512]);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The Bonnie++-style workload (§VI-B): block output/input/rewrite plus
+//! small-file create/stat/delete churn, working set 2× "RAM".
+
+use mobiceal_blockdev::SharedDevice;
+use mobiceal_fs::{FileSystem, FsError, SimFs};
+use mobiceal_sim::{SimClock, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// Result of one Bonnie++-style run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BonnieResult {
+    /// Block-wise sequential write throughput, KB/s (Bonnie's
+    /// "Sequential Output / Block").
+    pub block_write_kbps: f64,
+    /// Block-wise sequential read throughput, KB/s ("Sequential Input /
+    /// Block").
+    pub block_read_kbps: f64,
+    /// Rewrite (read + write back) throughput, KB/s.
+    pub rewrite_kbps: f64,
+    /// Sequential file creations per second.
+    pub creates_per_sec: f64,
+    /// File stats per second.
+    pub stats_per_sec: f64,
+    /// File deletions per second.
+    pub deletes_per_sec: f64,
+}
+
+impl BonnieResult {
+    /// Block write throughput in MB/s.
+    pub fn write_mbps(&self) -> f64 {
+        self.block_write_kbps / 1000.0
+    }
+
+    /// Block read throughput in MB/s.
+    pub fn read_mbps(&self) -> f64 {
+        self.block_read_kbps / 1000.0
+    }
+}
+
+/// The Bonnie++-style benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BonnieWorkload {
+    /// Size of the big test file ("twice the size of the system RAM" in the
+    /// paper; scaled here).
+    pub file_bytes: u64,
+    /// Chunk size for block I/O (Bonnie uses 8 KiB).
+    pub chunk_bytes: usize,
+    /// Number of small files in the creation phase.
+    pub small_files: u32,
+    /// Size of each small file.
+    pub small_file_bytes: usize,
+}
+
+impl Default for BonnieWorkload {
+    fn default() -> Self {
+        BonnieWorkload {
+            file_bytes: 16 * 1024 * 1024,
+            chunk_bytes: 8 * 1024,
+            small_files: 64,
+            small_file_bytes: 1024,
+        }
+    }
+}
+
+impl BonnieWorkload {
+    /// Formats a fresh `SimFs` on `device` and runs all phases.
+    ///
+    /// # Errors
+    ///
+    /// File-system or device errors.
+    pub fn run(&self, device: SharedDevice, clock: &SimClock) -> Result<BonnieResult, FsError> {
+        let mut fs = SimFs::format(device)?;
+        let mut rng = Xoshiro256::seed_from(0xB0_111E);
+
+        // Phase 1: sequential block output.
+        fs.create("Bonnie.0")?;
+        let mut chunk = vec![0u8; self.chunk_bytes];
+        rng.fill_bytes(&mut chunk);
+        let t0 = clock.now();
+        let mut off = 0u64;
+        while off < self.file_bytes {
+            let take = (self.file_bytes - off).min(self.chunk_bytes as u64) as usize;
+            fs.write("Bonnie.0", off, &chunk[..take])?;
+            off += take as u64;
+        }
+        fs.sync()?;
+        let write_time = clock.now() - t0;
+
+        // Phase 2: rewrite — read each chunk, write it back.
+        let t1 = clock.now();
+        let mut off = 0u64;
+        while off < self.file_bytes {
+            let take = (self.file_bytes - off).min(self.chunk_bytes as u64) as usize;
+            let data = fs.read("Bonnie.0", off, take)?;
+            fs.write("Bonnie.0", off, &data)?;
+            off += take as u64;
+        }
+        fs.sync()?;
+        let rewrite_time = clock.now() - t1;
+
+        // Phase 3: sequential block input.
+        let t2 = clock.now();
+        let mut off = 0u64;
+        while off < self.file_bytes {
+            let take = (self.file_bytes - off).min(self.chunk_bytes as u64) as usize;
+            fs.read("Bonnie.0", off, take)?;
+            off += take as u64;
+        }
+        let read_time = clock.now() - t2;
+
+        // Phase 4: small-file create / stat / delete.
+        let t3 = clock.now();
+        for i in 0..self.small_files {
+            let name = format!("bon_{i:05}");
+            fs.create(&name)?;
+            fs.write(&name, 0, &chunk[..self.small_file_bytes])?;
+        }
+        fs.sync()?;
+        let create_time = clock.now() - t3;
+
+        let t4 = clock.now();
+        for i in 0..self.small_files {
+            fs.file_size(&format!("bon_{i:05}"))?;
+        }
+        let stat_time = clock.now() - t4;
+
+        let t5 = clock.now();
+        for i in 0..self.small_files {
+            fs.delete(&format!("bon_{i:05}"))?;
+        }
+        fs.sync()?;
+        let delete_time = clock.now() - t5;
+
+        let kbps = |bytes: u64, secs: f64| bytes as f64 / secs / 1000.0;
+        let per_sec = |count: u32, secs: f64| {
+            if secs == 0.0 {
+                f64::INFINITY
+            } else {
+                count as f64 / secs
+            }
+        };
+        Ok(BonnieResult {
+            block_write_kbps: kbps(self.file_bytes, write_time.as_secs_f64()),
+            block_read_kbps: kbps(self.file_bytes, read_time.as_secs_f64()),
+            rewrite_kbps: kbps(2 * self.file_bytes, rewrite_time.as_secs_f64()),
+            creates_per_sec: per_sec(self.small_files, create_time.as_secs_f64()),
+            stats_per_sec: per_sec(self.small_files, stat_time.as_secs_f64()),
+            deletes_per_sec: per_sec(self.small_files, delete_time.as_secs_f64()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stacks::{build_stack, StackConfig};
+
+    fn run_on(config: StackConfig) -> BonnieResult {
+        let stack = build_stack(config, 16384, 13).unwrap();
+        let wl = BonnieWorkload { file_bytes: 6 * 1024 * 1024, ..Default::default() };
+        wl.run(stack.device.clone(), &stack.clock).unwrap()
+    }
+
+    #[test]
+    fn all_phases_produce_positive_rates() {
+        let r = run_on(StackConfig::Android);
+        assert!(r.block_write_kbps > 0.0);
+        assert!(r.block_read_kbps > 0.0);
+        assert!(r.rewrite_kbps > 0.0);
+        assert!(r.creates_per_sec > 0.0);
+        assert!(r.stats_per_sec > 0.0);
+        assert!(r.deletes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn bonnie_agrees_with_dd_ordering() {
+        // The paper notes Bonnie++ results are "similar to the results in
+        // the dd test": MobiCeal public writes slower than stock FDE.
+        let android = run_on(StackConfig::Android);
+        let mcp = run_on(StackConfig::MobiCealPublic);
+        assert!(
+            mcp.block_write_kbps < android.block_write_kbps,
+            "MC-P {} vs Android {}",
+            mcp.block_write_kbps,
+            android.block_write_kbps
+        );
+    }
+
+    #[test]
+    fn rewrite_is_slower_than_pure_read() {
+        let r = run_on(StackConfig::Android);
+        assert!(r.rewrite_kbps < r.block_read_kbps + r.block_write_kbps);
+    }
+}

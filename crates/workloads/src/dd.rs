@@ -1,0 +1,150 @@
+//! The `dd` workload (§VI-B): one big sequential write with fdatasync, one
+//! big sequential read with a dropped cache.
+
+use mobiceal_blockdev::SharedDevice;
+use mobiceal_fs::{FileSystem, FsError, SimFs};
+use mobiceal_sim::SimClock;
+use serde::{Deserialize, Serialize};
+
+/// Result of one dd run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdResult {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Sequential write throughput in KB/s (the paper's unit).
+    pub write_kbps: f64,
+    /// Sequential read throughput in KB/s.
+    pub read_kbps: f64,
+}
+
+impl DdResult {
+    /// Write throughput in MB/s.
+    pub fn write_mbps(&self) -> f64 {
+        self.write_kbps / 1000.0
+    }
+
+    /// Read throughput in MB/s.
+    pub fn read_mbps(&self) -> f64 {
+        self.read_kbps / 1000.0
+    }
+}
+
+/// The dd benchmark: `dd if=/dev/zero of=test.dbf bs=… conv=fdatasync`,
+/// `echo 3 > /proc/sys/vm/drop_caches`, `dd if=test.dbf of=/dev/null`.
+#[derive(Debug, Clone, Copy)]
+pub struct DdWorkload {
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// I/O chunk size in bytes.
+    pub chunk_bytes: usize,
+}
+
+impl Default for DdWorkload {
+    fn default() -> Self {
+        // Scaled from the paper's 400 MB to fit the simulated disk.
+        DdWorkload { file_bytes: 24 * 1024 * 1024, chunk_bytes: 1024 * 1024 }
+    }
+}
+
+impl DdWorkload {
+    /// Formats a fresh `SimFs` on `device` and runs write-then-read,
+    /// measuring on `clock`.
+    ///
+    /// # Errors
+    ///
+    /// File-system or device errors.
+    pub fn run(&self, device: SharedDevice, clock: &SimClock) -> Result<DdResult, FsError> {
+        let mut fs = SimFs::format(device)?;
+        fs.create("test.dbf")?;
+        let chunk = vec![0u8; self.chunk_bytes]; // dd reads /dev/zero
+        let t0 = clock.now();
+        let mut off = 0u64;
+        while off < self.file_bytes {
+            let take = (self.file_bytes - off).min(self.chunk_bytes as u64) as usize;
+            fs.write("test.dbf", off, &chunk[..take])?;
+            off += take as u64;
+        }
+        fs.sync()?; // conv=fdatasync
+        let write_time = clock.now() - t0;
+
+        // "echo 3 > /proc/sys/vm/drop_caches": SimFs has no data cache, so
+        // reads always hit the device, matching the measured condition.
+        let t1 = clock.now();
+        let mut off = 0u64;
+        while off < self.file_bytes {
+            let take = (self.file_bytes - off).min(self.chunk_bytes as u64) as usize;
+            let data = fs.read("test.dbf", off, take)?;
+            debug_assert_eq!(data.len(), take);
+            off += take as u64;
+        }
+        let read_time = clock.now() - t1;
+
+        Ok(DdResult {
+            bytes: self.file_bytes,
+            write_kbps: self.file_bytes as f64 / write_time.as_secs_f64() / 1000.0,
+            read_kbps: self.file_bytes as f64 / read_time.as_secs_f64() / 1000.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stacks::{build_stack, StackConfig};
+
+    fn run_on(config: StackConfig) -> DdResult {
+        let stack = build_stack(config, 16384, 11).unwrap();
+        let wl = DdWorkload { file_bytes: 8 * 1024 * 1024, chunk_bytes: 256 * 1024 };
+        wl.run(stack.device.clone(), &stack.clock).unwrap()
+    }
+
+    #[test]
+    fn android_fde_lands_in_calibrated_band() {
+        // Fig. 4 band: Android FDE writes ~15-21 MB/s, reads ~24-28 MB/s
+        // on the Nexus 4 class eMMC.
+        let r = run_on(StackConfig::Android);
+        assert!(
+            (14.0..24.0).contains(&r.write_mbps()),
+            "FDE write {:.1} MB/s",
+            r.write_mbps()
+        );
+        assert!(
+            (20.0..32.0).contains(&r.read_mbps()),
+            "FDE read {:.1} MB/s",
+            r.read_mbps()
+        );
+    }
+
+    #[test]
+    fn thin_layer_costs_mainly_on_reads() {
+        let android = run_on(StackConfig::Android);
+        let atp = run_on(StackConfig::AndroidThinPublic);
+        let write_ratio = atp.write_kbps / android.write_kbps;
+        let read_ratio = atp.read_kbps / android.read_kbps;
+        assert!(write_ratio > 0.9, "thin writes near-free: ratio {write_ratio:.2}");
+        assert!(
+            (0.70..0.95).contains(&read_ratio),
+            "thin reads pay the lookup: ratio {read_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn mobiceal_write_overhead_in_paper_band() {
+        let android = run_on(StackConfig::Android);
+        let mcp = run_on(StackConfig::MobiCealPublic);
+        let ratio = mcp.write_kbps / android.write_kbps;
+        // Paper: "MobiCeal reduces the performance by about 18%" on writes.
+        assert!(
+            (0.65..0.95).contains(&ratio),
+            "MC-P/Android write ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn hidden_volume_performance_close_to_public() {
+        let mcp = run_on(StackConfig::MobiCealPublic);
+        let mch = run_on(StackConfig::MobiCealHidden);
+        let ratio = mch.read_kbps / mcp.read_kbps;
+        assert!((0.8..1.25).contains(&ratio), "MC-H/MC-P read ratio {ratio:.2}");
+    }
+}

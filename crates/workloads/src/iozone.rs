@@ -1,0 +1,165 @@
+//! An IOZone-style workload: random-access read/write/mixed phases.
+//!
+//! DEFY was evaluated with IOZone (§VI-B, Table I context). Beyond
+//! reproducing that row's environment, random-access phases matter for
+//! MobiCeal because its random *allocation* makes logically-sequential
+//! files physically scattered — so the gap between sequential and random
+//! access is where the design's I/O cost hides or shows.
+
+use mobiceal_blockdev::SharedDevice;
+use mobiceal_fs::{FileSystem, FsError, SimFs};
+use mobiceal_sim::{SimClock, Xoshiro256};
+use serde::{Deserialize, Serialize};
+
+/// Result of one IOZone-style run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IozoneResult {
+    /// Sequential write throughput, KB/s (IOZone "write").
+    pub write_kbps: f64,
+    /// Random-offset write throughput, KB/s ("random write").
+    pub random_write_kbps: f64,
+    /// Sequential read throughput, KB/s ("read").
+    pub read_kbps: f64,
+    /// Random-offset read throughput, KB/s ("random read").
+    pub random_read_kbps: f64,
+    /// Mixed 50/50 random read/write throughput, KB/s ("mixed workload").
+    pub mixed_kbps: f64,
+}
+
+/// The IOZone-style benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct IozoneWorkload {
+    /// Test file size in bytes.
+    pub file_bytes: u64,
+    /// Record (chunk) size in bytes.
+    pub record_bytes: usize,
+    /// Operations per random phase.
+    pub random_ops: u32,
+    /// RNG seed for offset sequences.
+    pub seed: u64,
+}
+
+impl Default for IozoneWorkload {
+    fn default() -> Self {
+        IozoneWorkload {
+            file_bytes: 8 * 1024 * 1024,
+            record_bytes: 16 * 1024,
+            random_ops: 256,
+            seed: 0x1020,
+        }
+    }
+}
+
+impl IozoneWorkload {
+    /// Formats a fresh `SimFs` on `device` and runs all phases.
+    ///
+    /// # Errors
+    ///
+    /// File-system or device errors.
+    pub fn run(&self, device: SharedDevice, clock: &SimClock) -> Result<IozoneResult, FsError> {
+        let mut fs = SimFs::format(device)?;
+        let mut rng = Xoshiro256::seed_from(self.seed);
+        let mut record = vec![0u8; self.record_bytes];
+        rng.fill_bytes(&mut record);
+        let records = self.file_bytes / self.record_bytes as u64;
+
+        // Phase 1: sequential write.
+        fs.create("iozone.tmp")?;
+        let t0 = clock.now();
+        for r in 0..records {
+            fs.write("iozone.tmp", r * self.record_bytes as u64, &record)?;
+        }
+        fs.sync()?;
+        let write_time = clock.now() - t0;
+
+        // Phase 2: random write.
+        let t1 = clock.now();
+        for _ in 0..self.random_ops {
+            let r = rng.next_below(records);
+            fs.write("iozone.tmp", r * self.record_bytes as u64, &record)?;
+        }
+        fs.sync()?;
+        let random_write_time = clock.now() - t1;
+
+        // Phase 3: sequential read.
+        let t2 = clock.now();
+        for r in 0..records {
+            fs.read("iozone.tmp", r * self.record_bytes as u64, self.record_bytes)?;
+        }
+        let read_time = clock.now() - t2;
+
+        // Phase 4: random read.
+        let t3 = clock.now();
+        for _ in 0..self.random_ops {
+            let r = rng.next_below(records);
+            fs.read("iozone.tmp", r * self.record_bytes as u64, self.record_bytes)?;
+        }
+        let random_read_time = clock.now() - t3;
+
+        // Phase 5: mixed 50/50.
+        let t4 = clock.now();
+        for _ in 0..self.random_ops {
+            let r = rng.next_below(records);
+            if rng.next_u64() & 1 == 0 {
+                fs.write("iozone.tmp", r * self.record_bytes as u64, &record)?;
+            } else {
+                fs.read("iozone.tmp", r * self.record_bytes as u64, self.record_bytes)?;
+            }
+        }
+        fs.sync()?;
+        let mixed_time = clock.now() - t4;
+
+        let kbps = |bytes: u64, secs: f64| bytes as f64 / secs / 1000.0;
+        let rand_bytes = self.random_ops as u64 * self.record_bytes as u64;
+        Ok(IozoneResult {
+            write_kbps: kbps(self.file_bytes, write_time.as_secs_f64()),
+            random_write_kbps: kbps(rand_bytes, random_write_time.as_secs_f64()),
+            read_kbps: kbps(self.file_bytes, read_time.as_secs_f64()),
+            random_read_kbps: kbps(rand_bytes, random_read_time.as_secs_f64()),
+            mixed_kbps: kbps(rand_bytes, mixed_time.as_secs_f64()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stacks::{build_stack, StackConfig};
+
+    fn run_on(config: StackConfig) -> IozoneResult {
+        let stack = build_stack(config, 16384, 21).unwrap();
+        let wl = IozoneWorkload { file_bytes: 4 * 1024 * 1024, ..Default::default() };
+        wl.run(stack.device.clone(), &stack.clock).unwrap()
+    }
+
+    #[test]
+    fn all_phases_positive() {
+        let r = run_on(StackConfig::Android);
+        for v in [r.write_kbps, r.random_write_kbps, r.read_kbps, r.random_read_kbps, r.mixed_kbps]
+        {
+            assert!(v > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn random_access_is_not_faster_than_sequential() {
+        let r = run_on(StackConfig::Android);
+        assert!(r.random_read_kbps <= r.read_kbps * 1.05, "{r:?}");
+        assert!(r.random_write_kbps <= r.write_kbps * 1.25, "{r:?}");
+    }
+
+    #[test]
+    fn mobiceal_narrows_the_seq_random_read_gap() {
+        // Random allocation scatters even sequential files, so MC's
+        // sequential reads already pay random-access costs: the seq/random
+        // gap should be smaller than on FDE.
+        let fde = run_on(StackConfig::Android);
+        let mc = run_on(StackConfig::MobiCealHidden);
+        let fde_gap = fde.read_kbps / fde.random_read_kbps;
+        let mc_gap = mc.read_kbps / mc.random_read_kbps;
+        assert!(
+            mc_gap <= fde_gap * 1.02,
+            "MC gap {mc_gap:.2} should not exceed FDE gap {fde_gap:.2}"
+        );
+    }
+}

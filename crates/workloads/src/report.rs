@@ -1,0 +1,157 @@
+//! Plain-text table rendering for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Free text.
+    Text(String),
+    /// A number rendered with two decimals.
+    Num(f64),
+    /// A number rendered as an integer.
+    Int(u64),
+    /// A percentage rendered with two decimals and a `%`.
+    Pct(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => format!("{v:.2}"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Pct(v) => format!("{v:.2}%"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+/// A named table with a header row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption (e.g. `"Table I: overhead comparison"`).
+    pub title: String,
+    /// Column headings.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Renders a table as aligned plain text (the way experiment binaries print
+/// their output).
+pub fn render_table(table: &Table) -> String {
+    let mut widths: Vec<usize> = table.columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|row| row.iter().map(Cell::render).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n", table.title));
+    let header: Vec<String> = table
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+        .collect();
+    out.push_str(&header.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rendered {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["system", "MB/s", "overhead"]);
+        t.push_row(vec!["MobiCeal".into(), Cell::Num(15.2), Cell::Pct(22.05)]);
+        t.push_row(vec!["HIVE".into(), Cell::Num(0.97), Cell::Pct(99.55)]);
+        let text = render_table(&t);
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("15.20"));
+        assert!(text.contains("99.55%"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(Cell::Text("x".into()).render(), "x");
+        assert_eq!(Cell::Num(1.234).render(), "1.23");
+        assert_eq!(Cell::Int(7).render(), "7");
+        assert_eq!(Cell::Pct(18.0).render(), "18.00%");
+        assert_eq!(Cell::from(3.0_f64), Cell::Num(3.0));
+        assert_eq!(Cell::from(3u64), Cell::Int(3));
+        assert_eq!(Cell::from("a"), Cell::Text("a".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The five Fig. 4 stack configurations as mountable devices.
+//!
+//! | name    | stack                                                        |
+//! |---------|--------------------------------------------------------------|
+//! | Android | dm-crypt over the raw device (stock FDE)                     |
+//! | A-T-P   | dm-crypt over a *stock* thin volume (sequential allocation)  |
+//! | A-T-H   | dm-crypt over a second stock thin volume ("hidden" position) |
+//! | MC-P    | MobiCeal public volume (random allocation + dummy writes)    |
+//! | MC-H    | MobiCeal hidden volume (random allocation, no dummy hook)    |
+
+use mobiceal::{MobiCeal, MobiCealConfig, MobiCealError};
+use mobiceal_baselines::AndroidFde;
+use mobiceal_blockdev::{MemDisk, SharedDevice};
+use mobiceal_dm::{DmCrypt, DmLinear};
+use mobiceal_sim::{CpuCostModel, SimClock};
+use mobiceal_thinp::{AllocStrategy, PoolConfig, ThinPool};
+use std::sync::Arc;
+
+/// Which Fig. 4 configuration to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackConfig {
+    /// Stock Android FDE.
+    Android,
+    /// Android + thin volumes (stock kernel), public volume.
+    AndroidThinPublic,
+    /// Android + thin volumes (stock kernel), hidden-position volume.
+    AndroidThinHidden,
+    /// MobiCeal public volume.
+    MobiCealPublic,
+    /// MobiCeal hidden volume.
+    MobiCealHidden,
+}
+
+impl StackConfig {
+    /// The label used in the paper's Fig. 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            StackConfig::Android => "Android",
+            StackConfig::AndroidThinPublic => "A-T-P",
+            StackConfig::AndroidThinHidden => "A-T-H",
+            StackConfig::MobiCealPublic => "MC-P",
+            StackConfig::MobiCealHidden => "MC-H",
+        }
+    }
+
+    /// All five configurations in the paper's presentation order.
+    pub fn all() -> [StackConfig; 5] {
+        [
+            StackConfig::Android,
+            StackConfig::AndroidThinPublic,
+            StackConfig::AndroidThinHidden,
+            StackConfig::MobiCealPublic,
+            StackConfig::MobiCealHidden,
+        ]
+    }
+}
+
+/// A built stack: the mountable device plus its clock and backing disk.
+pub struct StackHandle {
+    /// The decrypted device a file system mounts.
+    pub device: SharedDevice,
+    /// The simulated clock all layers charge.
+    pub clock: SimClock,
+    /// The raw backing disk (for snapshots / statistics).
+    pub disk: Arc<MemDisk>,
+    /// The MobiCeal instance, for the MC-* configurations.
+    pub mobiceal: Option<MobiCeal>,
+    /// The configuration that was built.
+    pub config: StackConfig,
+}
+
+impl std::fmt::Debug for StackHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackHandle").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+fn mc_config() -> MobiCealConfig {
+    MobiCealConfig {
+        num_volumes: 6,
+        pbkdf2_iterations: 4,
+        metadata_blocks: 128,
+        ..MobiCealConfig::default()
+    }
+}
+
+/// Builds one of the Fig. 4 stacks over a fresh disk of `disk_blocks`
+/// 4 KiB blocks.
+///
+/// # Errors
+///
+/// Propagates initialization failures (e.g. a too-small disk).
+pub fn build_stack(
+    config: StackConfig,
+    disk_blocks: u64,
+    seed: u64,
+) -> Result<StackHandle, MobiCealError> {
+    let clock = SimClock::new();
+    let block_size = 4096;
+    let disk = Arc::new(MemDisk::new(disk_blocks, block_size, clock.clone()));
+    match config {
+        StackConfig::Android => {
+            let fde =
+                AndroidFde::initialize(disk.clone() as SharedDevice, clock.clone(), "pwd", seed)?;
+            let device = fde.unlock("pwd")?;
+            Ok(StackHandle { device, clock, disk, mobiceal: None, config })
+        }
+        StackConfig::AndroidThinPublic | StackConfig::AndroidThinHidden => {
+            // Stock thin provisioning (sequential allocator, §II-C), then
+            // dm-crypt on the chosen thin volume.
+            let metadata_blocks = 128u64;
+            let data_blocks = disk_blocks - metadata_blocks;
+            let meta: SharedDevice =
+                Arc::new(DmLinear::new(disk.clone() as SharedDevice, 0, metadata_blocks)?);
+            let data: SharedDevice = Arc::new(DmLinear::new(
+                disk.clone() as SharedDevice,
+                metadata_blocks,
+                data_blocks,
+            )?);
+            let pool = Arc::new(ThinPool::create_seeded(
+                data,
+                meta,
+                PoolConfig::new(2),
+                AllocStrategy::Sequential,
+                seed,
+            )?);
+            pool.set_read_overhead(clock.clone(), mobiceal::THIN_READ_LOOKUP);
+            let public = pool.create_volume(1, data_blocks)?;
+            let hidden = pool.create_volume(2, data_blocks)?;
+            let vol = match config {
+                StackConfig::AndroidThinPublic => public,
+                _ => hidden,
+            };
+            let key = [0x37u8; 32];
+            let crypt = DmCrypt::new_essiv(Arc::new(vol), &key)
+                .with_timing(clock.clone(), CpuCostModel::nexus4());
+            Ok(StackHandle { device: Arc::new(crypt), clock, disk, mobiceal: None, config })
+        }
+        StackConfig::MobiCealPublic | StackConfig::MobiCealHidden => {
+            let mc = MobiCeal::initialize(
+                disk.clone() as SharedDevice,
+                clock.clone(),
+                mc_config(),
+                "decoy",
+                &["hidden"],
+                seed,
+            )?;
+            let device: SharedDevice = match config {
+                StackConfig::MobiCealPublic => Arc::new(mc.unlock_public("decoy")?),
+                _ => Arc::new(mc.unlock_hidden("hidden")?),
+            };
+            Ok(StackHandle { device, clock, disk, mobiceal: Some(mc), config })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobiceal_blockdev::BlockDevice;
+
+    #[test]
+    fn all_stacks_build_and_roundtrip() {
+        for config in StackConfig::all() {
+            let stack = build_stack(config, 8192, 7).unwrap();
+            let data = vec![0x5A; 4096];
+            stack.device.write_block(3, &data).unwrap();
+            assert_eq!(
+                stack.device.read_block(3).unwrap(),
+                data,
+                "{} roundtrip",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_figure4() {
+        let labels: Vec<&str> = StackConfig::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["Android", "A-T-P", "A-T-H", "MC-P", "MC-H"]);
+    }
+
+    #[test]
+    fn mobiceal_stacks_expose_the_device() {
+        let stack = build_stack(StackConfig::MobiCealPublic, 8192, 1).unwrap();
+        assert!(stack.mobiceal.is_some());
+        let stack = build_stack(StackConfig::Android, 8192, 1).unwrap();
+        assert!(stack.mobiceal.is_none());
+    }
+}

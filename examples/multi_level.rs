@@ -1,0 +1,78 @@
+//! Multi-level deniability (§IV-C): several hidden volumes behind distinct
+//! passwords, so the user can disclose *some* hidden material under severe
+//! coercion while denying the rest — plus dummy-space garbage collection.
+//!
+//! Run with: `cargo run --release --example multi_level`
+
+use mobiceal::{MobiCeal, MobiCealConfig, MobiCealError};
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_sim::SimClock;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(16384, 4096, clock.clone()));
+    // Ten thin volumes; three of them become hidden volumes. The count of
+    // hidden volumes is secret — it equals the number of passwords, which
+    // only the user knows.
+    let config = MobiCealConfig {
+        num_volumes: 10,
+        pbkdf2_iterations: 16,
+        ..Default::default()
+    };
+    let passwords = ["level-one-diary", "level-two-sources", "level-three-archive"];
+    let mc = MobiCeal::initialize(
+        disk as SharedDevice,
+        clock,
+        config,
+        "decoy",
+        &passwords,
+        31337,
+    )?;
+
+    // Each password deterministically selects its own volume via
+    // k = (PBKDF2(pwd||salt) mod (n-1)) + 2.
+    println!("hidden volume indices (secret, derived from passwords):");
+    for pwd in &passwords {
+        let vol = mc.unlock_hidden(pwd)?;
+        println!("  {:<22} -> V{}", pwd, vol.volume_id());
+        vol.write_block(0, &vec![vol.volume_id() as u8; 4096])?;
+    }
+
+    // Volumes are independent: each password decrypts only its own level.
+    let v1 = mc.unlock_hidden("level-one-diary")?;
+    let v2 = mc.unlock_hidden("level-two-sources")?;
+    assert_ne!(v1.volume_id(), v2.volume_id());
+    assert_eq!(v1.read_block(0)?, vec![v1.volume_id() as u8; 4096]);
+    assert_eq!(v2.read_block(0)?, vec![v2.volume_id() as u8; 4096]);
+
+    // Under pressure the user can concede the *diary* password and still
+    // deny the other two levels — nothing marks V_sources/V_archive as
+    // anything but dummy volumes.
+    println!("\nconceding 'level-one-diary' reveals only V{}", v1.volume_id());
+    assert!(matches!(mc.unlock_hidden("a-guess"), Err(MobiCealError::BadPassword)));
+
+    // Generate dummy traffic, then garbage-collect part of it (hidden-mode
+    // only, partial by design so surviving noise stays plausible).
+    let public = mc.unlock_public("decoy")?;
+    for i in 0..1500 {
+        public.write_block(i, &vec![0x44; 4096])?;
+    }
+    let free_before = mc.free_blocks();
+    let report = mc.garbage_collect(&passwords, 9)?;
+    println!(
+        "\nGC: examined {} dummy volumes, reclaimed {}/{} blocks (fraction {:.2})",
+        report.dummy_volumes, report.blocks_reclaimed, report.blocks_before, report.fraction
+    );
+    println!("free blocks: {} -> {}", free_before, mc.free_blocks());
+    assert!(report.blocks_reclaimed < report.blocks_before, "GC is deliberately partial");
+
+    // All three levels survive GC.
+    for pwd in &passwords {
+        let vol = mc.unlock_hidden(pwd)?;
+        assert_eq!(vol.read_block(0)?, vec![vol.volume_id() as u8; 4096]);
+    }
+    println!("all hidden levels intact after GC");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: initialize MobiCeal, use the public and hidden volumes, and
+//! survive a coercion attempt.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mobiceal::{MobiCeal, MobiCealConfig, MobiCealError};
+use mobiceal_blockdev::{MemDisk, SharedDevice};
+use mobiceal_fs::{FileSystem, SimFs};
+use mobiceal_sim::SimClock;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 64 MiB simulated eMMC userdata partition.
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(16384, 4096, clock.clone()));
+
+    // `vdc cryptfs pde wipe <decoy> <n> <hidden…>`: one decoy password, one
+    // hidden password, six thin volumes (public + hidden + four dummies).
+    let config = MobiCealConfig { pbkdf2_iterations: 64, ..Default::default() };
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock.clone(),
+        config,
+        "correct-horse",
+        &["battery-staple"],
+        2024,
+    )?;
+    println!("initialized MobiCeal with {} thin volumes", mc.config().num_volumes);
+
+    // Daily use: unlock the public volume with the decoy password and put
+    // any block file system on it. Dummy writes ride along automatically.
+    let public = mc.unlock_public("correct-horse")?;
+    let mut pub_fs = SimFs::format(Arc::new(public) as SharedDevice)?;
+    pub_fs.create("vacation.jpg")?;
+    pub_fs.write("vacation.jpg", 0, &vec![0x89; 512 * 1024])?;
+    pub_fs.sync()?;
+    println!("public volume: wrote vacation.jpg ({} bytes)", pub_fs.file_size("vacation.jpg")?);
+
+    // Emergency: unlock the hidden volume with the hidden password and
+    // store the sensitive material.
+    let hidden = mc.unlock_hidden("battery-staple")?;
+    let mut hid_fs = SimFs::format(Arc::new(hidden) as SharedDevice)?;
+    hid_fs.create("interview-notes.txt")?;
+    hid_fs.write("interview-notes.txt", 0, b"names and places the border agent must not see")?;
+    hid_fs.sync()?;
+    println!("hidden volume: wrote interview-notes.txt");
+    mc.commit()?;
+
+    // Dummy-write accounting: the cover traffic that makes the hidden
+    // volume deniable.
+    let stats = mc.dummy_stats();
+    println!(
+        "dummy writes: {} trigger checks, {} bursts, {} noise blocks written",
+        stats.trigger_checks, stats.bursts, stats.blocks_written
+    );
+
+    // Coercion: the user reveals ONLY the decoy password.
+    println!("\n--- coercion at the checkpoint ---");
+    let coerced = mc.unlock_public("correct-horse")?;
+    let mut coerced_fs = SimFs::mount(Arc::new(coerced) as SharedDevice)?;
+    println!("adversary decrypts public volume and sees: {:?}", coerced_fs.list());
+    assert_eq!(coerced_fs.read("vacation.jpg", 0, 4)?, vec![0x89; 4]);
+
+    // The adversary tries passwords against the other volumes: every
+    // candidate fails, and hidden volumes are indistinguishable from the
+    // dummy volumes that legitimately hold random noise.
+    for guess in ["password123", "correct-horse2", "letmein"] {
+        assert!(matches!(mc.unlock_hidden(guess), Err(MobiCealError::BadPassword)));
+    }
+    let view = mc.metadata_view();
+    println!("per-volume mapped blocks visible in metadata:");
+    for v in 1..=mc.config().num_volumes {
+        println!("  V{v}: {} blocks", view.mapped_blocks(v));
+    }
+    println!(
+        "every non-public volume holds only noise-like ciphertext; volumes with more \
+         blocks are explained as dummy-write targets (the target volume is drawn from \
+         stored_rand and legitimately concentrates noise). The user simply claims the \
+         hidden volume is one of them."
+    );
+    println!("deniability holds: nothing distinguishes the hidden volume.");
+    Ok(())
+}

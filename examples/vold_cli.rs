@@ -1,0 +1,47 @@
+//! The `vdc` command-line flow of §V-B, end to end: initialize with
+//! `cryptfs pde wipe`, authenticate with `cryptfs checkpw`, and fast-switch
+//! with `cryptfs pde switch` — including the wrong-password paths that
+//! return Vold's `-1`.
+//!
+//! Run with: `cargo run --release --example vold_cli`
+
+use mobiceal::MobiCealConfig;
+use mobiceal_android::{vdc, AndroidPhone, PhoneState};
+use mobiceal_sim::SimClock;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = MobiCealConfig {
+        num_volumes: 6,
+        pbkdf2_iterations: 16,
+        metadata_blocks: 64,
+        ..Default::default()
+    };
+    let mut phone = AndroidPhone::new(SimClock::new(), 8192, 4096, config);
+
+    let script = [
+        // Initialization (erases the device, reboots to the prompt).
+        "cryptfs pde wipe decoy-pwd 6 hidden-one,hidden-two",
+        // A mistyped boot password, then the right one.
+        "cryptfs checkpw decoy-pw",
+        "cryptfs checkpw decoy-pwd",
+        // A mistyped hidden password at the screen lock, then the right one.
+        "cryptfs pde switch hidden-on",
+        "cryptfs pde switch hidden-two",
+    ];
+    for cmd in script {
+        let response = vdc(&mut phone, cmd);
+        println!("$ vdc {cmd}\n  -> {}   [{:?}]", response.line, phone.state());
+    }
+    assert_eq!(phone.state(), PhoneState::HiddenMode);
+
+    // Malformed commands are rejected with 500-class responses.
+    println!();
+    for bad in ["cryptfs pde wipe", "volume list", "cryptfs pde switch x y"] {
+        let response = vdc(&mut phone, bad);
+        println!("$ vdc {bad}\n  -> {}", response.line);
+        assert!(!response.ok);
+    }
+    println!("\nvdc flow complete: phone is in hidden mode.");
+    Ok(())
+}

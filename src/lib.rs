@@ -1,0 +1,24 @@
+//! Umbrella crate for the MobiCeal (DSN 2018) reproduction.
+//!
+//! This workspace re-implements the full MobiCeal system — block-layer
+//! plausibly deniable encryption with dummy writes, random allocation and
+//! multi-level deniability — plus every substrate it depends on (simulated
+//! eMMC, device mapper, thin provisioning, file systems, the Android
+//! platform flows) and the systems it is evaluated against (Android FDE,
+//! MobiPluto, HIVE's write-only ORAM, DEFY).
+//!
+//! Start with the [`mobiceal`] crate docs, the `examples/` directory
+//! (`cargo run --example quickstart`), and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment index.
+
+pub use mobiceal;
+pub use mobiceal_adversary as adversary;
+pub use mobiceal_android as android;
+pub use mobiceal_baselines as baselines;
+pub use mobiceal_blockdev as blockdev;
+pub use mobiceal_crypto as crypto;
+pub use mobiceal_dm as dm;
+pub use mobiceal_fs as fs;
+pub use mobiceal_sim as sim;
+pub use mobiceal_thinp as thinp;
+pub use mobiceal_workloads as workloads;

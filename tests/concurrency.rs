@@ -1,0 +1,136 @@
+//! Integration: concurrent access. The kernel block layer is inherently
+//! concurrent — Vold, the file system, and the dummy-write path all touch
+//! the pool at once — so the MobiCeal stack must be `Send + Sync` and keep
+//! its invariants under parallel load.
+
+use mobiceal::{MobiCeal, MobiCealConfig, UnlockedVolume};
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_sim::SimClock;
+use std::sync::Arc;
+use std::thread;
+
+fn fast_config() -> MobiCealConfig {
+    MobiCealConfig {
+        num_volumes: 6,
+        pbkdf2_iterations: 4,
+        metadata_blocks: 64,
+        ..Default::default()
+    }
+}
+
+fn fresh(seed: u64, blocks: u64) -> MobiCeal {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(blocks, 4096, clock.clone()));
+    MobiCeal::initialize(
+        disk as SharedDevice,
+        clock,
+        fast_config(),
+        "decoy",
+        &["hidden"],
+        seed,
+    )
+    .unwrap()
+}
+
+#[test]
+fn types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MobiCeal>();
+    assert_send_sync::<UnlockedVolume>();
+    assert_send_sync::<mobiceal_blockdev::MemDisk>();
+    assert_send_sync::<mobiceal_thinp::ThinPool>();
+    assert_send_sync::<mobiceal_thinp::ThinVolume>();
+}
+
+#[test]
+fn parallel_public_and_hidden_writers() {
+    let mc = Arc::new(fresh(1, 16384));
+    let public = mc.unlock_public("decoy").unwrap();
+    let hidden = mc.unlock_hidden("hidden").unwrap();
+
+    let pub_handle = {
+        let public = public.clone();
+        thread::spawn(move || {
+            for i in 0..300u64 {
+                public.write_block(i, &vec![0xAA; 4096]).unwrap();
+            }
+        })
+    };
+    let hid_handle = {
+        let hidden = hidden.clone();
+        thread::spawn(move || {
+            for i in 0..300u64 {
+                hidden.write_block(i, &vec![0xBB; 4096]).unwrap();
+            }
+        })
+    };
+    pub_handle.join().unwrap();
+    hid_handle.join().unwrap();
+
+    for i in 0..300u64 {
+        assert_eq!(public.read_block(i).unwrap(), vec![0xAA; 4096], "public {i}");
+        assert_eq!(hidden.read_block(i).unwrap(), vec![0xBB; 4096], "hidden {i}");
+    }
+    // No aliasing despite interleaved allocation.
+    let view = mc.metadata_view();
+    let mut seen = std::collections::HashSet::new();
+    for vol in view.volumes.values() {
+        for &p in vol.mappings.values() {
+            assert!(seen.insert(p), "physical block {p} double-mapped");
+        }
+    }
+}
+
+#[test]
+fn many_threads_hammer_one_volume() {
+    let mc = Arc::new(fresh(2, 16384));
+    let public = mc.unlock_public("decoy").unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let vol = public.clone();
+        handles.push(thread::spawn(move || {
+            // Disjoint block ranges per thread.
+            for i in 0..150u64 {
+                let block = t * 150 + i;
+                vol.write_block(block, &vec![t as u8 + 1; 4096]).unwrap();
+                assert_eq!(vol.read_block(block).unwrap(), vec![t as u8 + 1; 4096]);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..4u64 {
+        for i in 0..150u64 {
+            assert_eq!(public.read_block(t * 150 + i).unwrap(), vec![t as u8 + 1; 4096]);
+        }
+    }
+}
+
+#[test]
+fn commits_race_with_writers_safely() {
+    let mc = Arc::new(fresh(3, 16384));
+    let public = mc.unlock_public("decoy").unwrap();
+    let committer = {
+        let mc = Arc::clone(&mc);
+        thread::spawn(move || {
+            for _ in 0..20 {
+                mc.commit().unwrap();
+            }
+        })
+    };
+    let writer = {
+        let public = public.clone();
+        thread::spawn(move || {
+            for i in 0..400u64 {
+                public.write_block(i, &vec![0x5C; 4096]).unwrap();
+            }
+        })
+    };
+    committer.join().unwrap();
+    writer.join().unwrap();
+    mc.commit().unwrap();
+    for i in 0..400u64 {
+        assert_eq!(public.read_block(i).unwrap(), vec![0x5C; 4096]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Integration: failure injection — crashes, torn commits, device faults,
+//! wrong passwords at every stage.
+
+use mobiceal::{MobiCeal, MobiCealConfig, MobiCealError};
+use mobiceal_blockdev::{BlockDevice, FaultInjection, MemDisk, SharedDevice};
+use mobiceal_sim::SimClock;
+use std::sync::Arc;
+
+fn fast_config() -> MobiCealConfig {
+    MobiCealConfig {
+        num_volumes: 5,
+        pbkdf2_iterations: 4,
+        metadata_blocks: 64,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn crash_without_commit_rolls_back_to_last_transaction() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock.clone(),
+        fast_config(),
+        "decoy",
+        &["hidden"],
+        1,
+    )
+    .unwrap();
+    let public = mc.unlock_public("decoy").unwrap();
+    public.write_block(0, &vec![0xAA; 4096]).unwrap();
+    mc.commit().unwrap();
+    public.write_block(1, &vec![0xBB; 4096]).unwrap();
+    // Crash: no commit.
+    drop((public, mc));
+
+    let mc2 = MobiCeal::open(disk as SharedDevice, clock, fast_config(), 2).unwrap();
+    let public = mc2.unlock_public("decoy").unwrap();
+    assert_eq!(public.read_block(0).unwrap(), vec![0xAA; 4096], "committed data survives");
+    // The uncommitted mapping is gone: the thin layer reads zeros, which
+    // dm-crypt "decrypts" into garbage — exactly like reading unwritten
+    // space on a real dm-crypt device. The written value must NOT survive.
+    let rolled_back = public.read_block(1).unwrap();
+    assert_ne!(rolled_back, vec![0xBB; 4096], "uncommitted write must not survive a crash");
+}
+
+#[test]
+fn footer_corruption_is_detected_at_open() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock.clone(),
+        fast_config(),
+        "decoy",
+        &[],
+        3,
+    )
+    .unwrap();
+    mc.commit().unwrap();
+    drop(mc);
+    // Wipe the footer region (last 4 blocks of a 16 KiB footer at 4 KiB).
+    for b in (4096 - 4)..4096 {
+        disk.write_block(b, &vec![0u8; 4096]).unwrap();
+    }
+    assert!(matches!(
+        MobiCeal::open(disk as SharedDevice, clock, fast_config(), 4),
+        Err(MobiCealError::NotInitialized { .. })
+    ));
+}
+
+#[test]
+fn metadata_region_corruption_is_detected_at_open() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock.clone(),
+        fast_config(),
+        "decoy",
+        &[],
+        5,
+    )
+    .unwrap();
+    mc.commit().unwrap();
+    drop(mc);
+    // Zero the pool superblock (block 0 of the metadata region).
+    disk.write_block(0, &vec![0u8; 4096]).unwrap();
+    assert!(matches!(
+        MobiCeal::open(disk as SharedDevice, clock, fast_config(), 6),
+        Err(MobiCealError::NotInitialized { .. })
+    ));
+}
+
+#[test]
+fn device_write_faults_surface_as_errors_not_corruption() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock,
+        fast_config(),
+        "decoy",
+        &["hidden"],
+        7,
+    )
+    .unwrap();
+    let public = mc.unlock_public("decoy").unwrap();
+    public.write_block(0, &vec![0x11; 4096]).unwrap();
+
+    // Make a specific physical block fail on write; retries on other
+    // blocks keep working.
+    let mut faults = FaultInjection::default();
+    for b in 100..4096 {
+        faults.failing_writes.insert(b);
+    }
+    disk.set_faults(faults);
+    let mut failures = 0;
+    for i in 1..50 {
+        if public.write_block(i, &vec![0x22; 4096]).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "with nearly all blocks failing, some writes must error");
+    disk.set_faults(FaultInjection::default());
+    // Previously written data still reads back.
+    assert_eq!(public.read_block(0).unwrap(), vec![0x11; 4096]);
+}
+
+#[test]
+fn device_death_mid_session() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock,
+        fast_config(),
+        "decoy",
+        &[],
+        8,
+    )
+    .unwrap();
+    let public = mc.unlock_public("decoy").unwrap();
+    public.write_block(0, &vec![1u8; 4096]).unwrap();
+    disk.set_faults(FaultInjection { die_after_ops: Some(0), ..Default::default() });
+    assert!(public.write_block(1, &vec![2u8; 4096]).is_err());
+    assert!(public.read_block(0).is_err());
+    assert!(mc.commit().is_err(), "commit must not pretend to succeed on a dead device");
+}
+
+#[test]
+fn wrong_password_attempts_do_not_perturb_state() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock,
+        fast_config(),
+        "decoy",
+        &["hidden"],
+        9,
+    )
+    .unwrap();
+    let before = disk.snapshot();
+    for guess in ["a", "b", "decoyx", "hidden1", ""] {
+        assert!(mc.unlock_public(guess).is_err());
+        assert!(mc.unlock_hidden(guess).is_err());
+    }
+    let after = disk.snapshot();
+    assert!(
+        before.changed_blocks(&after).is_empty(),
+        "failed unlocks must not write anything"
+    );
+}
+
+#[test]
+fn reopen_with_wrong_volume_count_is_rejected() {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    let mc = MobiCeal::initialize(
+        disk.clone() as SharedDevice,
+        clock.clone(),
+        fast_config(),
+        "decoy",
+        &[],
+        10,
+    )
+    .unwrap();
+    mc.commit().unwrap();
+    drop(mc);
+    let wrong = MobiCealConfig { num_volumes: 9, ..fast_config() };
+    assert!(matches!(
+        MobiCeal::open(disk as SharedDevice, clock, wrong, 11),
+        Err(MobiCealError::NotInitialized { .. })
+    ));
+}

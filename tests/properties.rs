@@ -1,0 +1,174 @@
+//! Property-based integration tests: random operation sequences against
+//! reference models, across the whole stack.
+
+use mobiceal::{MobiCeal, MobiCealConfig};
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_fs::{FileSystem, SimFs};
+use mobiceal_sim::SimClock;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fast_config() -> MobiCealConfig {
+    MobiCealConfig {
+        num_volumes: 5,
+        pbkdf2_iterations: 2,
+        metadata_blocks: 64,
+        ..Default::default()
+    }
+}
+
+fn fresh(seed: u64) -> MobiCeal {
+    let clock = SimClock::new();
+    let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+    MobiCeal::initialize(
+        disk as SharedDevice,
+        clock,
+        fast_config(),
+        "decoy",
+        &["hidden"],
+        seed,
+    )
+    .unwrap()
+}
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    PublicWrite { block: u64, fill: u8 },
+    HiddenWrite { block: u64, fill: u8 },
+    PublicRead { block: u64 },
+    HiddenRead { block: u64 },
+    Commit,
+    Gc { seed: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..256, any::<u8>()).prop_map(|(block, fill)| Op::PublicWrite { block, fill }),
+        (0u64..256, any::<u8>()).prop_map(|(block, fill)| Op::HiddenWrite { block, fill }),
+        (0u64..256).prop_map(|block| Op::PublicRead { block }),
+        (0u64..256).prop_map(|block| Op::HiddenRead { block }),
+        Just(Op::Commit),
+        (0u64..1000).prop_map(|seed| Op::Gc { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever interleaving of public writes, hidden writes, commits and
+    /// GC passes runs, both volumes always read back exactly what a plain
+    /// HashMap model predicts — i.e. dummy writes, random allocation and
+    /// GC never corrupt user data.
+    #[test]
+    fn mixed_operations_match_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mc = fresh(seed);
+        let public = mc.unlock_public("decoy").unwrap();
+        let hidden = mc.unlock_hidden("hidden").unwrap();
+        let mut pub_model: HashMap<u64, u8> = HashMap::new();
+        let mut hid_model: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::PublicWrite { block, fill } => {
+                    public.write_block(block, &vec![fill; 4096]).unwrap();
+                    pub_model.insert(block, fill);
+                }
+                Op::HiddenWrite { block, fill } => {
+                    hidden.write_block(block, &vec![fill; 4096]).unwrap();
+                    hid_model.insert(block, fill);
+                }
+                Op::PublicRead { block } => {
+                    let got = public.read_block(block).unwrap();
+                    match pub_model.get(&block) {
+                        Some(&fill) => prop_assert_eq!(got, vec![fill; 4096]),
+                        // Unwritten blocks read as dm-crypt-decrypted zeros:
+                        // deterministic garbage, never a model value.
+                        None => prop_assert_eq!(got, public.read_block(block).unwrap()),
+                    }
+                }
+                Op::HiddenRead { block } => {
+                    let got = hidden.read_block(block).unwrap();
+                    match hid_model.get(&block) {
+                        Some(&fill) => prop_assert_eq!(got, vec![fill; 4096]),
+                        None => prop_assert_eq!(got, hidden.read_block(block).unwrap()),
+                    }
+                }
+                Op::Commit => mc.commit().unwrap(),
+                Op::Gc { seed } => {
+                    let _ = mc.garbage_collect(&["hidden"], seed).unwrap();
+                }
+            }
+        }
+        // Final full check.
+        for (&block, &fill) in &pub_model {
+            prop_assert_eq!(public.read_block(block).unwrap(), vec![fill; 4096]);
+        }
+        for (&block, &fill) in &hid_model {
+            prop_assert_eq!(hidden.read_block(block).unwrap(), vec![fill; 4096]);
+        }
+    }
+
+    /// Files written through SimFs on a MobiCeal volume always read back,
+    /// regardless of write order and sizes.
+    #[test]
+    fn simfs_on_mobiceal_roundtrips(
+        files in prop::collection::vec((0usize..20_000, any::<u8>()), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let mc = fresh(seed);
+        let public = mc.unlock_public("decoy").unwrap();
+        let mut fs = SimFs::format(Arc::new(public) as SharedDevice).unwrap();
+        for (i, &(len, fill)) in files.iter().enumerate() {
+            let name = format!("f{i}");
+            fs.create(&name).unwrap();
+            fs.write(&name, 0, &vec![fill; len]).unwrap();
+        }
+        fs.sync().unwrap();
+        for (i, &(len, fill)) in files.iter().enumerate() {
+            let name = format!("f{i}");
+            prop_assert_eq!(fs.read(&name, 0, len).unwrap(), vec![fill; len]);
+        }
+    }
+
+    /// The number of physically allocated blocks is always at least the
+    /// number of distinct logical blocks written (no aliasing), and the
+    /// free-space accounting never goes negative or inconsistent.
+    #[test]
+    fn space_accounting_invariants(
+        pub_blocks in prop::collection::hash_set(0u64..200, 0..50),
+        hid_blocks in prop::collection::hash_set(0u64..200, 0..50),
+        seed in 0u64..1000,
+    ) {
+        let mc = fresh(seed);
+        let public = mc.unlock_public("decoy").unwrap();
+        let hidden = mc.unlock_hidden("hidden").unwrap();
+        for &b in &pub_blocks {
+            public.write_block(b, &vec![1u8; 4096]).unwrap();
+        }
+        for &b in &hid_blocks {
+            hidden.write_block(b, &vec![2u8; 4096]).unwrap();
+        }
+        let view = mc.metadata_view();
+        let total_mapped: u64 = (1..=5).map(|v| view.mapped_blocks(v)).sum();
+        // Every distinct write is backed by a distinct physical block, plus
+        // the 5 header blocks, plus any dummy blocks.
+        let min_expected = pub_blocks.len() as u64 + hid_blocks.len() as u64 + 5;
+        prop_assert!(total_mapped >= min_expected,
+            "mapped {} < expected {}", total_mapped, min_expected);
+        prop_assert_eq!(view.bitmap.allocated(), total_mapped);
+    }
+
+    /// Passwords other than the configured ones never unlock anything,
+    /// whatever they are.
+    #[test]
+    fn arbitrary_wrong_passwords_rejected(guess in "[a-z0-9]{1,12}", seed in 0u64..200) {
+        let mc = fresh(seed);
+        prop_assume!(guess != "decoy" && guess != "hidden");
+        prop_assert!(mc.unlock_public(&guess).is_err());
+        prop_assert!(mc.unlock_hidden(&guess).is_err());
+    }
+}
