@@ -40,8 +40,7 @@ impl ChangedFreeSpaceDistinguisher {
             .changed_blocks(later)
             .into_iter()
             .filter(|&b| {
-                b >= self.data_region_start
-                    && b < self.data_region_start + self.data_region_blocks
+                b >= self.data_region_start && b < self.data_region_start + self.data_region_blocks
             })
             .filter(|b| !public.contains(b))
             .count()
@@ -54,9 +53,7 @@ impl Distinguisher for ChangedFreeSpaceDistinguisher {
     }
 
     fn decide(&self, observations: &[Observation]) -> bool {
-        observations
-            .windows(2)
-            .any(|w| self.unaccounted_changes(&w[0], &w[1]) > 0)
+        observations.windows(2).any(|w| self.unaccounted_changes(&w[0], &w[1]) > 0)
     }
 }
 
@@ -110,9 +107,7 @@ impl Distinguisher for DummyBudgetDistinguisher {
             let gn: u64 = ids
                 .iter()
                 .filter(|&&id| id != self.public_volume)
-                .map(|&id| {
-                    w[1].mapped_blocks(id).saturating_sub(w[0].mapped_blocks(id))
-                })
+                .map(|&id| w[1].mapped_blocks(id).saturating_sub(w[0].mapped_blocks(id)))
                 .sum();
             if (gn as f64) > self.budget(gp) {
                 return true;
@@ -191,11 +186,7 @@ pub struct EntropyAnomalyDistinguisher {
 
 impl Default for EntropyAnomalyDistinguisher {
     fn default() -> Self {
-        EntropyAnomalyDistinguisher {
-            public_volume: 1,
-            data_region_start: 0,
-            entropy_floor: 7.0,
-        }
+        EntropyAnomalyDistinguisher { public_volume: 1, data_region_start: 0, entropy_floor: 7.0 }
     }
 }
 
@@ -236,9 +227,7 @@ pub struct SideChannelDistinguisher {
 
 impl Default for SideChannelDistinguisher {
     fn default() -> Self {
-        SideChannelDistinguisher {
-            needles: vec!["hidden".into(), "secret".into()],
-        }
+        SideChannelDistinguisher { needles: vec!["hidden".into(), "secret".into()] }
     }
 }
 
@@ -373,17 +362,10 @@ mod tests {
             data.extend_from_slice(b1);
             let snapshot = DiskSnapshot::new(256, 2, data);
             let mut volumes = BTreeMap::new();
-            volumes.insert(
-                1,
-                VolumeMeta { id: 1, virtual_blocks: 4, mappings: BTreeMap::new() },
-            );
+            volumes.insert(1, VolumeMeta { id: 1, virtual_blocks: 4, mappings: BTreeMap::new() });
             Observation {
                 snapshot,
-                metadata: Some(MetadataView {
-                    transaction_id: 0,
-                    bitmap: Bitmap::new(2),
-                    volumes,
-                }),
+                metadata: Some(MetadataView { transaction_id: 0, bitmap: Bitmap::new(2), volumes }),
                 logs: Vec::new(),
             }
         };

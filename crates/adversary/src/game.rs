@@ -123,9 +123,7 @@ pub fn run_distinguisher_game<W: GameWorld>(
     let mut wins = 0u32;
     for round in 0..config.rounds {
         let with_hidden = rng.next_u64() & 1 == 1;
-        let world_seed = seed
-            .wrapping_mul(0x9E3779B97F4A7C15)
-            .wrapping_add(round as u64 + 1);
+        let world_seed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(round as u64 + 1);
         let mut world = make_world(world_seed, with_hidden);
         // Pattern RNG is independent of `b` so both worlds would see the
         // identical public pattern.
@@ -224,12 +222,8 @@ mod tests {
     #[test]
     fn perfect_world_yields_no_advantage() {
         let cfg = GameConfig { rounds: 200, ..Default::default() };
-        let result = run_distinguisher_game(
-            |_seed, _hidden| PerfectWorld,
-            &MarkerDistinguisher,
-            &cfg,
-            2,
-        );
+        let result =
+            run_distinguisher_game(|_seed, _hidden| PerfectWorld, &MarkerDistinguisher, &cfg, 2);
         // The distinguisher always says "no hidden": wins only the b=0
         // rounds, accuracy ≈ 0.5.
         assert!(result.advantage < 0.1, "{result}");
@@ -249,12 +243,7 @@ mod tests {
     #[test]
     fn result_display_is_informative() {
         let cfg = GameConfig { rounds: 10, ..Default::default() };
-        let result = run_distinguisher_game(
-            |_s, _h| PerfectWorld,
-            &MarkerDistinguisher,
-            &cfg,
-            3,
-        );
+        let result = run_distinguisher_game(|_s, _h| PerfectWorld, &MarkerDistinguisher, &cfg, 3);
         let text = result.to_string();
         assert!(text.contains("marker"));
         assert!(text.contains("advantage"));

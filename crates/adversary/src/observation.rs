@@ -53,10 +53,7 @@ impl Observation {
 
     /// Volume ids present in the metadata.
     pub fn volume_ids(&self) -> Vec<u32> {
-        self.metadata
-            .as_ref()
-            .map(|m| m.volumes.keys().copied().collect())
-            .unwrap_or_default()
+        self.metadata.as_ref().map(|m| m.volumes.keys().copied().collect()).unwrap_or_default()
     }
 }
 
@@ -101,9 +98,6 @@ mod tests {
         };
         assert_eq!(obs.volume_ids(), vec![2]);
         assert_eq!(obs.mapped_blocks(2), 2);
-        assert_eq!(
-            obs.volume_physical_blocks(2),
-            [5u64, 9].into_iter().collect()
-        );
+        assert_eq!(obs.volume_physical_blocks(2), [5u64, 9].into_iter().collect());
     }
 }

@@ -135,10 +135,7 @@ impl AndroidPhone {
     /// # Panics
     ///
     /// Panics if the phone is not at the pre-boot prompt.
-    pub fn enter_boot_password(
-        &mut self,
-        password: &str,
-    ) -> Result<SimDuration, MobiCealError> {
+    pub fn enter_boot_password(&mut self, password: &str) -> Result<SimDuration, MobiCealError> {
         assert_eq!(self.state, PhoneState::PreBootAuth, "phone must be at the boot prompt");
         let start = self.clock.now();
         // Enable the thin volumes.
@@ -254,11 +251,8 @@ impl AndroidPhone {
                 self.logs.record(LogSink::Persistent, format!("activity: {description}"));
             }
             PhoneState::HiddenMode => {
-                let sink = if self.side_channel_protection {
-                    LogSink::Ram
-                } else {
-                    LogSink::Persistent
-                };
+                let sink =
+                    if self.side_channel_protection { LogSink::Ram } else { LogSink::Persistent };
                 self.logs.record(sink, format!("activity: {description}"));
             }
             _ => panic!("no volume mounted"),
@@ -346,19 +340,13 @@ mod tests {
         let boot = phone.enter_boot_password("decoy").unwrap();
         assert_eq!(phone.state(), PhoneState::PublicMode);
         // Table II: 1.68 s.
-        assert!(
-            (1.0..2.5).contains(&boot.as_secs_f64()),
-            "boot took {boot}"
-        );
+        assert!((1.0..2.5).contains(&boot.as_secs_f64()), "boot took {boot}");
     }
 
     #[test]
     fn wrong_boot_password_keeps_prompt() {
         let mut phone = ready_phone(3);
-        assert!(matches!(
-            phone.enter_boot_password("nope"),
-            Err(MobiCealError::BadPassword)
-        ));
+        assert!(matches!(phone.enter_boot_password("nope"), Err(MobiCealError::BadPassword)));
         assert_eq!(phone.state(), PhoneState::PreBootAuth);
         assert!(phone.enter_boot_password("decoy").is_ok());
     }
@@ -370,20 +358,14 @@ mod tests {
         let switch = phone.switch_to_hidden("hidden").unwrap();
         assert_eq!(phone.state(), PhoneState::HiddenMode);
         // Table II: 9.27 s, vs > 60 s for reboot-based systems.
-        assert!(
-            (8.0..10.0).contains(&switch.as_secs_f64()),
-            "switch took {switch}"
-        );
+        assert!((8.0..10.0).contains(&switch.as_secs_f64()), "switch took {switch}");
     }
 
     #[test]
     fn wrong_hidden_password_stays_public() {
         let mut phone = ready_phone(5);
         phone.enter_boot_password("decoy").unwrap();
-        assert!(matches!(
-            phone.switch_to_hidden("guess"),
-            Err(MobiCealError::BadPassword)
-        ));
+        assert!(matches!(phone.switch_to_hidden("guess"), Err(MobiCealError::BadPassword)));
         assert_eq!(phone.state(), PhoneState::PublicMode);
         assert!(phone.data_volume().is_some(), "public volume still mounted");
     }
@@ -429,8 +411,8 @@ mod tests {
     #[test]
     fn unprotected_phone_leaks_hidden_traces() {
         let clock = SimClock::new();
-        let mut phone = AndroidPhone::new(clock, 4096, 4096, fast_config())
-            .without_side_channel_protection();
+        let mut phone =
+            AndroidPhone::new(clock, 4096, 4096, fast_config()).without_side_channel_protection();
         phone.initialize_mobiceal("decoy", &["hidden"], 9).unwrap();
         phone.enter_boot_password("decoy").unwrap();
         phone.switch_to_hidden("hidden").unwrap();

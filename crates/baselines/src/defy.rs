@@ -241,10 +241,7 @@ mod tests {
             defy.write_block(l, &vec![7u8; 4096]).unwrap();
         }
         let s = disk.stats();
-        assert!(
-            s.seq_writes.ops >= 31,
-            "appends should be device-sequential: {s:?}"
-        );
+        assert!(s.seq_writes.ops >= 31, "appends should be device-sequential: {s:?}");
     }
 
     #[test]

@@ -166,6 +166,19 @@ impl BlockDevice for OffsetDevice {
         self.inner.write_block(index + self.offset, data)
     }
 
+    /// Batched read: shifts the batch past the header and forwards it as
+    /// one vectored read to the dm-crypt layer below.
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        mobiceal_blockdev::read_blocks_remapped(&self.inner, indices, self.len, |i| i + self.offset)
+    }
+
+    /// Batched write: shifts the batch past the header and forwards it as
+    /// one vectored write (prefix-then-error on a bad index, like the
+    /// sequential loop).
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        mobiceal_blockdev::write_blocks_remapped(&self.inner, writes, self.len, |i| i + self.offset)
+    }
+
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.inner.flush()
     }

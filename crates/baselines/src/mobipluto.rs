@@ -228,14 +228,9 @@ mod tests {
     fn device(seed: u64, hidden: bool) -> (Arc<MemDisk>, MobiPluto) {
         let clock = SimClock::new();
         let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
-        let mp = MobiPluto::initialize(
-            disk.clone(),
-            clock,
-            "decoy",
-            hidden.then_some("hidden"),
-            seed,
-        )
-        .unwrap();
+        let mp =
+            MobiPluto::initialize(disk.clone(), clock, "decoy", hidden.then_some("hidden"), seed)
+                .unwrap();
         (disk, mp)
     }
 
@@ -276,11 +271,8 @@ mod tests {
         assert_eq!(changed.len(), 10, "hidden writes visibly change 'free' randomness");
         // And none of those blocks belong to the public volume's mappings.
         let view = mp.metadata_view();
-        let public: std::collections::HashSet<u64> = view.volumes[&1]
-            .mappings
-            .values()
-            .map(|p| p + mp.data_region_start())
-            .collect();
+        let public: std::collections::HashSet<u64> =
+            view.volumes[&1].mappings.values().map(|p| p + mp.data_region_start()).collect();
         assert!(changed.iter().all(|b| !public.contains(b)));
     }
 

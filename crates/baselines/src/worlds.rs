@@ -107,9 +107,7 @@ impl GameWorld for MobiCealWorld {
         let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
         for _ in 0..blocks {
             self.payload.fill_bytes(&mut buf);
-            hidden
-                .write_block(self.hid_cursor % hidden.num_blocks(), &buf)
-                .expect("hidden write");
+            hidden.write_block(self.hid_cursor % hidden.num_blocks(), &buf).expect("hidden write");
             self.hid_cursor += 1;
         }
     }
@@ -245,9 +243,7 @@ impl GameWorld for MobiPlutoWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobiceal_adversary::{
-        run_distinguisher_game, ChangedFreeSpaceDistinguisher, GameConfig,
-    };
+    use mobiceal_adversary::{run_distinguisher_game, ChangedFreeSpaceDistinguisher, GameConfig};
 
     fn small_game() -> GameConfig {
         GameConfig {
@@ -267,16 +263,9 @@ mod tests {
             data_region_start: 64,
             data_region_blocks: WORLD_DISK_BLOCKS - 64 - 4,
         };
-        let pluto =
-            run_distinguisher_game(MobiPlutoWorld::build, &d, &cfg, 42);
-        assert!(
-            pluto.accuracy > 0.85,
-            "snapshot differencing must break MobiPluto: {pluto}"
-        );
+        let pluto = run_distinguisher_game(MobiPlutoWorld::build, &d, &cfg, 42);
+        assert!(pluto.accuracy > 0.85, "snapshot differencing must break MobiPluto: {pluto}");
         let ceal = run_distinguisher_game(MobiCealWorld::build, &d, &cfg, 42);
-        assert!(
-            ceal.advantage < 0.25,
-            "MobiCeal should blind the same distinguisher: {ceal}"
-        );
+        assert!(ceal.advantage < 0.25, "MobiCeal should blind the same distinguisher: {ceal}");
     }
 }

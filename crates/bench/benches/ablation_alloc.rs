@@ -41,8 +41,7 @@ impl AllocWorld {
     fn build(strategy: AllocStrategy, seed: u64, with_hidden: bool) -> Self {
         let clock = SimClock::new();
         let disk = Arc::new(MemDisk::new(DISK_BLOCKS, BS, clock.clone()));
-        let meta: mobiceal_blockdev::SharedDevice =
-            Arc::new(MemDisk::new(256, BS, clock.clone()));
+        let meta: mobiceal_blockdev::SharedDevice = Arc::new(MemDisk::new(256, BS, clock.clone()));
         let pool = Arc::new(
             ThinPool::create_seeded(
                 disk.clone() as mobiceal_blockdev::SharedDevice,

@@ -89,9 +89,59 @@ fn bench_oram(c: &mut Criterion) {
     });
 }
 
+/// The batched-vs-single delta of the vectored I/O pipeline: the same 64
+/// 4 KiB blocks (one dd chunk) pushed through the full unlocked MobiCeal
+/// stack as one `write_blocks` batch vs. 64 `write_block` calls.
+fn bench_batched_io(c: &mut Criterion) {
+    use mobiceal::{MobiCeal, MobiCealConfig, UnlockedVolume};
+    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    fn unlocked(seed: u64) -> UnlockedVolume {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(16384, 4096, clock.clone()));
+        let config = MobiCealConfig {
+            num_volumes: 5,
+            pbkdf2_iterations: 4,
+            metadata_blocks: 64,
+            ..MobiCealConfig::default()
+        };
+        let mc = MobiCeal::initialize(disk, clock, config, "decoy", &["hidden"], seed)
+            .expect("initialize");
+        mc.unlock_public("decoy").expect("unlock")
+    }
+
+    let mut group = c.benchmark_group("stack_write_64x4k");
+    group.throughput(Throughput::Bytes(64 * 4096));
+    group.bench_function("batched_write_blocks", |b| {
+        let vol = unlocked(1);
+        let data = vec![0xA5u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            let writes: Vec<(u64, &[u8])> =
+                (0..64).map(|i| ((base + i) % 8000, data.as_slice())).collect();
+            vol.write_blocks(&writes).expect("batched write");
+            base += 64;
+        })
+    });
+    group.bench_function("sequential_write_block", |b| {
+        let vol = unlocked(2);
+        let data = vec![0xA5u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..64 {
+                vol.write_block((base + i) % 8000, &data).expect("single write");
+            }
+            base += 64;
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_allocators, bench_oram
+    targets = bench_crypto, bench_allocators, bench_oram, bench_batched_io
 }
 criterion_main!(benches);

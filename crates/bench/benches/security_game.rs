@@ -12,9 +12,8 @@
 
 use mobiceal::MobiCealConfig;
 use mobiceal_adversary::{
-    run_distinguisher_game, ChangedFreeSpaceDistinguisher, Distinguisher,
-    DummyBudgetDistinguisher, EntropyAnomalyDistinguisher, GameConfig,
-    SequentialRunDistinguisher, SideChannelDistinguisher,
+    run_distinguisher_game, ChangedFreeSpaceDistinguisher, Distinguisher, DummyBudgetDistinguisher,
+    EntropyAnomalyDistinguisher, GameConfig, SequentialRunDistinguisher, SideChannelDistinguisher,
 };
 use mobiceal_android::AndroidPhone;
 use mobiceal_baselines::worlds::{MobiCealWorld, MobiPlutoWorld, WORLD_DISK_BLOCKS};

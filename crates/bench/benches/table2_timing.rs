@@ -25,7 +25,12 @@ use mobiceal_workloads::{render_table, Cell, Table};
 const REPEATS: u32 = 10;
 
 fn fast_config() -> MobiCealConfig {
-    MobiCealConfig { num_volumes: 6, pbkdf2_iterations: 4, metadata_blocks: 64, ..Default::default() }
+    MobiCealConfig {
+        num_volumes: 6,
+        pbkdf2_iterations: 4,
+        metadata_blocks: 64,
+        ..Default::default()
+    }
 }
 
 /// Android FDE flows assembled from the step model.
@@ -59,10 +64,7 @@ fn main() {
     // MobiCeal: measured on the full state machine.
     let init = repeat_stat(REPEATS, |i| {
         let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());
-        phone
-            .initialize_mobiceal("decoy", &["hidden"], 50 + i as u64)
-            .expect("init")
-            .as_secs_f64()
+        phone.initialize_mobiceal("decoy", &["hidden"], 50 + i as u64).expect("init").as_secs_f64()
     });
     let boot = repeat_stat(REPEATS, |i| {
         let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, fast_config());

@@ -95,6 +95,48 @@ pub trait BlockDevice: Send + Sync {
     /// or a layer-specific error.
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError>;
 
+    /// Reads every block in `indices`, returning the buffers in the same
+    /// order.
+    ///
+    /// Semantically identical to calling [`BlockDevice::read_block`] once
+    /// per index, in order, failing fast on the first error. Layers
+    /// override this to take per-batch rather than per-block costs (one
+    /// lock acquisition, one mapping-table pass, one metadata commit);
+    /// the returned bytes are always the same as the sequential loop's.
+    ///
+    /// # Errors
+    ///
+    /// The error the first failing single-block read would have returned.
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        indices.iter().map(|&index| self.read_block(index)).collect()
+    }
+
+    /// Writes each `(index, data)` pair, in order.
+    ///
+    /// Semantically identical to calling [`BlockDevice::write_block`] once
+    /// per pair, in order, failing fast on the first error — on failure,
+    /// pairs before the failing one are written and the rest are not.
+    /// Layers override this to batch the pipeline (see
+    /// [`BlockDevice::read_blocks`]); on success, bytes on disk always
+    /// match the sequential loop's.
+    ///
+    /// Allocating layers may *refine* the failure path: a thin volume
+    /// rolls back every mapping it freshly allocated for a failed batch
+    /// (safety over prefix-persistence — a mapping must never point at
+    /// storage whose data did not land). Such refinements are documented
+    /// on the override; callers handling a failed batch should retry the
+    /// whole batch rather than assume a persisted prefix.
+    ///
+    /// # Errors
+    ///
+    /// The error the first failing single-block write would have returned.
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        for &(index, data) in writes {
+            self.write_block(index, data)?;
+        }
+        Ok(())
+    }
+
     /// Flushes caches / commits metadata. Default: no-op.
     ///
     /// # Errors
@@ -129,13 +171,58 @@ pub trait BlockDevice: Send + Sync {
     /// [`BlockDeviceError::WrongBufferSize`] when mismatched.
     fn check_buffer(&self, data: &[u8]) -> Result<(), BlockDeviceError> {
         if data.len() != self.block_size() {
-            Err(BlockDeviceError::WrongBufferSize {
-                got: data.len(),
-                expected: self.block_size(),
-            })
+            Err(BlockDeviceError::WrongBufferSize { got: data.len(), expected: self.block_size() })
         } else {
             Ok(())
         }
+    }
+}
+
+/// Forwards a vectored read through an index-remapping layer (dm-linear,
+/// header-shifting volume views): the whole valid prefix goes down as one
+/// batch; an out-of-range index mid-batch reads the prefix first and then
+/// surfaces [`BlockDeviceError::OutOfRange`], preserving sequential
+/// fail-fast semantics.
+///
+/// # Errors
+///
+/// The backing device's error, or `OutOfRange` against `num_blocks`.
+pub fn read_blocks_remapped<D: BlockDevice + ?Sized>(
+    backing: &D,
+    indices: &[BlockIndex],
+    num_blocks: u64,
+    map: impl Fn(BlockIndex) -> BlockIndex,
+) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+    let bad = indices.iter().position(|&i| i >= num_blocks);
+    let valid = &indices[..bad.unwrap_or(indices.len())];
+    let mapped: Vec<BlockIndex> = valid.iter().map(|&i| map(i)).collect();
+    let bufs = backing.read_blocks(&mapped)?;
+    match bad {
+        Some(pos) => Err(BlockDeviceError::OutOfRange { index: indices[pos], num_blocks }),
+        None => Ok(bufs),
+    }
+}
+
+/// Forwards a vectored write through an index-remapping layer; the valid
+/// prefix lands as one batch before an out-of-range index errors (see
+/// [`read_blocks_remapped`]).
+///
+/// # Errors
+///
+/// The backing device's error, or `OutOfRange` against `num_blocks`.
+pub fn write_blocks_remapped<D: BlockDevice + ?Sized>(
+    backing: &D,
+    writes: &[(BlockIndex, &[u8])],
+    num_blocks: u64,
+    map: impl Fn(BlockIndex) -> BlockIndex,
+) -> Result<(), BlockDeviceError> {
+    let bad = writes.iter().position(|&(i, _)| i >= num_blocks);
+    let valid = &writes[..bad.unwrap_or(writes.len())];
+    let mapped: Vec<(BlockIndex, &[u8])> = valid.iter().map(|&(i, d)| (map(i), d)).collect();
+    backing.write_blocks(&mapped)?;
+    match bad {
+        Some(pos) => Err(BlockDeviceError::OutOfRange { index: writes[pos].0, num_blocks }),
+        None => Ok(()),
     }
 }
 
@@ -157,6 +244,14 @@ impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
 
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
         (**self).write_block(index, data)
+    }
+
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        (**self).read_blocks(indices)
+    }
+
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        (**self).write_blocks(writes)
     }
 
     fn flush(&self) -> Result<(), BlockDeviceError> {
@@ -212,6 +307,30 @@ mod tests {
         assert_eq!(dev.read_block(2).unwrap(), vec![2u8; 8]);
         assert!(dev.write_block(1, &[0; 8]).is_ok());
         assert!(dev.write_block(9, &[0; 8]).is_err());
+        assert_eq!(dev.read_blocks(&[0, 3]).unwrap(), vec![vec![0u8; 8], vec![3u8; 8]]);
+        assert!(dev.write_blocks(&[(0, &[0; 8]), (3, &[1; 8])]).is_ok());
+    }
+
+    #[test]
+    fn default_vectored_ops_mirror_single_block_ops() {
+        let dev = TinyDev;
+        let bufs = dev.read_blocks(&[2, 0, 2]).unwrap();
+        assert_eq!(bufs, vec![vec![2u8; 8], vec![0u8; 8], vec![2u8; 8]]);
+        assert!(dev.read_blocks(&[]).unwrap().is_empty());
+        // Fail-fast on the first bad index, exactly like the loop would.
+        assert_eq!(
+            dev.read_blocks(&[1, 7]),
+            Err(BlockDeviceError::OutOfRange { index: 7, num_blocks: 4 })
+        );
+        assert!(dev.write_blocks(&[(0, &[1u8; 8]), (1, &[2u8; 8])]).is_ok());
+        assert_eq!(
+            dev.write_blocks(&[(0, &[1u8; 8]), (9, &[2u8; 8])]),
+            Err(BlockDeviceError::OutOfRange { index: 9, num_blocks: 4 })
+        );
+        assert_eq!(
+            dev.write_blocks(&[(0, &[1u8; 7])]),
+            Err(BlockDeviceError::WrongBufferSize { got: 7, expected: 8 })
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ mod memdisk;
 mod snapshot;
 mod stats;
 
-pub use device::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
+pub use device::{
+    read_blocks_remapped, write_blocks_remapped, BlockDevice, BlockDeviceError, BlockIndex,
+    SharedDevice,
+};
 pub use memdisk::{FaultInjection, MemDisk};
 pub use snapshot::DiskSnapshot;
 pub use stats::{DeviceStats, OpCounter};

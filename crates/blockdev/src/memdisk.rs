@@ -182,14 +182,19 @@ impl MemDisk {
         inner.total_ops += 1;
         if let Some(limit) = inner.faults.die_after_ops {
             if inner.total_ops > limit {
-                return Err(BlockDeviceError::Io { reason: format!("device died after {limit} ops") });
+                return Err(BlockDeviceError::Io {
+                    reason: format!("device died after {limit} ops"),
+                });
             }
         }
         let failing =
             if write { &inner.faults.failing_writes } else { &inner.faults.failing_reads };
         if failing.contains(&index) {
             return Err(BlockDeviceError::Io {
-                reason: format!("injected {} fault at block {index}", if write { "write" } else { "read" }),
+                reason: format!(
+                    "injected {} fault at block {index}",
+                    if write { "write" } else { "read" }
+                ),
             });
         }
         Ok(())
@@ -233,6 +238,57 @@ impl BlockDevice for MemDisk {
         Ok(())
     }
 
+    /// Batched read: one lock acquisition and one clock advance for the
+    /// whole batch. Per-block costs, statistics, fault checks and
+    /// sequential/random classification are identical to issuing the reads
+    /// one by one.
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::with_capacity(indices.len());
+        let mut total = mobiceal_sim::SimDuration::ZERO;
+        let result = (|| {
+            for &index in indices {
+                self.check_index(index)?;
+                Self::check_faults(&mut inner, index, false)?;
+                let op = Self::classify(inner.last_block, index, false);
+                inner.last_block = Some(index);
+                let t = self.cost.cost(op, self.block_size);
+                total += t;
+                inner.stats.record(op, self.block_size, t);
+                let start = index as usize * self.block_size;
+                out.push(inner.blocks[start..start + self.block_size].to_vec());
+            }
+            Ok(())
+        })();
+        self.clock.advance(total);
+        result.map(|()| out)
+    }
+
+    /// Batched write: one lock acquisition and one clock advance for the
+    /// whole batch; otherwise byte- and stats-identical to the equivalent
+    /// sequence of single-block writes (fail-fast, prefix persists).
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        let mut inner = self.inner.lock();
+        let mut total = mobiceal_sim::SimDuration::ZERO;
+        let result = (|| {
+            for &(index, data) in writes {
+                self.check_index(index)?;
+                self.check_buffer(data)?;
+                Self::check_faults(&mut inner, index, true)?;
+                let op = Self::classify(inner.last_block, index, true);
+                inner.last_block = Some(index);
+                let t = self.cost.cost(op, self.block_size);
+                total += t;
+                inner.stats.record(op, self.block_size, t);
+                let start = index as usize * self.block_size;
+                inner.blocks[start..start + self.block_size].copy_from_slice(data);
+            }
+            Ok(())
+        })();
+        self.clock.advance(total);
+        result
+    }
+
     fn flush(&self) -> Result<(), BlockDeviceError> {
         let mut inner = self.inner.lock();
         let t = self.cost.cost(OpKind::Flush, 0);
@@ -258,10 +314,7 @@ mod tests {
     #[test]
     fn rejects_out_of_range_and_bad_buffers() {
         let disk = MemDisk::with_default_timing(4, 512);
-        assert!(matches!(
-            disk.read_block(4),
-            Err(BlockDeviceError::OutOfRange { index: 4, .. })
-        ));
+        assert!(matches!(disk.read_block(4), Err(BlockDeviceError::OutOfRange { index: 4, .. })));
         assert!(matches!(
             disk.write_block(0, &[0u8; 100]),
             Err(BlockDeviceError::WrongBufferSize { got: 100, expected: 512 })
@@ -350,6 +403,52 @@ mod tests {
         assert!(disk.read_block(1).is_ok());
         assert!(disk.read_block(2).is_err());
         assert!(disk.write_block(0, &vec![0u8; 512]).is_err());
+    }
+
+    #[test]
+    fn batched_ops_match_sequential_bytes_stats_and_time() {
+        let batched = MemDisk::with_default_timing(32, 512);
+        let sequential = MemDisk::with_default_timing(32, 512);
+        let pattern: Vec<(BlockIndex, Vec<u8>)> =
+            [(0u64, 1u8), (1, 2), (2, 3), (17, 4), (5, 5), (6, 6)]
+                .iter()
+                .map(|&(b, v)| (b, vec![v; 512]))
+                .collect();
+        let writes: Vec<(BlockIndex, &[u8])> =
+            pattern.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        batched.write_blocks(&writes).unwrap();
+        for (b, d) in &pattern {
+            sequential.write_block(*b, d).unwrap();
+        }
+        assert_eq!(batched.stats(), sequential.stats(), "same op mix and charged time");
+        assert_eq!(batched.clock().now(), sequential.clock().now());
+        assert_eq!(batched.snapshot().as_bytes(), sequential.snapshot().as_bytes());
+
+        let indices = [2u64, 3, 9, 10, 11];
+        let from_batch = batched.read_blocks(&indices).unwrap();
+        let from_loop: Vec<Vec<u8>> =
+            indices.iter().map(|&i| sequential.read_block(i).unwrap()).collect();
+        assert_eq!(from_batch, from_loop);
+        assert_eq!(batched.stats(), sequential.stats());
+    }
+
+    #[test]
+    fn batched_write_failure_persists_prefix() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        let mut faults = FaultInjection::default();
+        faults.failing_writes.insert(2);
+        disk.set_faults(faults);
+        let a = vec![1u8; 512];
+        let b = vec![2u8; 512];
+        let c = vec![3u8; 512];
+        let err = disk
+            .write_blocks(&[(0, a.as_slice()), (1, b.as_slice()), (2, c.as_slice())])
+            .unwrap_err();
+        assert!(matches!(err, BlockDeviceError::Io { .. }));
+        assert_eq!(disk.read_block(0).unwrap(), a, "prefix before the fault persisted");
+        assert_eq!(disk.read_block(1).unwrap(), b);
+        // Batched reads fail fast the same way.
+        assert!(disk.read_blocks(&[0, 99]).is_err());
     }
 
     #[test]

@@ -65,9 +65,7 @@ impl DiskSnapshot {
     pub fn changed_blocks(&self, later: &DiskSnapshot) -> Vec<BlockIndex> {
         assert_eq!(self.block_size, later.block_size, "geometry mismatch");
         assert_eq!(self.num_blocks, later.num_blocks, "geometry mismatch");
-        (0..self.num_blocks)
-            .filter(|&i| self.block(i) != later.block(i))
-            .collect()
+        (0..self.num_blocks).filter(|&i| self.block(i) != later.block(i)).collect()
     }
 
     /// Whether block `index` is all zero (never touched on a zero-filled

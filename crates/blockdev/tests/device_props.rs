@@ -86,6 +86,48 @@ proptest! {
         prop_assert_eq!(rebuilt, snap);
     }
 
+    /// The vectored write path is observationally identical to the
+    /// sequential one: same bytes on the medium, same statistics (op mix,
+    /// bytes, charged time), same clock position.
+    #[test]
+    fn write_blocks_equivalent_to_sequential(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 0..100),
+    ) {
+        let batched = MemDisk::with_default_timing(64, 512);
+        let sequential = MemDisk::with_default_timing(64, 512);
+        let buffers: Vec<(u64, Vec<u8>)> =
+            writes.iter().map(|&(b, fill)| (b, vec![fill; 512])).collect();
+        let batch: Vec<(u64, &[u8])> = buffers.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        batched.write_blocks(&batch).unwrap();
+        for (b, d) in &buffers {
+            sequential.write_block(*b, d).unwrap();
+        }
+        prop_assert_eq!(batched.snapshot().as_bytes(), sequential.snapshot().as_bytes());
+        prop_assert_eq!(batched.stats(), sequential.stats());
+        prop_assert_eq!(batched.clock().now(), sequential.clock().now());
+    }
+
+    /// The vectored read path returns exactly what the sequential loop
+    /// returns, with identical statistics and charged time.
+    #[test]
+    fn read_blocks_equivalent_to_sequential(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 0..40),
+        reads in prop::collection::vec(0u64..64, 0..60),
+    ) {
+        let batched = MemDisk::with_default_timing(64, 512);
+        let sequential = MemDisk::with_default_timing(64, 512);
+        for &(b, fill) in &writes {
+            batched.write_block(b, &vec![fill; 512]).unwrap();
+            sequential.write_block(b, &vec![fill; 512]).unwrap();
+        }
+        let from_batch = batched.read_blocks(&reads).unwrap();
+        let from_loop: Vec<Vec<u8>> =
+            reads.iter().map(|&b| sequential.read_block(b).unwrap()).collect();
+        prop_assert_eq!(from_batch, from_loop);
+        prop_assert_eq!(batched.stats(), sequential.stats());
+        prop_assert_eq!(batched.clock().now(), sequential.clock().now());
+    }
+
     /// Statistics account for every operation.
     #[test]
     fn stats_count_everything(reads in 0u64..50, writes in 0u64..50) {

@@ -17,8 +17,7 @@ const HEADER_MAGIC: &[u8; 8] = b"MCVOLHDR";
 
 /// Per-read mapping-lookup cost of the thin layer (the dm-thin btree walk;
 /// Fig. 4 attributes ~18 % sequential-read overhead to it).
-pub const THIN_READ_LOOKUP: mobiceal_sim::SimDuration =
-    mobiceal_sim::SimDuration::from_micros(26);
+pub const THIN_READ_LOOKUP: mobiceal_sim::SimDuration = mobiceal_sim::SimDuration::from_micros(26);
 
 /// The role a volume plays, as known to the *user* (the adversary cannot
 /// tell [`VolumeRole::Hidden`] apart from a dummy volume).
@@ -50,10 +49,7 @@ impl DeviceLayout {
         let footer_blocks = (FOOTER_BYTES as u64).div_ceil(block_size as u64);
         let required = config.metadata_blocks + footer_blocks + 64;
         if disk.num_blocks() < required {
-            return Err(MobiCealError::DiskTooSmall {
-                required,
-                available: disk.num_blocks(),
-            });
+            return Err(MobiCealError::DiskTooSmall { required, available: disk.num_blocks() });
         }
         Ok(DeviceLayout {
             block_size,
@@ -443,6 +439,22 @@ impl BlockDevice for UnlockedVolume {
         self.inner.write_block(index + 1, data)
     }
 
+    /// Batched read: shifts the whole batch past the header block and
+    /// forwards it as one vectored read down the dm-crypt → PDE → thin
+    /// pipeline (prefix-then-error on a bad index, like the sequential
+    /// loop).
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        mobiceal_blockdev::read_blocks_remapped(&self.inner, indices, self.data_blocks, |i| i + 1)
+    }
+
+    /// Batched write: shifts the whole batch past the header block and
+    /// forwards it as one vectored write down the dm-crypt → PDE → thin
+    /// pipeline (prefix-then-error on a bad index, like the sequential
+    /// loop).
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        mobiceal_blockdev::write_blocks_remapped(&self.inner, writes, self.data_blocks, |i| i + 1)
+    }
+
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.inner.flush()
     }
@@ -484,15 +496,23 @@ fn write_footer(
 ) -> Result<(), MobiCealError> {
     let bytes = footer.to_bytes();
     let bs = layout.block_size;
-    for i in 0..layout.footer_blocks {
-        let mut block = vec![0u8; bs];
-        let lo = i as usize * bs;
-        if lo < bytes.len() {
-            let hi = (lo + bs).min(bytes.len());
-            block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
-        }
-        disk.write_block(layout.footer_start() + i, &block)?;
-    }
+    let blocks: Vec<Vec<u8>> = (0..layout.footer_blocks)
+        .map(|i| {
+            let mut block = vec![0u8; bs];
+            let lo = i as usize * bs;
+            if lo < bytes.len() {
+                let hi = (lo + bs).min(bytes.len());
+                block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+            }
+            block
+        })
+        .collect();
+    let writes: Vec<(BlockIndex, &[u8])> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, block)| (layout.footer_start() + i as u64, block.as_slice()))
+        .collect();
+    disk.write_blocks(&writes)?;
     Ok(())
 }
 
@@ -500,9 +520,11 @@ fn read_footer(
     disk: &SharedDevice,
     layout: &DeviceLayout,
 ) -> Result<EncryptionFooter, MobiCealError> {
+    let indices: Vec<BlockIndex> =
+        (0..layout.footer_blocks).map(|i| layout.footer_start() + i).collect();
     let mut bytes = Vec::with_capacity((layout.footer_blocks as usize) * layout.block_size);
-    for i in 0..layout.footer_blocks {
-        bytes.extend_from_slice(&disk.read_block(layout.footer_start() + i)?);
+    for block in disk.read_blocks(&indices)? {
+        bytes.extend_from_slice(&block);
     }
     EncryptionFooter::from_bytes(&bytes)
 }
@@ -683,13 +705,41 @@ mod tests {
     }
 
     #[test]
+    fn batched_unlocked_io_roundtrips_through_the_full_stack() {
+        let (_disk, _clock, mc) = fresh_device(11);
+        let public = mc.unlock_public("decoy").unwrap();
+        let blocks: Vec<(u64, Vec<u8>)> =
+            (0..64u64).map(|i| (i * 2, vec![(i % 251) as u8; 4096])).collect();
+        let batch: Vec<(u64, &[u8])> = blocks.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        public.write_blocks(&batch).unwrap();
+        let indices: Vec<u64> = blocks.iter().map(|(b, _)| *b).collect();
+        let bufs = public.read_blocks(&indices).unwrap();
+        for ((_, expect), got) in blocks.iter().zip(&bufs) {
+            assert_eq!(expect, got);
+        }
+        // The batch triggered the dummy hook once per fresh allocation.
+        assert_eq!(mc.dummy_stats().trigger_checks, 64);
+        // Out-of-range mid-batch: prefix persists, error surfaces.
+        let end = public.num_blocks();
+        let d = vec![9u8; 4096];
+        assert!(matches!(
+            public.write_blocks(&[(1, d.as_slice()), (end, d.as_slice())]),
+            Err(BlockDeviceError::OutOfRange { .. })
+        ));
+        assert_eq!(public.read_block(1).unwrap(), d);
+        // Hidden volumes ride the same vectored pipeline.
+        let hidden = mc.unlock_hidden("hidden-a").unwrap();
+        hidden.write_blocks(&batch).unwrap();
+        assert_eq!(hidden.read_blocks(&[0]).unwrap()[0], blocks[0].1);
+    }
+
+    #[test]
     fn no_hidden_passwords_is_plain_encryption_mode() {
         // §IV-B "User Steps": encryption without deniability still creates
         // dummy volumes so the layout is uniform.
         let clock = SimClock::new();
         let disk: Arc<MemDisk> = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
-        let mc =
-            MobiCeal::initialize(disk, clock, fast_config(), "only-pwd", &[], 10).unwrap();
+        let mc = MobiCeal::initialize(disk, clock, fast_config(), "only-pwd", &[], 10).unwrap();
         let public = mc.unlock_public("only-pwd").unwrap();
         public.write_block(0, &vec![3u8; 4096]).unwrap();
         assert_eq!(public.read_block(0).unwrap(), vec![3u8; 4096]);

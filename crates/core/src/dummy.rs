@@ -146,6 +146,14 @@ impl DummyWriter {
         buf
     }
 
+    /// Generates a whole burst of noise blocks in one call — the CSPRNG
+    /// stream is identical to `count` successive [`DummyWriter::noise_block`]
+    /// calls, but the caller takes the writer lock once per burst instead
+    /// of once per block.
+    pub fn noise_blocks(&mut self, block_size: usize, count: u64) -> Vec<Vec<u8>> {
+        (0..count).map(|_| self.noise_block(block_size)).collect()
+    }
+
     /// Records that `written` noise blocks landed and `dropped` could not.
     pub fn record_outcome(&mut self, written: u64, dropped: u64) {
         self.stats.blocks_written += written;

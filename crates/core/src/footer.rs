@@ -36,7 +36,11 @@ pub struct EncryptionFooter {
 impl EncryptionFooter {
     /// Creates a footer for a fresh device: generates a random salt and
     /// master key, and returns `(footer, master_key)`.
-    pub fn create(rng: &mut ChaCha20Rng, decoy_password: &str, kdf_iterations: u32) -> (Self, [u8; 32]) {
+    pub fn create(
+        rng: &mut ChaCha20Rng,
+        decoy_password: &str,
+        kdf_iterations: u32,
+    ) -> (Self, [u8; 32]) {
         let salt = rng.gen_nonce16();
         let master_key = rng.gen_key();
         let footer = Self::with_salt(salt, &master_key, decoy_password, kdf_iterations);
@@ -73,12 +77,7 @@ impl EncryptionFooter {
     pub fn hidden_volume_index(&self, password: &str, num_volumes: u32) -> u32 {
         assert!(num_volumes >= 3, "need at least 3 volumes");
         let mut digest = [0u8; 8];
-        pbkdf2_hmac_sha256(
-            password.as_bytes(),
-            &self.salt,
-            self.kdf_iterations,
-            &mut digest,
-        );
+        pbkdf2_hmac_sha256(password.as_bytes(), &self.salt, self.kdf_iterations, &mut digest);
         let h = u64::from_le_bytes(digest);
         ((h % (num_volumes as u64 - 1)) + 2) as u32
     }
@@ -199,7 +198,8 @@ mod tests {
         }
         // A different salt moves the index for at least one of a few
         // passwords (overwhelmingly likely).
-        let (footer2, _) = EncryptionFooter::create(&mut ChaCha20Rng::from_u64_seed(99), "decoy", 16);
+        let (footer2, _) =
+            EncryptionFooter::create(&mut ChaCha20Rng::from_u64_seed(99), "decoy", 16);
         let moved = ["a", "b", "c", "d", "e", "f"]
             .iter()
             .any(|p| footer.hidden_volume_index(p, 16) != footer2.hidden_volume_index(p, 16));

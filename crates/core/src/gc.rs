@@ -65,12 +65,8 @@ impl MobiCeal {
         let fraction = rng.next_f64().powf(0.25);
 
         let view = self.metadata_view();
-        let mut report = GcReport {
-            dummy_volumes: 0,
-            blocks_before: 0,
-            blocks_reclaimed: 0,
-            fraction,
-        };
+        let mut report =
+            GcReport { dummy_volumes: 0, blocks_before: 0, blocks_reclaimed: 0, fraction };
         for (&id, vol) in &view.volumes {
             if protected.contains(&id) {
                 continue;
@@ -78,8 +74,7 @@ impl MobiCeal {
             report.dummy_volumes += 1;
             // Keep vblock 0 (the init-time noise header) so the uniform
             // one-block footprint of §IV-C is preserved.
-            let candidates: Vec<u64> =
-                vol.mappings.keys().copied().filter(|&v| v != 0).collect();
+            let candidates: Vec<u64> = vol.mappings.keys().copied().filter(|&v| v != 0).collect();
             report.blocks_before += candidates.len() as u64;
             let reclaim_count = (candidates.len() as f64 * fraction).floor() as usize;
             // Reclaim a uniformly random subset of that size.
@@ -88,10 +83,11 @@ impl MobiCeal {
                 let j = rng.next_below(i as u64 + 1) as usize;
                 indices.swap(i, j);
             }
-            for &vblock in indices.iter().take(reclaim_count) {
-                self.pool().discard(id, vblock)?;
-                report.blocks_reclaimed += 1;
-            }
+            // One batched discard (single pool-lock pass) per volume
+            // instead of a lock round-trip per reclaimed block.
+            let victims = &indices[..reclaim_count];
+            self.pool().discard_many(id, victims)?;
+            report.blocks_reclaimed += victims.len() as u64;
         }
         self.pool().commit()?;
         Ok(report)
@@ -119,15 +115,8 @@ mod tests {
     fn device_with_dummy_traffic(seed: u64) -> MobiCeal {
         let clock = SimClock::new();
         let disk = Arc::new(MemDisk::new(8192, 4096, clock.clone()));
-        let mc = MobiCeal::initialize(
-            disk,
-            clock,
-            fast_config(),
-            "decoy",
-            &["hidden-a"],
-            seed,
-        )
-        .unwrap();
+        let mc =
+            MobiCeal::initialize(disk, clock, fast_config(), "decoy", &["hidden-a"], seed).unwrap();
         let public = mc.unlock_public("decoy").unwrap();
         for i in 0..600 {
             public.write_block(i, &vec![1u8; 4096]).unwrap();

@@ -70,9 +70,8 @@ const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
 const SBOX: [u8; 256] = build_sbox();
 const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
 
-const RCON: [u8; 15] = [
-    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
-];
+const RCON: [u8; 15] =
+    [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a];
 
 /// A block cipher operating on 16-byte blocks.
 ///
@@ -98,10 +97,7 @@ impl AesCore {
     fn new(key: &[u8]) -> Self {
         let nk = key.len() / 4;
         let nr = nk + 6;
-        assert!(
-            matches!(key.len(), 16 | 24 | 32),
-            "AES key must be 16, 24 or 32 bytes"
-        );
+        assert!(matches!(key.len(), 16 | 24 | 32), "AES key must be 16, 24 or 32 bytes");
         let total_words = 4 * (nr + 1);
         let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
         for i in 0..nk {
@@ -125,12 +121,7 @@ impl AesCore {
                 ];
             }
             let prev = w[i - nk];
-            w.push([
-                prev[0] ^ temp[0],
-                prev[1] ^ temp[1],
-                prev[2] ^ temp[2],
-                prev[3] ^ temp[3],
-            ]);
+            w.push([prev[0] ^ temp[0], prev[1] ^ temp[1], prev[2] ^ temp[2], prev[3] ^ temp[3]]);
         }
         let round_keys = w
             .chunks(4)

@@ -27,7 +27,10 @@ pub trait SectorCipher: Send + Sync {
 }
 
 fn check_len(len: usize) {
-    assert!(len > 0 && len.is_multiple_of(AES_BLOCK_SIZE), "sector length {len} not a multiple of 16");
+    assert!(
+        len > 0 && len.is_multiple_of(AES_BLOCK_SIZE),
+        "sector length {len} not a multiple of 16"
+    );
 }
 
 /// CBC with Encrypted Salt-Sector IV (the `aes-cbc-essiv:sha256` dm-crypt
@@ -205,10 +208,7 @@ mod tests {
         let xts = Xts::new(Aes128::new(&key1), Aes128::new(&key2));
         let pt = [0u8; 32];
         let ct = xts.encrypt_sector(0, &pt);
-        assert_eq!(
-            to_hex(&ct),
-            "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e"
-        );
+        assert_eq!(to_hex(&ct), "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e");
         assert_eq!(xts.decrypt_sector(0, &ct), pt);
     }
 
@@ -221,10 +221,7 @@ mod tests {
         let xts = Xts::new(Aes128::new(&key1), Aes128::new(&key2));
         let pt = [0x44u8; 32];
         let ct = xts.encrypt_sector(0x3333333333, &pt);
-        assert_eq!(
-            to_hex(&ct),
-            "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0"
-        );
+        assert_eq!(to_hex(&ct), "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0");
         assert_eq!(xts.decrypt_sector(0x3333333333, &ct), pt);
     }
 
@@ -261,8 +258,8 @@ mod tests {
 
     #[test]
     fn essiv_explicit_key_matches_dm_crypt_shape() {
-        let data_key = from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
-            .unwrap();
+        let data_key =
+            from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4").unwrap();
         let essiv_key = crate::sha256::sha256(&data_key);
         let c = CbcEssiv::with_essiv_key(Aes256::from_slice(&data_key), &essiv_key);
         let pt = vec![0xABu8; 512];

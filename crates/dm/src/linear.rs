@@ -83,6 +83,24 @@ impl BlockDevice for DmLinear {
         self.backing.write_block(self.offset + index, data)
     }
 
+    /// Batched read: remaps the whole batch and issues one vectored read on
+    /// the backing device (prefix-then-error on a bad index, like the
+    /// sequential loop).
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        mobiceal_blockdev::read_blocks_remapped(&self.backing, indices, self.len, |i| {
+            self.offset + i
+        })
+    }
+
+    /// Batched write: remaps the whole batch and issues one vectored write
+    /// on the backing device (prefix-then-error on a bad index, like the
+    /// sequential loop).
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        mobiceal_blockdev::write_blocks_remapped(&self.backing, writes, self.len, |i| {
+            self.offset + i
+        })
+    }
+
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.backing.flush()
     }
@@ -138,5 +156,37 @@ mod tests {
     fn flush_propagates() {
         let lin = DmLinear::new(raw(), 0, 10).unwrap();
         assert!(lin.flush().is_ok());
+    }
+
+    #[test]
+    fn batched_ops_remap_like_sequential() {
+        let backing = raw();
+        let lin = DmLinear::new(backing.clone(), 20, 10).unwrap();
+        let a = vec![1u8; 512];
+        let b = vec![2u8; 512];
+        lin.write_blocks(&[(0, a.as_slice()), (9, b.as_slice())]).unwrap();
+        assert_eq!(backing.read_block(20).unwrap(), a);
+        assert_eq!(backing.read_block(29).unwrap(), b);
+        assert_eq!(lin.read_blocks(&[0, 9]).unwrap(), vec![a.clone(), b.clone()]);
+        // Bytes identical to the sequential path on a twin device.
+        let backing2 = raw();
+        let lin2 = DmLinear::new(backing2.clone(), 20, 10).unwrap();
+        lin2.write_block(0, &a).unwrap();
+        lin2.write_block(9, &b).unwrap();
+        assert_eq!(backing.snapshot().as_bytes(), backing2.snapshot().as_bytes());
+    }
+
+    #[test]
+    fn batched_write_out_of_range_persists_prefix() {
+        let backing = raw();
+        let lin = DmLinear::new(backing.clone(), 0, 10).unwrap();
+        let a = vec![3u8; 512];
+        let err = lin.write_blocks(&[(1, a.as_slice()), (10, a.as_slice())]).unwrap_err();
+        assert!(matches!(err, BlockDeviceError::OutOfRange { index: 10, .. }));
+        assert_eq!(backing.read_block(1).unwrap(), a, "valid prefix landed");
+        assert!(matches!(
+            lin.read_blocks(&[0, 11]),
+            Err(BlockDeviceError::OutOfRange { index: 11, .. })
+        ));
     }
 }

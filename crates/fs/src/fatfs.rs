@@ -124,8 +124,7 @@ impl FatFs {
         // Estimate cluster count ignoring metadata, then iterate once.
         let mut cluster_count = total_blocks.saturating_sub(1) as u32;
         for _ in 0..4 {
-            let fat_blocks =
-                ((cluster_count as u64 + 1) * 4).div_ceil(block_size as u64) as u32;
+            let fat_blocks = ((cluster_count as u64 + 1) * 4).div_ceil(block_size as u64) as u32;
             let dir_blocks =
                 (dir_entries as u64 * DIRENT_SIZE as u64).div_ceil(block_size as u64) as u32;
             let data_start = 1 + fat_blocks as u64 + dir_blocks as u64;
@@ -290,15 +289,13 @@ impl FileSystem for FatFs {
             return Err(FsError::AlreadyExists { name: name.into() });
         }
         let slot = self.dir.iter().position(|e| !e.used).ok_or(FsError::NoSpace)?;
-        self.dir[slot] =
-            DirEntry { used: true, name: name.to_string(), size: 0, first_cluster: 0 };
+        self.dir[slot] = DirEntry { used: true, name: name.to_string(), size: 0, first_cluster: 0 };
         self.meta_dirty = true;
         Ok(())
     }
 
     fn write(&mut self, name: &str, offset: u64, data: &[u8]) -> Result<(), FsError> {
-        let entry =
-            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let entry = self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
         let bs = self.block_size as u64;
         let mut written = 0usize;
         while written < data.len() {
@@ -326,8 +323,7 @@ impl FileSystem for FatFs {
     }
 
     fn read(&mut self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, FsError> {
-        let entry =
-            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let entry = self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
         let size = self.dir[entry].size;
         if offset > size {
             return Err(FsError::BadOffset { offset, size });
@@ -352,14 +348,12 @@ impl FileSystem for FatFs {
     }
 
     fn file_size(&self, name: &str) -> Result<u64, FsError> {
-        let entry =
-            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let entry = self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
         Ok(self.dir[entry].size)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), FsError> {
-        let entry =
-            self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
+        let entry = self.find_entry(name).ok_or_else(|| FsError::NotFound { name: name.into() })?;
         let mut cluster = self.dir[entry].first_cluster;
         while cluster != 0 && cluster != FAT_EOC {
             let next = self.fat[cluster as usize];

@@ -208,16 +208,18 @@ impl SimFs {
         if data_start > total_blocks {
             return Err(bad("data region beyond device"));
         }
-        // Load bitmap.
+        // Load bitmap and inode table with one vectored read each.
+        let bitmap_indices: Vec<u64> =
+            (0..bitmap_blocks as u64).map(|i| bitmap_start + i).collect();
         let mut bitmap = Vec::with_capacity(bitmap_blocks as usize * block_size);
-        for i in 0..bitmap_blocks as u64 {
-            bitmap.extend_from_slice(&dev.read_block(bitmap_start + i)?);
+        for block in dev.read_blocks(&bitmap_indices)? {
+            bitmap.extend_from_slice(&block);
         }
-        // Load inode table.
         let inodes_per_block = block_size / INODE_SIZE;
+        let itable_indices: Vec<u64> =
+            (0..itable_blocks as u64).map(|i| itable_start + i).collect();
         let mut inodes = Vec::with_capacity(inode_count as usize);
-        'outer: for i in 0..itable_blocks as u64 {
-            let block = dev.read_block(itable_start + i)?;
+        'outer: for block in dev.read_blocks(&itable_indices)? {
             for j in 0..inodes_per_block {
                 if inodes.len() == inode_count as usize {
                     break 'outer;
@@ -447,8 +449,7 @@ impl FileSystem for SimFs {
         if self.find_inode(name).is_some() {
             return Err(FsError::AlreadyExists { name: name.into() });
         }
-        let slot =
-            self.inodes.iter().position(|i| !i.used).ok_or(FsError::NoSpace)?;
+        let slot = self.inodes.iter().position(|i| !i.used).ok_or(FsError::NoSpace)?;
         self.inodes[slot] = Inode { used: true, name: name.to_string(), ..Inode::empty() };
         self.meta_dirty = true;
         Ok(())
@@ -461,29 +462,82 @@ impl FileSystem for SimFs {
         if end.div_ceil(bs) > self.max_file_blocks() {
             return Err(FsError::FileTooLarge);
         }
+        // Pass 1: resolve/allocate the physical block of every piece. On
+        // NoSpace mid-file the already-mapped prefix still lands on the
+        // device (below) before the error surfaces, like the sequential
+        // loop; the file size only grows on full success.
+        struct Piece {
+            phys: u64,
+            in_block: usize,
+            data_off: usize,
+            take: usize,
+            was_mapped: bool,
+        }
+        let mut pieces: Vec<Piece> = Vec::with_capacity(data.len() / self.block_size + 2);
+        let mut alloc_error = None;
         let mut written = 0usize;
         while written < data.len() {
             let pos = offset + written as u64;
             let fbn = pos / bs;
             let in_block = (pos % bs) as usize;
             let take = (self.block_size - in_block).min(data.len() - written);
-            let was_mapped = self.map_block(ino, fbn, false)? != 0;
-            let phys = self.map_block(ino, fbn, true)?;
-            if in_block == 0 && take == self.block_size {
-                self.dev.write_block(phys, &data[written..written + take])?;
-            } else if was_mapped {
-                // Read-modify-write for partial blocks.
-                let mut block = self.dev.read_block(phys)?;
-                block[in_block..in_block + take].copy_from_slice(&data[written..written + take]);
-                self.dev.write_block(phys, &block)?;
-            } else {
-                // Fresh block: zero-fill around the data instead of reading
-                // back whatever a previously freed block contained.
-                let mut block = vec![0u8; self.block_size];
-                block[in_block..in_block + take].copy_from_slice(&data[written..written + take]);
-                self.dev.write_block(phys, &block)?;
+            // Any failure resolving this piece (probe read of a pointer
+            // block, allocation) still lands the resolved prefix below,
+            // exactly as the sequential loop had already written it.
+            let resolved = self
+                .map_block(ino, fbn, false)
+                .and_then(|cur| self.map_block(ino, fbn, true).map(|phys| (phys, cur != 0)));
+            match resolved {
+                Ok((phys, was_mapped)) => {
+                    pieces.push(Piece { phys, in_block, data_off: written, take, was_mapped })
+                }
+                Err(e) => {
+                    alloc_error = Some(e);
+                    break;
+                }
             }
             written += take;
+        }
+        // Pass 2: one vectored read for every partial block that needs
+        // read-modify-write.
+        let rmw_phys: Vec<u64> = pieces
+            .iter()
+            .filter(|p| p.take != self.block_size && p.was_mapped)
+            .map(|p| p.phys)
+            .collect();
+        let mut rmw_bufs = self.dev.read_blocks(&rmw_phys)?.into_iter();
+        // Pass 3: assemble the batch and land it in one vectored write.
+        let buffers: Vec<Option<Vec<u8>>> = pieces
+            .iter()
+            .map(|p| {
+                if p.take == self.block_size {
+                    None // full block: write the caller's bytes in place
+                } else {
+                    // Partial block: splice into the old contents, or into
+                    // zeros for a fresh block (never read back whatever a
+                    // previously freed block contained).
+                    let mut block = if p.was_mapped {
+                        rmw_bufs.next().expect("one buffer per rmw piece")
+                    } else {
+                        vec![0u8; self.block_size]
+                    };
+                    block[p.in_block..p.in_block + p.take]
+                        .copy_from_slice(&data[p.data_off..p.data_off + p.take]);
+                    Some(block)
+                }
+            })
+            .collect();
+        let writes: Vec<(u64, &[u8])> = pieces
+            .iter()
+            .zip(&buffers)
+            .map(|(p, buf)| match buf {
+                Some(block) => (p.phys, block.as_slice()),
+                None => (p.phys, &data[p.data_off..p.data_off + p.take]),
+            })
+            .collect();
+        self.dev.write_blocks(&writes)?;
+        if let Some(e) = alloc_error {
+            return Err(e);
         }
         if end > self.inodes[ino].size {
             self.inodes[ino].size = end;
@@ -500,17 +554,27 @@ impl FileSystem for SimFs {
         }
         let len = len.min((size - offset) as usize);
         let bs = self.block_size as u64;
-        let mut out = Vec::with_capacity(len);
-        while out.len() < len {
-            let pos = offset + out.len() as u64;
+        // Pass 1: resolve every piece's mapping (0 = hole).
+        let mut pieces: Vec<(u64, usize, usize)> = Vec::new(); // (phys, in_block, take)
+        let mut resolved = 0usize;
+        while resolved < len {
+            let pos = offset + resolved as u64;
             let fbn = pos / bs;
             let in_block = (pos % bs) as usize;
-            let take = (self.block_size - in_block).min(len - out.len());
+            let take = (self.block_size - in_block).min(len - resolved);
             let phys = self.map_block(ino, fbn, false)?;
+            pieces.push((phys, in_block, take));
+            resolved += take;
+        }
+        // Pass 2: one vectored read for all mapped pieces; holes are zeros.
+        let mapped: Vec<u64> = pieces.iter().filter(|p| p.0 != 0).map(|p| p.0).collect();
+        let mut bufs = self.dev.read_blocks(&mapped)?.into_iter();
+        let mut out = Vec::with_capacity(len);
+        for (phys, in_block, take) in pieces {
             if phys == 0 {
                 out.extend(std::iter::repeat_n(0u8, take)); // hole
             } else {
-                let block = self.dev.read_block(phys)?;
+                let block = bufs.next().expect("one buffer per mapped piece");
                 out.extend_from_slice(&block[in_block..in_block + take]);
             }
         }
@@ -549,32 +613,42 @@ impl FileSystem for SimFs {
         sb[36..44].copy_from_slice(&self.itable_start.to_le_bytes());
         sb[44..48].copy_from_slice(&self.itable_blocks.to_le_bytes());
         sb[48..56].copy_from_slice(&self.data_start.to_le_bytes());
-        self.dev.write_block(0, &sb)?;
-        // Bitmap.
+        // The whole metadata write-back — superblock, bitmap, inode table
+        // and dirty indirect pointer blocks — lands in one vectored write.
+        let inodes_per_block = self.block_size / INODE_SIZE;
+        let itable: Vec<Vec<u8>> = (0..self.itable_blocks as u64)
+            .map(|i| {
+                let mut block = vec![0u8; self.block_size];
+                for j in 0..inodes_per_block {
+                    let idx = i as usize * inodes_per_block + j;
+                    if idx < self.inodes.len() {
+                        self.inodes[idx].encode(&mut block[j * INODE_SIZE..(j + 1) * INODE_SIZE]);
+                    }
+                }
+                block
+            })
+            .collect();
+        // Keep ptr_dirty intact until the write-back lands: a failed sync
+        // must leave the dirty set (and meta_dirty) in place so a retry
+        // writes everything, not just the sb/bitmap/itable.
+        let dirty: Vec<u64> = self.ptr_dirty.iter().copied().collect();
+        let mut writes: Vec<(u64, &[u8])> =
+            Vec::with_capacity(1 + self.bitmap_blocks as usize + itable.len() + dirty.len());
+        writes.push((0, sb.as_slice()));
         for i in 0..self.bitmap_blocks as u64 {
             let lo = i as usize * self.block_size;
-            self.dev
-                .write_block(self.bitmap_start + i, &self.bitmap[lo..lo + self.block_size])?;
+            writes.push((self.bitmap_start + i, &self.bitmap[lo..lo + self.block_size]));
         }
-        // Inode table.
-        let inodes_per_block = self.block_size / INODE_SIZE;
-        for i in 0..self.itable_blocks as u64 {
-            let mut block = vec![0u8; self.block_size];
-            for j in 0..inodes_per_block {
-                let idx = i as usize * inodes_per_block + j;
-                if idx < self.inodes.len() {
-                    self.inodes[idx].encode(&mut block[j * INODE_SIZE..(j + 1) * INODE_SIZE]);
-                }
-            }
-            self.dev.write_block(self.itable_start + i, &block)?;
+        for (i, block) in itable.iter().enumerate() {
+            writes.push((self.itable_start + i as u64, block.as_slice()));
         }
-        // Dirty indirect pointer blocks.
-        let dirty: Vec<u64> = self.ptr_dirty.drain().collect();
-        for b in dirty {
-            let block = self.ptr_cache.get(&b).expect("dirty block must be cached").clone();
-            self.dev.write_block(b, &block)?;
+        for b in &dirty {
+            let block = self.ptr_cache.get(b).expect("dirty block must be cached");
+            writes.push((*b, block.as_slice()));
         }
+        self.dev.write_blocks(&writes)?;
         self.dev.flush()?;
+        self.ptr_dirty.clear();
         self.meta_dirty = false;
         Ok(())
     }
@@ -583,7 +657,7 @@ impl FileSystem for SimFs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_blockdev::{BlockDevice, FaultInjection, MemDisk};
     use std::sync::Arc;
 
     fn fs_with(blocks: u64) -> SimFs {
@@ -696,6 +770,27 @@ mod tests {
         drop(fs);
         let fs2 = SimFs::mount(disk).unwrap();
         assert!(fs2.list().is_empty());
+    }
+
+    #[test]
+    fn failed_sync_retries_indirect_pointer_blocks() {
+        // A transient device fault during sync must not lose the dirty
+        // pointer-block set: the retry has to write them or remount reads
+        // stale pointers.
+        let disk = Arc::new(MemDisk::with_default_timing(256, 4096));
+        let mut fs = SimFs::format(disk.clone()).unwrap();
+        fs.create("big").unwrap();
+        // Past the 10 direct pointers so an indirect pointer block exists.
+        fs.write("big", 0, &vec![0x5Au8; 12 * 4096]).unwrap();
+        let mut faults = FaultInjection::default();
+        faults.failing_writes.insert(0); // superblock write fails
+        disk.set_faults(faults);
+        assert!(fs.sync().is_err());
+        disk.set_faults(FaultInjection::default());
+        fs.sync().unwrap(); // retry must write the pointer blocks too
+        drop(fs);
+        let mut fs2 = SimFs::mount(disk).unwrap();
+        assert_eq!(fs2.read("big", 11 * 4096, 16).unwrap(), vec![0x5A; 16]);
     }
 
     #[test]

@@ -39,7 +39,11 @@ fn check_fs(fs: &mut dyn FileSystem, ops: &[FsOp]) -> Result<(), TestCaseError> 
                     prop_assert!(result.is_ok());
                     e.insert(Vec::new());
                 } else {
-                    prop_assert!(matches!(result, Err(FsError::AlreadyExists { .. })), "expected AlreadyExists, got {:?}", result);
+                    prop_assert!(
+                        matches!(result, Err(FsError::AlreadyExists { .. })),
+                        "expected AlreadyExists, got {:?}",
+                        result
+                    );
                 }
             }
             FsOp::Write { name, offset, len, fill } => {
@@ -55,7 +59,11 @@ fn check_fs(fs: &mut dyn FileSystem, ops: &[FsOp]) -> Result<(), TestCaseError> 
                         }
                         content[offset as usize..end].copy_from_slice(&data);
                     }
-                    None => prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result),
+                    None => prop_assert!(
+                        matches!(result, Err(FsError::NotFound { .. })),
+                        "expected NotFound, got {:?}",
+                        result
+                    ),
                 }
             }
             FsOp::Read { name, offset, len } => {
@@ -64,13 +72,21 @@ fn check_fs(fs: &mut dyn FileSystem, ops: &[FsOp]) -> Result<(), TestCaseError> 
                 match model.get(&name) {
                     Some(content) => {
                         if offset as usize > content.len() {
-                            prop_assert!(matches!(result, Err(FsError::BadOffset { .. })), "expected BadOffset, got {:?}", result);
+                            prop_assert!(
+                                matches!(result, Err(FsError::BadOffset { .. })),
+                                "expected BadOffset, got {:?}",
+                                result
+                            );
                         } else {
                             let end = (offset as usize + len as usize).min(content.len());
                             prop_assert_eq!(result.unwrap(), &content[offset as usize..end]);
                         }
                     }
-                    None => prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result),
+                    None => prop_assert!(
+                        matches!(result, Err(FsError::NotFound { .. })),
+                        "expected NotFound, got {:?}",
+                        result
+                    ),
                 }
             }
             FsOp::Delete { name } => {
@@ -79,7 +95,11 @@ fn check_fs(fs: &mut dyn FileSystem, ops: &[FsOp]) -> Result<(), TestCaseError> 
                 if model.remove(&name).is_some() {
                     prop_assert!(result.is_ok());
                 } else {
-                    prop_assert!(matches!(result, Err(FsError::NotFound { .. })), "expected NotFound, got {:?}", result);
+                    prop_assert!(
+                        matches!(result, Err(FsError::NotFound { .. })),
+                        "expected NotFound, got {:?}",
+                        result
+                    );
                 }
             }
             FsOp::Sync => prop_assert!(fs.sync().is_ok()),

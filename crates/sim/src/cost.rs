@@ -138,9 +138,7 @@ impl EmmcCostModel {
 impl CostModel for EmmcCostModel {
     fn cost(&self, op: OpKind, bytes: usize) -> SimDuration {
         let ns = match op {
-            OpKind::SequentialRead => {
-                self.per_op_ns as f64 + self.read_ns_per_byte * bytes as f64
-            }
+            OpKind::SequentialRead => self.per_op_ns as f64 + self.read_ns_per_byte * bytes as f64,
             OpKind::RandomRead => {
                 (self.per_op_ns + self.random_penalty_ns) as f64
                     + self.read_ns_per_byte * bytes as f64

@@ -129,8 +129,10 @@ impl Allocator for RandomAllocator {
         }
         // Dense-reservation fallback: pick uniformly among the not-reserved
         // free blocks by enumeration.
-        let candidates: Vec<u64> =
-            (0..free).filter_map(|n| bitmap.nth_free(n)).filter(|b| !reserved.contains(b)).collect();
+        let candidates: Vec<u64> = (0..free)
+            .filter_map(|n| bitmap.nth_free(n))
+            .filter(|b| !reserved.contains(b))
+            .collect();
         if candidates.is_empty() {
             None
         } else {

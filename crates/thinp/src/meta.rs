@@ -212,10 +212,7 @@ mod tests {
     fn view_rejects_truncation() {
         let bytes = sample_view().to_bytes();
         for cut in [0, 4, 10, bytes.len() - 1] {
-            assert!(
-                MetadataView::from_bytes(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(MetadataView::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

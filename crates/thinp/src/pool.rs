@@ -204,9 +204,11 @@ impl ThinPool {
                 detail: "payload larger than shadow half".into(),
             });
         }
+        let indices: Vec<u64> = (0..need_blocks).map(|i| start + i).collect();
+        let blocks = meta.read_blocks(&indices)?;
         let mut payload = Vec::with_capacity(need_blocks as usize * bs);
-        for i in 0..need_blocks {
-            payload.extend_from_slice(&meta.read_block(start + i)?);
+        for block in blocks {
+            payload.extend_from_slice(&block);
         }
         payload.truncate(sb.payload_len as usize);
         if sha256(&payload) != sb.payload_digest {
@@ -253,13 +255,23 @@ impl ThinPool {
         if need_blocks > half_len {
             return Err(BlockDeviceError::NoSpace);
         }
-        for i in 0..need_blocks {
-            let mut block = vec![0u8; bs];
-            let lo = i as usize * bs;
-            let hi = (lo + bs).min(payload.len());
-            block[..hi - lo].copy_from_slice(&payload[lo..hi]);
-            self.meta.write_block(start + i, &block)?;
-        }
+        // One vectored write for the whole payload half instead of a write
+        // per metadata block.
+        let blocks: Vec<Vec<u8>> = (0..need_blocks)
+            .map(|i| {
+                let mut block = vec![0u8; bs];
+                let lo = i as usize * bs;
+                let hi = (lo + bs).min(payload.len());
+                block[..hi - lo].copy_from_slice(&payload[lo..hi]);
+                block
+            })
+            .collect();
+        let writes: Vec<(BlockIndex, &[u8])> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| (start + i as u64, block.as_slice()))
+            .collect();
+        self.meta.write_blocks(&writes)?;
         self.meta.flush()?;
         // Superblock last: this is the commit point.
         let sb = Superblock {
@@ -435,7 +447,9 @@ impl ThinPool {
     ///
     /// [`BlockDeviceError::NoSpace`] if the pool or the volume's virtual
     /// address space is exhausted; fails if the volume does not exist or
-    /// `data` is not block-sized.
+    /// `data` is not block-sized. A data-device failure rolls the fresh
+    /// mapping back, so the virtual block never points at storage whose
+    /// noise did not land.
     pub fn append_block(&self, id: VolumeId, data: &[u8]) -> Result<u64, BlockDeviceError> {
         if data.len() != self.data.block_size() {
             return Err(BlockDeviceError::WrongBufferSize {
@@ -463,8 +477,120 @@ impl ThinPool {
         let p = Self::allocate_locked(&mut state)?;
         state.volumes.get_mut(&id).expect("checked above").mappings.insert(vblock, p);
         drop(state);
-        self.data.write_block(p, data)?;
+        if let Err(e) = self.data.write_block(p, data) {
+            Self::rollback_staged(&self.state, id, &[(vblock, p)]);
+            return Err(e);
+        }
         Ok(p)
+    }
+
+    /// How many more blocks [`ThinPool::append_block`] can currently land
+    /// in volume `id`: the smaller of the pool's free space and the
+    /// volume's unmapped virtual space (0 if the volume does not exist).
+    pub fn append_headroom(&self, id: VolumeId) -> u64 {
+        let state = self.state.lock();
+        let pool_free = state.bitmap.free() - state.reserved.len() as u64;
+        state
+            .volumes
+            .get(&id)
+            .map(|v| pool_free.min(v.virtual_blocks - v.mappings.len() as u64))
+            .unwrap_or(0)
+    }
+
+    /// Vectored [`ThinPool::append_block`]: allocates up to `blocks.len()`
+    /// fresh physical blocks to `id` (at its lowest unmapped virtual
+    /// indices) under **one** pool-lock acquisition, then lands them with
+    /// **one** vectored data-device write. This is the primitive a dummy
+    /// burst of `m ~ Exp(λ)` blocks rides (§IV-B): one batched pipeline
+    /// crossing instead of `m` single-block crossings.
+    ///
+    /// Returns the number of blocks appended. Exhaustion of the pool or of
+    /// the volume's virtual address space is not an error: allocation stops
+    /// there and the count reflects what landed (dummy blocks that do not
+    /// fit are simply dropped, §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume does not exist, any buffer is not block-sized,
+    /// or the data device fails. On a device error every mapping staged by
+    /// this call is rolled back, so no virtual block is ever left pointing
+    /// at a physical block whose noise never landed.
+    pub fn append_blocks(&self, id: VolumeId, blocks: &[&[u8]]) -> Result<u64, BlockDeviceError> {
+        let bs = self.data.block_size();
+        if let Some(bad) = blocks.iter().find(|b| b.len() != bs) {
+            return Err(BlockDeviceError::WrongBufferSize { got: bad.len(), expected: bs });
+        }
+        let mut writes: Vec<(BlockIndex, &[u8])> = Vec::with_capacity(blocks.len());
+        let mut staged: Vec<(u64, u64)> = Vec::with_capacity(blocks.len()); // (vblock, p)
+        {
+            let mut state = self.state.lock();
+            let vol = state
+                .volumes
+                .get(&id)
+                .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+            let virtual_blocks = vol.virtual_blocks;
+            // Walk the lowest unmapped virtual indices, allocating as we go.
+            let mut vblock = 0u64;
+            for &data in blocks {
+                let vol = state.volumes.get(&id).expect("checked above");
+                while vol.mappings.contains_key(&vblock) {
+                    vblock += 1;
+                }
+                if vblock >= virtual_blocks {
+                    break; // volume virtual space exhausted: drop the rest
+                }
+                let Ok(p) = Self::allocate_locked(&mut state) else {
+                    break; // pool exhausted: drop the rest
+                };
+                state.volumes.get_mut(&id).expect("checked above").mappings.insert(vblock, p);
+                staged.push((vblock, p));
+                writes.push((p, data));
+            }
+        }
+        if let Err(e) = self.data.write_blocks(&writes) {
+            Self::rollback_staged(&self.state, id, &staged);
+            return Err(e);
+        }
+        Ok(writes.len() as u64)
+    }
+
+    /// Removes mappings staged by a failed vectored write and releases
+    /// their (uncommitted) physical reservations. Without this, a mid-batch
+    /// device failure would leave virtual blocks pointing at physical
+    /// blocks whose data never landed — reads would then expose whatever
+    /// stale bytes sit there.
+    fn rollback_staged(state: &Arc<Mutex<PoolState>>, id: VolumeId, staged: &[(u64, u64)]) {
+        let mut state = state.lock();
+        for &(vblock, p) in staged {
+            if let Some(vol) = state.volumes.get_mut(&id) {
+                vol.mappings.remove(&vblock);
+            }
+            if !state.reserved.remove(&p) {
+                state.bitmap.clear(p);
+            }
+        }
+    }
+
+    /// Vectored [`ThinPool::discard`]: releases the physical blocks backing
+    /// many virtual blocks of one volume under a single lock acquisition.
+    /// Unmapped entries are no-ops, exactly like the single-block form.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the volume does not exist.
+    pub fn discard_many(&self, id: VolumeId, vblocks: &[u64]) -> Result<(), BlockDeviceError> {
+        let mut state = self.state.lock();
+        let vol = state
+            .volumes
+            .get_mut(&id)
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+        let freed: Vec<u64> = vblocks.iter().filter_map(|v| vol.mappings.remove(v)).collect();
+        for p in freed {
+            if !state.reserved.remove(&p) {
+                state.bitmap.clear(p);
+            }
+        }
+        Ok(())
     }
 
     fn allocate_locked(state: &mut PoolState) -> Result<u64, BlockDeviceError> {
@@ -513,17 +639,20 @@ impl ThinVolume {
 
     /// Physical blocks currently mapped.
     pub fn mapped_blocks(&self) -> u64 {
-        self.pool_state
-            .lock()
-            .volumes
-            .get(&self.id)
-            .map(|v| v.mappings.len() as u64)
-            .unwrap_or(0)
+        self.pool_state.lock().volumes.get(&self.id).map(|v| v.mappings.len() as u64).unwrap_or(0)
     }
 
     /// The physical block backing `vblock`, if mapped.
     pub fn mapping(&self, vblock: u64) -> Option<u64> {
         self.pool_state.lock().volumes.get(&self.id).and_then(|v| v.mappings.get(&vblock)).copied()
+    }
+
+    /// Vectored [`ThinVolume::mapping`]: resolves many virtual blocks under
+    /// one lock acquisition. Out-of-range indices resolve to `None`.
+    pub fn mappings_many(&self, vblocks: &[u64]) -> Vec<Option<u64>> {
+        let state = self.pool_state.lock();
+        let vol = state.volumes.get(&self.id);
+        vblocks.iter().map(|v| vol.and_then(|vol| vol.mappings.get(v)).copied()).collect()
     }
 }
 
@@ -540,8 +669,8 @@ impl BlockDevice for ThinVolume {
         self.check_index(index)?;
         let mapping = {
             let state = self.pool_state.lock();
-            let vol = state.volumes.get(&self.id).ok_or_else(|| {
-                BlockDeviceError::Unsupported { what: format!("volume {} deleted", self.id) }
+            let vol = state.volumes.get(&self.id).ok_or_else(|| BlockDeviceError::Unsupported {
+                what: format!("volume {} deleted", self.id),
             })?;
             if let Some((clock, cost)) = &state.read_overhead {
                 clock.advance(*cost);
@@ -558,7 +687,7 @@ impl BlockDevice for ThinVolume {
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
         self.check_index(index)?;
         self.check_buffer(data)?;
-        let physical = {
+        let (physical, fresh) = {
             let mut state = self.pool_state.lock();
             if !state.volumes.contains_key(&self.id) {
                 return Err(BlockDeviceError::Unsupported {
@@ -566,15 +695,116 @@ impl BlockDevice for ThinVolume {
                 });
             }
             match state.volumes.get(&self.id).expect("checked").mappings.get(&index).copied() {
-                Some(p) => p,
+                Some(p) => (p, false),
                 None => {
                     let p = ThinPool::allocate_locked(&mut state)?;
                     state.volumes.get_mut(&self.id).expect("checked").mappings.insert(index, p);
-                    p
+                    (p, true)
                 }
             }
         };
-        self.data.write_block(physical, data)
+        if let Err(e) = self.data.write_block(physical, data) {
+            // Never leave a fresh mapping pointing at storage whose data
+            // did not land (reads would expose stale bytes).
+            if fresh {
+                ThinPool::rollback_staged(&self.pool_state, self.id, &[(index, physical)]);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Batched read: resolves every mapping under **one** pool-lock
+    /// acquisition (charging the per-lookup read overhead exactly as the
+    /// single-block path does), then issues one vectored read on the data
+    /// device for the mapped blocks. Unmapped blocks read as zeros.
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        let bad = indices.iter().position(|&i| i >= self.virtual_blocks);
+        let valid = &indices[..bad.unwrap_or(indices.len())];
+        let mappings: Vec<Option<u64>> = {
+            let state = self.pool_state.lock();
+            let vol = state.volumes.get(&self.id).ok_or_else(|| BlockDeviceError::Unsupported {
+                what: format!("volume {} deleted", self.id),
+            })?;
+            if let Some((clock, cost)) = &state.read_overhead {
+                for _ in valid {
+                    clock.advance(*cost);
+                }
+            }
+            valid.iter().map(|index| vol.mappings.get(index).copied()).collect()
+        };
+        let physical: Vec<u64> = mappings.iter().filter_map(|m| *m).collect();
+        let mut mapped_bufs = self.data.read_blocks(&physical)?.into_iter();
+        if let Some(pos) = bad {
+            return Err(BlockDeviceError::OutOfRange {
+                index: indices[pos],
+                num_blocks: self.virtual_blocks,
+            });
+        }
+        Ok(mappings
+            .iter()
+            .map(|m| match m {
+                Some(_) => mapped_bufs.next().expect("one buffer per mapped block"),
+                None => vec![0u8; self.data.block_size()],
+            })
+            .collect())
+    }
+
+    /// Batched write: resolves or allocates every mapping under **one**
+    /// pool-lock acquisition (consuming the allocator stream in batch
+    /// order, exactly as the sequential loop would), then issues one
+    /// vectored write on the data device. On pool exhaustion mid-batch the
+    /// already-mapped prefix is written before the error surfaces,
+    /// preserving sequential fail-fast semantics; on a *device* error the
+    /// mappings freshly allocated by this call are rolled back so no
+    /// virtual block points at a physical block whose data never landed.
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        let mut staged: Vec<(BlockIndex, &[u8])> = Vec::with_capacity(writes.len());
+        let mut fresh: Vec<(u64, u64)> = Vec::new(); // (vblock, p) allocated here
+        let mut first_error = None;
+        {
+            let mut state = self.pool_state.lock();
+            if !state.volumes.contains_key(&self.id) {
+                return Err(BlockDeviceError::Unsupported {
+                    what: format!("volume {} deleted", self.id),
+                });
+            }
+            for &(index, data) in writes {
+                if let Err(e) = self.check_index(index).and_then(|()| self.check_buffer(data)) {
+                    first_error = Some(e);
+                    break;
+                }
+                let vol = state.volumes.get(&self.id).expect("checked above");
+                let physical = match vol.mappings.get(&index).copied() {
+                    Some(p) => p,
+                    None => match ThinPool::allocate_locked(&mut state) {
+                        Ok(p) => {
+                            state
+                                .volumes
+                                .get_mut(&self.id)
+                                .expect("checked above")
+                                .mappings
+                                .insert(index, p);
+                            fresh.push((index, p));
+                            p
+                        }
+                        Err(e) => {
+                            first_error = Some(e);
+                            break;
+                        }
+                    },
+                };
+                staged.push((physical, data));
+            }
+        }
+        if let Err(e) = self.data.write_blocks(&staged) {
+            ThinPool::rollback_staged(&self.pool_state, self.id, &fresh);
+            return Err(e);
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn flush(&self) -> Result<(), BlockDeviceError> {
@@ -644,8 +874,8 @@ mod tests {
     #[test]
     fn over_provisioning_is_allowed_until_space_runs_out() {
         let (data, meta) = devices(16, 64);
-        let p = ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential)
-            .unwrap();
+        let p =
+            ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential).unwrap();
         // Two volumes, each provisioned at the full device size.
         let a = p.create_volume(1, 16).unwrap();
         let b = p.create_volume(2, 16).unwrap();
@@ -656,10 +886,7 @@ mod tests {
             b.write_block(i, &vec![2u8; 512]).unwrap();
         }
         assert_eq!(p.free_blocks(), 0);
-        assert!(matches!(
-            a.write_block(9, &vec![1u8; 512]),
-            Err(BlockDeviceError::NoSpace)
-        ));
+        assert!(matches!(a.write_block(9, &vec![1u8; 512]), Err(BlockDeviceError::NoSpace)));
     }
 
     #[test]
@@ -795,6 +1022,69 @@ mod tests {
     }
 
     #[test]
+    fn failed_batched_write_rolls_back_fresh_mappings() {
+        // A device fault mid-batch must not leave virtual blocks mapped to
+        // physical blocks whose data never landed (stale-data exposure).
+        let data_disk = Arc::new(MemDisk::with_default_timing(256, 512));
+        let (_, meta) = devices(1, 128);
+        let p = ThinPool::create(
+            data_disk.clone() as SharedDevice,
+            meta,
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 100).unwrap();
+        // Sequential allocator: the batch will land on physical 0, 1, 2.
+        let mut faults = mobiceal_blockdev::FaultInjection::default();
+        faults.failing_writes.insert(1);
+        data_disk.set_faults(faults);
+        let buf = vec![0xAAu8; 512];
+        let err = v
+            .write_blocks(&[(10, buf.as_slice()), (11, buf.as_slice()), (12, buf.as_slice())])
+            .unwrap_err();
+        assert!(matches!(err, BlockDeviceError::Io { .. }));
+        data_disk.set_faults(mobiceal_blockdev::FaultInjection::default());
+        // No mapping survives pointing at unwritten storage.
+        assert_eq!(v.mapping(11), None, "failed block unmapped");
+        assert_eq!(v.mapping(12), None, "suffix unmapped");
+        assert_eq!(v.mapping(10), None, "rolled-back prefix unmapped");
+        assert_eq!(p.allocated_blocks(), 0);
+        for vb in [10u64, 11, 12] {
+            assert_eq!(v.read_block(vb).unwrap(), vec![0u8; 512], "reads as hole");
+        }
+        // Appends and single-block writes roll back the same way (fault
+        // every block: the allocator cursor has moved past the rolled-back
+        // physicals).
+        let mut faults = mobiceal_blockdev::FaultInjection::default();
+        for b in 0..256 {
+            faults.failing_writes.insert(b);
+        }
+        data_disk.set_faults(faults);
+        assert!(p.append_blocks(1, &[buf.as_slice()]).is_err());
+        assert!(p.append_block(1, &buf).is_err());
+        assert!(v.write_block(20, &buf).is_err());
+        data_disk.set_faults(mobiceal_blockdev::FaultInjection::default());
+        assert_eq!(p.allocated_blocks(), 0);
+        assert_eq!(v.mapping(20), None, "single-block failure unmapped");
+        assert_eq!(v.read_block(0).unwrap(), vec![0u8; 512]);
+        assert_eq!(v.read_block(20).unwrap(), vec![0u8; 512]);
+    }
+
+    #[test]
+    fn mappings_many_matches_single_lookups() {
+        let p = pool(AllocStrategy::Random);
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(3, &vec![1u8; 512]).unwrap();
+        v.write_block(7, &vec![2u8; 512]).unwrap();
+        let batch = v.mappings_many(&[3, 4, 7, 200]);
+        assert_eq!(batch[0], v.mapping(3));
+        assert_eq!(batch[1], None);
+        assert_eq!(batch[2], v.mapping(7));
+        assert_eq!(batch[3], None, "out of range resolves to None");
+    }
+
+    #[test]
     fn append_block_maps_lowest_unmapped_index() {
         let p = pool(AllocStrategy::Random);
         p.create_volume(3, 10).unwrap();
@@ -813,8 +1103,8 @@ mod tests {
     #[test]
     fn volume_budget_enforced() {
         let (data, meta) = devices(64, 64);
-        let p = ThinPool::create(data, meta, PoolConfig::new(2), AllocStrategy::Sequential)
-            .unwrap();
+        let p =
+            ThinPool::create(data, meta, PoolConfig::new(2), AllocStrategy::Sequential).unwrap();
         p.create_volume(1, 10).unwrap();
         p.create_volume(2, 10).unwrap();
         assert!(p.create_volume(3, 10).is_err());
@@ -836,9 +1126,8 @@ mod tests {
     #[test]
     fn open_rejects_geometry_mismatch() {
         let (data, meta) = devices(256, 128);
-        let p =
-            ThinPool::create(data, meta.clone(), PoolConfig::new(4), AllocStrategy::Sequential)
-                .unwrap();
+        let p = ThinPool::create(data, meta.clone(), PoolConfig::new(4), AllocStrategy::Sequential)
+            .unwrap();
         p.commit().unwrap();
         drop(p);
         let wrong_data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
@@ -851,7 +1140,8 @@ mod tests {
     #[test]
     fn open_rejects_blank_device() {
         let (data, meta) = devices(64, 64);
-        assert!(ThinPool::open(data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0)
-            .is_err());
+        assert!(
+            ThinPool::open(data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0).is_err()
+        );
     }
 }

@@ -114,6 +114,155 @@ proptest! {
         }
     }
 
+    /// A vectored thin-volume write is equivalent to the sequence of
+    /// single-block writes: same allocator stream, same mappings, same
+    /// bytes on the data device, same metadata an adversary would recover.
+    #[test]
+    fn write_blocks_equivalent_to_sequential(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 0..80),
+        seed in 0u64..500,
+    ) {
+        for strategy in strategies() {
+            let mk = || {
+                let data = Arc::new(MemDisk::with_default_timing(512, 512));
+                let shared: SharedDevice = data.clone();
+                let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+                let pool = ThinPool::create_seeded(
+                    shared, meta, PoolConfig::new(1), strategy, seed,
+                ).unwrap();
+                let vol = pool.create_volume(1, 64).unwrap();
+                (data, pool, vol)
+            };
+            let (data_a, pool_a, vol_a) = mk();
+            let (data_b, pool_b, vol_b) = mk();
+            let buffers: Vec<(u64, Vec<u8>)> =
+                writes.iter().map(|&(b, fill)| (b, vec![fill; 512])).collect();
+            let batch: Vec<(u64, &[u8])> =
+                buffers.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+            vol_a.write_blocks(&batch).unwrap();
+            for (b, d) in &buffers {
+                vol_b.write_block(*b, d).unwrap();
+            }
+            prop_assert_eq!(pool_a.metadata_view(), pool_b.metadata_view());
+            prop_assert_eq!(pool_a.allocated_blocks(), pool_b.allocated_blocks());
+            let (snap_a, snap_b) = (data_a.snapshot(), data_b.snapshot());
+            prop_assert_eq!(
+                snap_a.as_bytes(),
+                snap_b.as_bytes(),
+                "identical physical placement and bytes"
+            );
+            for b in 0..64 {
+                prop_assert_eq!(vol_a.read_block(b).unwrap(), vol_b.read_block(b).unwrap());
+            }
+        }
+    }
+
+    /// A vectored thin-volume read returns exactly what the sequential
+    /// loop returns, holes included.
+    #[test]
+    fn read_blocks_equivalent_to_sequential(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 0..40),
+        reads in prop::collection::vec(0u64..64, 0..60),
+        seed in 0u64..500,
+    ) {
+        let data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
+        let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+        let pool = ThinPool::create_seeded(
+            data, meta, PoolConfig::new(1), AllocStrategy::Random, seed,
+        ).unwrap();
+        let vol = pool.create_volume(1, 64).unwrap();
+        for &(b, fill) in &writes {
+            vol.write_block(b, &vec![fill; 512]).unwrap();
+        }
+        let from_batch = vol.read_blocks(&reads).unwrap();
+        let from_loop: Vec<Vec<u8>> =
+            reads.iter().map(|&b| vol.read_block(b).unwrap()).collect();
+        prop_assert_eq!(from_batch, from_loop);
+    }
+
+    /// A batched append lands exactly the blocks the sequential
+    /// [`ThinPool::append_block`] loop would land — same count, same
+    /// virtual indices, same physical placement — including the
+    /// partial-append behaviour when the pool or volume fills up.
+    #[test]
+    fn append_blocks_equivalent_to_sequential(
+        count in 0u64..40,
+        prefill in 0u64..16,
+        seed in 0u64..500,
+    ) {
+        for strategy in strategies() {
+            // A deliberately small pool so larger batches hit NoSpace.
+            let mk = || {
+                let data: SharedDevice = Arc::new(MemDisk::with_default_timing(32, 512));
+                let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+                let pool = ThinPool::create_seeded(
+                    data, meta, PoolConfig::new(1), strategy, seed,
+                ).unwrap();
+                // Virtual space larger than the 32-block data device, so
+                // exhaustion comes from the pool itself.
+                pool.create_volume(1, 64).unwrap();
+                pool
+            };
+            let pool_a = mk();
+            let pool_b = mk();
+            let blocks: Vec<Vec<u8>> =
+                (0..count).map(|i| vec![i as u8; 512]).collect();
+            for pool in [&pool_a, &pool_b] {
+                for i in 0..prefill {
+                    // Interior mappings so the lowest-unmapped walk skips.
+                    pool.open_volume(1).unwrap()
+                        .write_block(i * 2, &vec![0xEE; 512]).unwrap();
+                }
+            }
+            let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
+            let batched = pool_a.append_blocks(1, &refs).unwrap();
+            let mut sequential = 0u64;
+            for b in &blocks {
+                if pool_b.append_block(1, b).is_err() {
+                    break;
+                }
+                sequential += 1;
+            }
+            prop_assert_eq!(batched, sequential);
+            prop_assert_eq!(pool_a.metadata_view(), pool_b.metadata_view());
+            let va = pool_a.open_volume(1).unwrap();
+            let vb = pool_b.open_volume(1).unwrap();
+            for b in 0..64 {
+                prop_assert_eq!(va.read_block(b).unwrap(), vb.read_block(b).unwrap());
+            }
+        }
+    }
+
+    /// Batched discards release exactly what the sequential loop releases.
+    #[test]
+    fn discard_many_equivalent_to_sequential(
+        writes in prop::collection::vec(0u64..64, 0..40),
+        discards in prop::collection::vec(0u64..64, 0..40),
+        seed in 0u64..500,
+    ) {
+        let mk = || {
+            let data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
+            let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+            let pool = ThinPool::create_seeded(
+                data, meta, PoolConfig::new(1), AllocStrategy::Random, seed,
+            ).unwrap();
+            let vol = pool.create_volume(1, 64).unwrap();
+            (pool, vol)
+        };
+        let (pool_a, vol_a) = mk();
+        let (pool_b, vol_b) = mk();
+        for &b in &writes {
+            vol_a.write_block(b, &vec![1u8; 512]).unwrap();
+            vol_b.write_block(b, &vec![1u8; 512]).unwrap();
+        }
+        pool_a.discard_many(1, &discards).unwrap();
+        for &b in &discards {
+            pool_b.discard(1, b).unwrap();
+        }
+        prop_assert_eq!(pool_a.metadata_view(), pool_b.metadata_view());
+        prop_assert_eq!(pool_a.allocated_blocks(), pool_b.allocated_blocks());
+    }
+
     /// Commit + reopen restores exactly the committed state under both
     /// allocators.
     #[test]

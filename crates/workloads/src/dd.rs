@@ -103,16 +103,8 @@ mod tests {
         // Fig. 4 band: Android FDE writes ~15-21 MB/s, reads ~24-28 MB/s
         // on the Nexus 4 class eMMC.
         let r = run_on(StackConfig::Android);
-        assert!(
-            (14.0..24.0).contains(&r.write_mbps()),
-            "FDE write {:.1} MB/s",
-            r.write_mbps()
-        );
-        assert!(
-            (20.0..32.0).contains(&r.read_mbps()),
-            "FDE read {:.1} MB/s",
-            r.read_mbps()
-        );
+        assert!((14.0..24.0).contains(&r.write_mbps()), "FDE write {:.1} MB/s", r.write_mbps());
+        assert!((20.0..32.0).contains(&r.read_mbps()), "FDE read {:.1} MB/s", r.read_mbps());
     }
 
     #[test]
@@ -134,10 +126,7 @@ mod tests {
         let mcp = run_on(StackConfig::MobiCealPublic);
         let ratio = mcp.write_kbps / android.write_kbps;
         // Paper: "MobiCeal reduces the performance by about 18%" on writes.
-        assert!(
-            (0.65..0.95).contains(&ratio),
-            "MC-P/Android write ratio {ratio:.2}"
-        );
+        assert!((0.65..0.95).contains(&ratio), "MC-P/Android write ratio {ratio:.2}");
     }
 
     #[test]

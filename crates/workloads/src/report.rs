@@ -86,11 +86,8 @@ impl Table {
 /// their output).
 pub fn render_table(table: &Table) -> String {
     let mut widths: Vec<usize> = table.columns.iter().map(|c| c.len()).collect();
-    let rendered: Vec<Vec<String>> = table
-        .rows
-        .iter()
-        .map(|row| row.iter().map(Cell::render).collect())
-        .collect();
+    let rendered: Vec<Vec<String>> =
+        table.rows.iter().map(|row| row.iter().map(Cell::render).collect()).collect();
     for row in &rendered {
         for (i, cell) in row.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());

@@ -165,12 +165,7 @@ mod tests {
             let stack = build_stack(config, 8192, 7).unwrap();
             let data = vec![0x5A; 4096];
             stack.device.write_block(3, &data).unwrap();
-            assert_eq!(
-                stack.device.read_block(3).unwrap(),
-                data,
-                "{} roundtrip",
-                config.label()
-            );
+            assert_eq!(stack.device.read_block(3).unwrap(), data, "{} roundtrip", config.label());
         }
     }
 

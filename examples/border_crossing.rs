@@ -18,13 +18,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- Phone A: legacy hidden-volume PDE (MobiPluto-class) ---
     let clock = SimClock::new();
     let disk_a = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
-    let pluto = MobiPluto::initialize(
-        disk_a.clone() as SharedDevice,
-        clock,
-        "decoy",
-        Some("hidden"),
-        7,
-    )?;
+    let pluto =
+        MobiPluto::initialize(disk_a.clone() as SharedDevice, clock, "decoy", Some("hidden"), 7)?;
     let pluto_public = pluto.unlock_public("decoy")?;
 
     // Checkpoint 1: the agent images the phone.
@@ -113,8 +108,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         metadata_blocks: 64,
         ..Default::default()
     };
-    let control =
-        mobiceal::MobiCeal::initialize(disk_c.clone() as SharedDevice, clock, config, "decoy", &[], 7)?;
+    let control = mobiceal::MobiCeal::initialize(
+        disk_c.clone() as SharedDevice,
+        clock,
+        config,
+        "decoy",
+        &[],
+        7,
+    )?;
     let control_public = control.unlock_public("decoy")?;
     let obs_c1 = observe(&control, &disk_c);
     for i in 0..30 {

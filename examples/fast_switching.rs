@@ -10,11 +10,8 @@ use mobiceal_sim::SimClock;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let config = MobiCealConfig {
-        pbkdf2_iterations: 64,
-        metadata_blocks: 64,
-        ..Default::default()
-    };
+    let config =
+        MobiCealConfig { pbkdf2_iterations: 64, metadata_blocks: 64, ..Default::default() };
     let mut phone = AndroidPhone::new(SimClock::new(), 8192, 4096, config);
 
     let init = phone.initialize_mobiceal("decoy", &["hidden"], 99)?;

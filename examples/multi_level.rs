@@ -16,20 +16,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Ten thin volumes; three of them become hidden volumes. The count of
     // hidden volumes is secret — it equals the number of passwords, which
     // only the user knows.
-    let config = MobiCealConfig {
-        num_volumes: 10,
-        pbkdf2_iterations: 16,
-        ..Default::default()
-    };
+    let config = MobiCealConfig { num_volumes: 10, pbkdf2_iterations: 16, ..Default::default() };
     let passwords = ["level-one-diary", "level-two-sources", "level-three-archive"];
-    let mc = MobiCeal::initialize(
-        disk as SharedDevice,
-        clock,
-        config,
-        "decoy",
-        &passwords,
-        31337,
-    )?;
+    let mc = MobiCeal::initialize(disk as SharedDevice, clock, config, "decoy", &passwords, 31337)?;
 
     // Each password deterministically selects its own volume via
     // k = (PBKDF2(pwd||salt) mod (n-1)) + 2.

@@ -12,11 +12,8 @@ use mobiceal_sim::SimClock;
 use std::error::Error;
 
 fn run_session(protected: bool) -> Result<AndroidPhone, Box<dyn Error>> {
-    let config = MobiCealConfig {
-        pbkdf2_iterations: 16,
-        metadata_blocks: 64,
-        ..Default::default()
-    };
+    let config =
+        MobiCealConfig { pbkdf2_iterations: 16, metadata_blocks: 64, ..Default::default() };
     let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, config);
     if !protected {
         phone = phone.without_side_channel_protection();

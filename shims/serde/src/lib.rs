@@ -1,0 +1,16 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs as
+//! forward-looking metadata but never drives an actual serializer, so the
+//! traits here are empty markers and the derives (re-exported from the
+//! `serde_derive` shim) emit marker impls. Replacing this shim with the
+//! real `serde` is a one-line change in the workspace manifest.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize` (lifetime elided —
+/// nothing in this workspace names the trait directly).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

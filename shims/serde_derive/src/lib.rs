@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain structs — nothing ever serializes through a `Serializer` — so
+//! these derives emit a marker `impl` of the shim traits in the `serde`
+//! shim crate and nothing else. Generic types are supported by emitting no
+//! impl at all (the traits are only referenced via the derive).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following the `struct`/`enum` keyword,
+/// returning `None` for shapes this shim does not understand (generics).
+fn plain_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref ident) = tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Generic parameters need real parsing; skip the impl.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Marker derive for the `serde::Serialize` shim trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// Marker derive for the `serde::Deserialize` shim trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(&input) {
+        Some(name) => format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}

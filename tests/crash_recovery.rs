@@ -132,15 +132,9 @@ fn device_write_faults_surface_as_errors_not_corruption() {
 fn device_death_mid_session() {
     let clock = SimClock::new();
     let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
-    let mc = MobiCeal::initialize(
-        disk.clone() as SharedDevice,
-        clock,
-        fast_config(),
-        "decoy",
-        &[],
-        8,
-    )
-    .unwrap();
+    let mc =
+        MobiCeal::initialize(disk.clone() as SharedDevice, clock, fast_config(), "decoy", &[], 8)
+            .unwrap();
     let public = mc.unlock_public("decoy").unwrap();
     public.write_block(0, &vec![1u8; 4096]).unwrap();
     disk.set_faults(FaultInjection { die_after_ops: Some(0), ..Default::default() });
@@ -168,10 +162,7 @@ fn wrong_password_attempts_do_not_perturb_state() {
         assert!(mc.unlock_hidden(guess).is_err());
     }
     let after = disk.snapshot();
-    assert!(
-        before.changed_blocks(&after).is_empty(),
-        "failed unlocks must not write anything"
-    );
+    assert!(before.changed_blocks(&after).is_empty(), "failed unlocks must not write anything");
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! security game, and the side channel.
 
 use mobiceal_adversary::{
-    run_distinguisher_game, ChangedFreeSpaceDistinguisher, Distinguisher,
-    DummyBudgetDistinguisher, GameConfig, SequentialRunDistinguisher, SideChannelDistinguisher,
+    run_distinguisher_game, ChangedFreeSpaceDistinguisher, Distinguisher, DummyBudgetDistinguisher,
+    GameConfig, SequentialRunDistinguisher, SideChannelDistinguisher,
 };
 use mobiceal_baselines::worlds::{MobiCealWorld, MobiPlutoWorld, WORLD_DISK_BLOCKS};
 
@@ -39,11 +39,7 @@ fn mobiceal_blinds_all_standard_distinguishers() {
     ];
     for d in &distinguishers {
         let result = run_distinguisher_game(MobiCealWorld::build, d.as_ref(), &cfg, 7);
-        assert!(
-            result.advantage < 0.25,
-            "{} should be blind against MobiCeal: {result}",
-            d.name()
-        );
+        assert!(result.advantage < 0.25, "{} should be blind against MobiCeal: {result}", d.name());
     }
 }
 
@@ -83,11 +79,7 @@ fn side_channel_grep_finds_nothing_after_protected_session() {
     use mobiceal_android::AndroidPhone;
     use mobiceal_sim::SimClock;
 
-    let cfg = MobiCealConfig {
-        pbkdf2_iterations: 4,
-        metadata_blocks: 64,
-        ..Default::default()
-    };
+    let cfg = MobiCealConfig { pbkdf2_iterations: 4, metadata_blocks: 64, ..Default::default() };
     let mut phone = AndroidPhone::new(SimClock::new(), 4096, 4096, cfg);
     phone.initialize_mobiceal("decoy", &["hidden"], 8).unwrap();
     phone.enter_boot_password("decoy").unwrap();
@@ -136,8 +128,8 @@ fn dummy_budget_distinguisher_catches_reckless_hidden_bulk_writes() {
     let cfg = GameConfig {
         rounds: 24,
         events_per_round: 6,
-        public_blocks: (1, 2),    // almost no public traffic
-        hidden_blocks: (64, 96),  // huge hidden writes
+        public_blocks: (1, 2),   // almost no public traffic
+        hidden_blocks: (64, 96), // huge hidden writes
         hidden_event_prob: 1.0,
     };
     let d = DummyBudgetDistinguisher {
@@ -171,10 +163,7 @@ fn cover_discipline_restores_deniability_for_bulk_hidden_writes() {
         safety_sigmas: 4.0,
     };
     let result = run_distinguisher_game(CoveredMobiCealWorld::build, &d, &cfg, 11);
-    assert!(
-        result.advantage < 0.25,
-        "cover writes must blind the budget distinguisher: {result}"
-    );
+    assert!(result.advantage < 0.25, "cover writes must blind the budget distinguisher: {result}");
 }
 
 #[test]

@@ -78,7 +78,8 @@ fn claim_initialization_avoids_the_full_disk_fill() {
 /// the "much smaller than HIVE/DEFY" part strictly.
 #[test]
 fn claim_write_overhead_band() {
-    let android: f64 = (0..4).map(|i| dd_write_mbps(StackConfig::Android, 100 + i)).sum::<f64>() / 4.0;
+    let android: f64 =
+        (0..4).map(|i| dd_write_mbps(StackConfig::Android, 100 + i)).sum::<f64>() / 4.0;
     let mcp: f64 =
         (0..4).map(|i| dd_write_mbps(StackConfig::MobiCealPublic, 100 + i)).sum::<f64>() / 4.0;
     let overhead = 1.0 - mcp / android;
@@ -121,15 +122,8 @@ fn claim_basic_scheme_is_a_special_case() {
     let clock = SimClock::new();
     let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
     let basic = MobiCealConfig { num_volumes: 3, ..fast_config() };
-    let mc = MobiCeal::initialize(
-        disk as SharedDevice,
-        clock,
-        basic,
-        "decoy",
-        &["hidden"],
-        4,
-    )
-    .unwrap();
+    let mc =
+        MobiCeal::initialize(disk as SharedDevice, clock, basic, "decoy", &["hidden"], 4).unwrap();
     let public = mc.unlock_public("decoy").unwrap();
     let hidden = mc.unlock_hidden("hidden").unwrap();
     public.write_block(0, &vec![1u8; 4096]).unwrap();

@@ -21,15 +21,8 @@ fn fast_config() -> MobiCealConfig {
 fn fresh(seed: u64) -> MobiCeal {
     let clock = SimClock::new();
     let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
-    MobiCeal::initialize(
-        disk as SharedDevice,
-        clock,
-        fast_config(),
-        "decoy",
-        &["hidden"],
-        seed,
-    )
-    .unwrap()
+    MobiCeal::initialize(disk as SharedDevice, clock, fast_config(), "decoy", &["hidden"], seed)
+        .unwrap()
 }
 
 /// One step of the random workload.
