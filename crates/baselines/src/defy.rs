@@ -120,11 +120,11 @@ impl DefyLite {
         state.inverse.fill(None);
         let mut new_head = 0u64;
         for (logical, old_pos) in live {
-            let ct = self.dev.read_block(old_pos)?;
-            self.charge_crypto(ct.len());
-            let plain = old_cipher.decrypt_sector(old_pos, &ct);
-            let ct2 = new_cipher.encrypt_sector(new_head, &plain);
-            self.dev.write_block(new_head, &ct2)?;
+            let mut buf = self.dev.read_block(old_pos)?;
+            self.charge_crypto(buf.len());
+            old_cipher.decrypt_sector_in_place(old_pos, &mut buf);
+            new_cipher.encrypt_sector_in_place(new_head, &mut buf);
+            self.dev.write_block(new_head, &buf)?;
             state.map[logical as usize] = Some(new_head);
             state.inverse[new_head as usize] = Some(logical);
             new_head += 1;
@@ -152,9 +152,10 @@ impl BlockDevice for DefyLite {
         };
         match pos {
             Some(p) => {
-                let ct = self.dev.read_block(p)?;
-                self.charge_crypto(ct.len());
-                Ok(Self::cipher_for(&key).decrypt_sector(p, &ct))
+                let mut buf = self.dev.read_block(p)?;
+                self.charge_crypto(buf.len());
+                Self::cipher_for(&key).decrypt_sector_in_place(p, &mut buf);
+                Ok(buf)
             }
             None => Ok(vec![0u8; self.dev.block_size()]),
         }
@@ -173,7 +174,8 @@ impl BlockDevice for DefyLite {
         let pos = state.head;
         state.head += 1;
         self.charge_crypto(data.len());
-        let ct = Self::cipher_for(&state.epoch_key).encrypt_sector(pos, data);
+        let mut ct = data.to_vec();
+        Self::cipher_for(&state.epoch_key).encrypt_sector_in_place(pos, &mut ct);
         self.dev.write_block(pos, &ct)?;
         if let Some(old) = state.map[index as usize].replace(pos) {
             state.inverse[old as usize] = None;

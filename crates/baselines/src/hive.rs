@@ -177,9 +177,10 @@ impl BlockDevice for HiveWoOram {
         drop(state);
         match pos {
             Some(p) => {
-                let ct = self.dev.read_block(p)?;
-                self.clock.advance(self.cpu.aes_cost(ct.len()));
-                Ok(self.cipher.decrypt_sector(p, &ct))
+                let mut buf = self.dev.read_block(p)?;
+                self.clock.advance(self.cpu.aes_cost(buf.len()));
+                self.cipher.decrypt_sector_in_place(p, &mut buf);
+                Ok(buf)
             }
             None => Ok(vec![0u8; self.dev.block_size()]),
         }
@@ -207,11 +208,11 @@ impl BlockDevice for HiveWoOram {
                 Some(l) => {
                     // Live block: re-encrypt in place so the adversary sees
                     // it change regardless.
-                    let ct = self.dev.read_block(p)?;
-                    self.clock.advance(self.cpu.aes_cost(ct.len()) * 2);
-                    let plain = self.cipher.decrypt_sector(p, &ct);
-                    let ct2 = self.cipher.encrypt_sector(p, &plain);
-                    self.dev.write_block(p, &ct2)?;
+                    let mut buf = self.dev.read_block(p)?;
+                    self.clock.advance(self.cpu.aes_cost(buf.len()) * 2);
+                    self.cipher.decrypt_sector_in_place(p, &mut buf);
+                    self.cipher.encrypt_sector_in_place(p, &mut buf);
+                    self.dev.write_block(p, &buf)?;
                     let _ = l;
                 }
                 None => {
@@ -222,10 +223,10 @@ impl BlockDevice for HiveWoOram {
                         state.stash.pop_front()
                     };
                     match pending {
-                        Some((l, d)) => {
+                        Some((l, mut d)) => {
                             self.clock.advance(self.cpu.aes_cost(d.len()));
-                            let ct = self.cipher.encrypt_sector(p, &d);
-                            self.dev.write_block(p, &ct)?;
+                            self.cipher.encrypt_sector_in_place(p, &mut d);
+                            self.dev.write_block(p, &d)?;
                             let mut state = self.state.lock();
                             if let Some(old) = state.position[l as usize] {
                                 state.inverse[old as usize] = None;

@@ -178,7 +178,8 @@ impl MobiPluto {
         let cipher = self.hidden_cipher.as_ref().ok_or(MobiCealError::BadPassword)?;
         let mut cursor = self.hidden_cursor.lock();
         let sector = self.hidden_offset + *cursor;
-        let ct = cipher.encrypt_sector(sector, data);
+        let mut ct = data.to_vec();
+        cipher.encrypt_sector_in_place(sector, &mut ct);
         self.disk.write_block(self.metadata_blocks + sector, &ct)?;
         self.clock.advance(self.cpu.aes_cost(data.len()));
         *cursor += 1;

@@ -1,0 +1,92 @@
+//! Raw sector-cipher throughput: real MB/s of the T-table AES core through
+//! the CBC-ESSIV and XTS sector modes, single-sector and batched-parallel
+//! through `DmCrypt`, plus the byte-wise reference core for the speedup
+//! ratio. These are *wall-clock* numbers (like `micro`'s `crypto` group);
+//! simulated timing in the experiments is charged by `CpuCostModel` and
+//! does not depend on any of this.
+//!
+//! Recorded numbers live in `EXPERIMENTS.md` and `BENCH_crypto.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobiceal_blockdev::{BlockDevice, MemDisk};
+use mobiceal_crypto::{reference::ReferenceAes, sha256, Aes256, CbcEssiv, SectorCipher, Xts};
+use mobiceal_dm::DmCrypt;
+use mobiceal_sim::SimClock;
+use std::sync::Arc;
+
+const SECTOR: usize = 4096;
+const BATCH: usize = 64;
+
+/// Single 4 KiB sector encrypt/decrypt, in place, per mode — and the
+/// byte-wise reference core on the same workload for the speedup ratio.
+fn bench_sector_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_throughput");
+    group.throughput(Throughput::Bytes(SECTOR as u64));
+
+    let essiv = CbcEssiv::with_essiv_key(Aes256::new(&[1u8; 32]), &sha256(&[1u8; 32]));
+    let xts = Xts::new(Aes256::new(&[2u8; 32]), Aes256::new(&[3u8; 32]));
+    let mut buf = vec![0xABu8; SECTOR];
+
+    group.bench_function("essiv_encrypt_4k", |b| {
+        b.iter(|| essiv.encrypt_sector_in_place(7, &mut buf))
+    });
+    group.bench_function("essiv_decrypt_4k", |b| {
+        b.iter(|| essiv.decrypt_sector_in_place(7, &mut buf))
+    });
+    group.bench_function("xts_encrypt_4k", |b| b.iter(|| xts.encrypt_sector_in_place(7, &mut buf)));
+    group.bench_function("xts_decrypt_4k", |b| b.iter(|| xts.decrypt_sector_in_place(7, &mut buf)));
+
+    // The pre-T-table baseline: same modes over the byte-wise FIPS core.
+    let ref_essiv = CbcEssiv::with_essiv_key(ReferenceAes::new(&[1u8; 32]), &sha256(&[1u8; 32]));
+    let ref_xts = Xts::new(ReferenceAes::new(&[2u8; 32]), ReferenceAes::new(&[3u8; 32]));
+    group.bench_function("reference_essiv_encrypt_4k", |b| {
+        b.iter(|| ref_essiv.encrypt_sector_in_place(7, &mut buf))
+    });
+    group.bench_function("reference_xts_encrypt_4k", |b| {
+        b.iter(|| ref_xts.encrypt_sector_in_place(7, &mut buf))
+    });
+    group.finish();
+}
+
+/// A 64×4 KiB batch through `DmCrypt` over a MemDisk: the batched-parallel
+/// crypto path vs. the same batch pinned to one thread.
+fn bench_batched_parallel(c: &mut Criterion) {
+    fn crypt(parallel: bool) -> (Arc<MemDisk>, DmCrypt) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2 * BATCH as u64, SECTOR, clock));
+        let dm = DmCrypt::new_essiv(disk.clone(), &[9u8; 32]);
+        let dm = if parallel { dm } else { dm.sequential() };
+        (disk, dm)
+    }
+
+    let mut group = c.benchmark_group("crypto_batch_64x4k");
+    group.throughput(Throughput::Bytes((BATCH * SECTOR) as u64));
+    let data = vec![0x5Au8; SECTOR];
+
+    for (label, parallel) in [("write_parallel", true), ("write_sequential", false)] {
+        group.bench_function(label, |b| {
+            let (_disk, dm) = crypt(parallel);
+            let writes: Vec<(u64, &[u8])> =
+                (0..BATCH as u64).map(|i| (i, data.as_slice())).collect();
+            b.iter(|| dm.write_blocks(&writes).expect("write batch"))
+        });
+    }
+    for (label, parallel) in [("read_parallel", true), ("read_sequential", false)] {
+        group.bench_function(label, |b| {
+            let (_disk, dm) = crypt(parallel);
+            let writes: Vec<(u64, &[u8])> =
+                (0..BATCH as u64).map(|i| (i, data.as_slice())).collect();
+            dm.write_blocks(&writes).expect("prefill");
+            let indices: Vec<u64> = (0..BATCH as u64).collect();
+            b.iter(|| dm.read_blocks(&indices).expect("read batch"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sector_modes, bench_batched_parallel
+}
+criterion_main!(benches);

@@ -470,7 +470,8 @@ fn header_block(key: &[u8; 32], password: &str, block_size: usize) -> Vec<u8> {
     plain[8] = len as u8;
     plain[9..9 + len].copy_from_slice(&pwd[..len]);
     let cipher = CbcEssiv::with_essiv_key(Aes256::new(key), &mobiceal_crypto::sha256(key));
-    cipher.encrypt_sector(0, &plain)
+    cipher.encrypt_sector_in_place(0, &mut plain);
+    plain
 }
 
 /// Verifies a candidate password against a volume's header block.

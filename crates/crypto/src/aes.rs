@@ -1,10 +1,26 @@
-//! AES-128/192/256 (FIPS 197).
+//! AES-128/192/256 (FIPS 197), T-table implementation with an AES-NI
+//! hardware fast path.
 //!
-//! The S-box and its inverse are *derived at compile time* from the GF(2^8)
-//! definition (multiplicative inverse + affine map) rather than transcribed,
-//! and the whole cipher is validated against the FIPS 197 example vectors in
-//! the tests. Performance is adequate for the simulation (timing in the
-//! experiments is charged to the virtual clock, not measured from this code).
+//! The S-box, its inverse, and the four encrypt/decrypt T-tables are all
+//! *derived at compile time* from the GF(2^8) definition (multiplicative
+//! inverse + affine map) rather than transcribed. Each round fuses
+//! SubBytes + ShiftRows + MixColumns into four table lookups per output
+//! word — the classic software layout dm-crypt's `aes-generic` kernel
+//! implementation uses — with round keys held as `u32` words in fixed
+//! arrays, so a 4 KiB sector costs a few thousand table lookups instead of
+//! hundreds of thousands of GF multiplications. On x86-64 hosts that
+//! report AES-NI at runtime, blocks instead go through the `AESENC` /
+//! `AESDEC` instructions (the same key schedule feeds both backends, like
+//! the kernel's `aesni-intel` vs `aes-generic` split); everything else
+//! falls back to the T-tables. The original byte-wise core survives as
+//! [`reference`], an executable specification that the property tests pin
+//! whichever backend is active against; all of them are validated against
+//! the FIPS 197 example vectors in the tests.
+//!
+//! Real wall-clock speed matters only for running the test/bench suite:
+//! *simulated* encryption timing in the experiments is charged to the
+//! virtual clock by `mobiceal_sim::CpuCostModel`, and is unaffected by how
+//! fast this code actually runs.
 
 /// AES block size in bytes.
 pub const AES_BLOCK_SIZE: usize = 16;
@@ -73,6 +89,50 @@ const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
 const RCON: [u8; 15] =
     [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a];
 
+/// `TE[0][x]` is the column `(2,1,1,3)·S[x]` packed big-endian; `TE[1..4]`
+/// are its byte rotations. One round of SubBytes + ShiftRows + MixColumns
+/// for one output word is then `TE[0][a] ^ TE[1][b] ^ TE[2][c] ^ TE[3][d]`.
+static TE: [[u32; 256]; 4] = build_enc_tables();
+/// `TD[0][x]` is `(14,9,13,11)·InvS[x]`; used both for the equivalent
+/// inverse cipher rounds and for applying InvMixColumns to decrypt keys.
+static TD: [[u32; 256]; 4] = build_dec_tables();
+
+const fn build_enc_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = SBOX[i];
+        let e = ((gf_mul(s, 2) as u32) << 24)
+            | ((s as u32) << 16)
+            | ((s as u32) << 8)
+            | (gf_mul(s, 3) as u32);
+        t[0][i] = e;
+        t[1][i] = e.rotate_right(8);
+        t[2][i] = e.rotate_right(16);
+        t[3][i] = e.rotate_right(24);
+        i += 1;
+    }
+    t
+}
+
+const fn build_dec_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0usize;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        let e = ((gf_mul(s, 14) as u32) << 24)
+            | ((gf_mul(s, 9) as u32) << 16)
+            | ((gf_mul(s, 13) as u32) << 8)
+            | (gf_mul(s, 11) as u32);
+        t[0][i] = e;
+        t[1][i] = e.rotate_right(8);
+        t[2][i] = e.rotate_right(16);
+        t[3][i] = e.rotate_right(24);
+        i += 1;
+    }
+    t
+}
+
 /// A block cipher operating on 16-byte blocks.
 ///
 /// Implemented by [`Aes128`], [`Aes192`] and [`Aes256`]; sector modes
@@ -86,152 +146,280 @@ pub trait BlockCipher: Send + Sync {
     fn key_len(&self) -> usize;
 }
 
-/// Generic AES implementation parameterised by the number of rounds.
+/// Maximum round-key words: AES-256 has 14 rounds → 4·(14+1) = 60 words.
+const MAX_RK_WORDS: usize = 60;
+/// Maximum round keys as 16-byte blocks (AES-256: 15).
+const MAX_RK_BLOCKS: usize = 15;
+
+/// Generic T-table AES parameterised by the number of rounds, with an
+/// AES-NI fast path picked once at key-schedule time on x86-64 hosts.
+///
+/// Encryption round keys come straight from the FIPS 197 key schedule;
+/// decryption uses the *equivalent inverse cipher* (FIPS 197 §5.3.5), whose
+/// round keys are the encryption schedule reversed with InvMixColumns
+/// applied to the inner rounds. That lets decryption share the fused
+/// table-lookup structure of encryption — and it is exactly the key form
+/// `AESDEC` expects, so the same schedule feeds both backends.
 #[derive(Debug, Clone)]
 struct AesCore {
-    round_keys: Vec<[u8; 16]>,
+    enc_keys: [u32; MAX_RK_WORDS],
+    dec_keys: [u32; MAX_RK_WORDS],
+    /// The schedules again, as the 16-byte blocks the AES-NI round
+    /// instructions consume (identical bytes, pre-serialised).
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    enc_key_blocks: [[u8; 16]; MAX_RK_BLOCKS],
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    dec_key_blocks: [[u8; 16]; MAX_RK_BLOCKS],
+    rounds: usize,
     key_len: usize,
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    use_aesni: bool,
+}
+
+#[inline]
+const fn sub_word(w: u32) -> u32 {
+    ((SBOX[(w >> 24) as usize] as u32) << 24)
+        | ((SBOX[((w >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((w >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(w & 0xff) as usize] as u32)
 }
 
 impl AesCore {
     fn new(key: &[u8]) -> Self {
+        assert!(matches!(key.len(), 16 | 24 | 32), "AES key must be 16, 24 or 32 bytes");
         let nk = key.len() / 4;
         let nr = nk + 6;
-        assert!(matches!(key.len(), 16 | 24 | 32), "AES key must be 16, 24 or 32 bytes");
         let total_words = 4 * (nr + 1);
-        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
-        for i in 0..nk {
-            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        let mut w = [0u32; MAX_RK_WORDS];
+        for (i, word) in w.iter_mut().enumerate().take(nk) {
+            *word = u32::from_be_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
         }
         for i in nk..total_words {
             let mut temp = w[i - 1];
             if i % nk == 0 {
-                temp = [
-                    SBOX[temp[1] as usize] ^ RCON[i / nk - 1],
-                    SBOX[temp[2] as usize],
-                    SBOX[temp[3] as usize],
-                    SBOX[temp[0] as usize],
-                ];
+                // RotWord + SubWord + Rcon (big-endian words: RotWord is a
+                // left byte-rotation).
+                temp = sub_word(temp.rotate_left(8)) ^ ((RCON[i / nk - 1] as u32) << 24);
             } else if nk > 6 && i % nk == 4 {
-                temp = [
-                    SBOX[temp[0] as usize],
-                    SBOX[temp[1] as usize],
-                    SBOX[temp[2] as usize],
-                    SBOX[temp[3] as usize],
-                ];
+                temp = sub_word(temp);
             }
-            let prev = w[i - nk];
-            w.push([prev[0] ^ temp[0], prev[1] ^ temp[1], prev[2] ^ temp[2], prev[3] ^ temp[3]]);
+            w[i] = w[i - nk] ^ temp;
         }
-        let round_keys = w
-            .chunks(4)
-            .map(|c| {
-                let mut rk = [0u8; 16];
-                for (i, word) in c.iter().enumerate() {
-                    rk[4 * i..4 * i + 4].copy_from_slice(word);
-                }
-                rk
-            })
-            .collect();
-        AesCore { round_keys, key_len: key.len() }
+        // Equivalent-inverse-cipher schedule: reverse the per-round order
+        // and push the inner round keys through InvMixColumns. For any byte
+        // b, TD[r][SBOX[b]] is InvMixColumns of b placed in row r, because
+        // the InvS lookup inside TD cancels the S lookup.
+        let mut dk = [0u32; MAX_RK_WORDS];
+        dk[..4].copy_from_slice(&w[4 * nr..4 * nr + 4]);
+        for r in 1..nr {
+            for i in 0..4 {
+                let k = w[4 * (nr - r) + i];
+                dk[4 * r + i] = TD[0][SBOX[(k >> 24) as usize] as usize]
+                    ^ TD[1][SBOX[((k >> 16) & 0xff) as usize] as usize]
+                    ^ TD[2][SBOX[((k >> 8) & 0xff) as usize] as usize]
+                    ^ TD[3][SBOX[(k & 0xff) as usize] as usize];
+            }
+        }
+        dk[4 * nr..4 * nr + 4].copy_from_slice(&w[..4]);
+        let mut enc_key_blocks = [[0u8; 16]; MAX_RK_BLOCKS];
+        let mut dec_key_blocks = [[0u8; 16]; MAX_RK_BLOCKS];
+        for r in 0..=nr {
+            for i in 0..4 {
+                enc_key_blocks[r][4 * i..4 * i + 4].copy_from_slice(&w[4 * r + i].to_be_bytes());
+                dec_key_blocks[r][4 * i..4 * i + 4].copy_from_slice(&dk[4 * r + i].to_be_bytes());
+            }
+        }
+        AesCore {
+            enc_keys: w,
+            dec_keys: dk,
+            enc_key_blocks,
+            dec_key_blocks,
+            rounds: nr,
+            key_len: key.len(),
+            use_aesni: aesni_available(),
+        }
     }
 
-    fn rounds(&self) -> usize {
-        self.round_keys.len() - 1
+    #[inline]
+    fn encrypt(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when the CPU reports AES-NI
+            // and SSE2 support at runtime.
+            unsafe { self.encrypt_aesni(block) };
+            return;
+        }
+        let rk = &self.enc_keys;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[3];
+        let mut i = 4;
+        for _ in 1..self.rounds {
+            let t0 = TE[0][(s0 >> 24) as usize]
+                ^ TE[1][((s1 >> 16) & 0xff) as usize]
+                ^ TE[2][((s2 >> 8) & 0xff) as usize]
+                ^ TE[3][(s3 & 0xff) as usize]
+                ^ rk[i];
+            let t1 = TE[0][(s1 >> 24) as usize]
+                ^ TE[1][((s2 >> 16) & 0xff) as usize]
+                ^ TE[2][((s3 >> 8) & 0xff) as usize]
+                ^ TE[3][(s0 & 0xff) as usize]
+                ^ rk[i + 1];
+            let t2 = TE[0][(s2 >> 24) as usize]
+                ^ TE[1][((s3 >> 16) & 0xff) as usize]
+                ^ TE[2][((s0 >> 8) & 0xff) as usize]
+                ^ TE[3][(s1 & 0xff) as usize]
+                ^ rk[i + 2];
+            let t3 = TE[0][(s3 >> 24) as usize]
+                ^ TE[1][((s0 >> 16) & 0xff) as usize]
+                ^ TE[2][((s1 >> 8) & 0xff) as usize]
+                ^ TE[3][(s2 & 0xff) as usize]
+                ^ rk[i + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+            i += 4;
+        }
+        // Final round: SubBytes + ShiftRows only.
+        let t0 = sub_shift(s0, s1, s2, s3) ^ rk[i];
+        let t1 = sub_shift(s1, s2, s3, s0) ^ rk[i + 1];
+        let t2 = sub_shift(s2, s3, s0, s1) ^ rk[i + 2];
+        let t3 = sub_shift(s3, s0, s1, s2) ^ rk[i + 3];
+        block[0..4].copy_from_slice(&t0.to_be_bytes());
+        block[4..8].copy_from_slice(&t1.to_be_bytes());
+        block[8..12].copy_from_slice(&t2.to_be_bytes());
+        block[12..16].copy_from_slice(&t3.to_be_bytes());
     }
 
-    fn encrypt(&self, state: &mut [u8; 16]) {
-        add_round_key(state, &self.round_keys[0]);
-        for round in 1..self.rounds() {
-            sub_bytes(state);
-            shift_rows(state);
-            mix_columns(state);
-            add_round_key(state, &self.round_keys[round]);
+    #[inline]
+    fn decrypt(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when the CPU reports AES-NI
+            // and SSE2 support at runtime.
+            unsafe { self.decrypt_aesni(block) };
+            return;
         }
-        sub_bytes(state);
-        shift_rows(state);
-        add_round_key(state, &self.round_keys[self.rounds()]);
+        let rk = &self.dec_keys;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[3];
+        let mut i = 4;
+        for _ in 1..self.rounds {
+            let t0 = TD[0][(s0 >> 24) as usize]
+                ^ TD[1][((s3 >> 16) & 0xff) as usize]
+                ^ TD[2][((s2 >> 8) & 0xff) as usize]
+                ^ TD[3][(s1 & 0xff) as usize]
+                ^ rk[i];
+            let t1 = TD[0][(s1 >> 24) as usize]
+                ^ TD[1][((s0 >> 16) & 0xff) as usize]
+                ^ TD[2][((s3 >> 8) & 0xff) as usize]
+                ^ TD[3][(s2 & 0xff) as usize]
+                ^ rk[i + 1];
+            let t2 = TD[0][(s2 >> 24) as usize]
+                ^ TD[1][((s1 >> 16) & 0xff) as usize]
+                ^ TD[2][((s0 >> 8) & 0xff) as usize]
+                ^ TD[3][(s3 & 0xff) as usize]
+                ^ rk[i + 2];
+            let t3 = TD[0][(s3 >> 24) as usize]
+                ^ TD[1][((s2 >> 16) & 0xff) as usize]
+                ^ TD[2][((s1 >> 8) & 0xff) as usize]
+                ^ TD[3][(s0 & 0xff) as usize]
+                ^ rk[i + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+            i += 4;
+        }
+        // Final round: InvSubBytes + InvShiftRows only.
+        let t0 = inv_sub_shift(s0, s3, s2, s1) ^ rk[i];
+        let t1 = inv_sub_shift(s1, s0, s3, s2) ^ rk[i + 1];
+        let t2 = inv_sub_shift(s2, s1, s0, s3) ^ rk[i + 2];
+        let t3 = inv_sub_shift(s3, s2, s1, s0) ^ rk[i + 3];
+        block[0..4].copy_from_slice(&t0.to_be_bytes());
+        block[4..8].copy_from_slice(&t1.to_be_bytes());
+        block[8..12].copy_from_slice(&t2.to_be_bytes());
+        block[12..16].copy_from_slice(&t3.to_be_bytes());
     }
 
-    fn decrypt(&self, state: &mut [u8; 16]) {
-        add_round_key(state, &self.round_keys[self.rounds()]);
-        for round in (1..self.rounds()).rev() {
-            inv_shift_rows(state);
-            inv_sub_bytes(state);
-            add_round_key(state, &self.round_keys[round]);
-            inv_mix_columns(state);
+    /// One block through the `AESENC` pipeline. AES-NI consumes the state
+    /// and round keys in plain FIPS byte order, which is exactly how
+    /// `enc_key_blocks` is laid out.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `aes` and `sse2` feature sets.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn encrypt_aesni(&self, block: &mut [u8; 16]) {
+        use std::arch::x86_64::*;
+        let rk = &self.enc_key_blocks;
+        let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+        state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
+        for key in rk.iter().take(self.rounds).skip(1) {
+            state = _mm_aesenc_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
         }
-        inv_shift_rows(state);
-        inv_sub_bytes(state);
-        add_round_key(state, &self.round_keys[0]);
+        state = _mm_aesenclast_si128(
+            state,
+            _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
+        );
+        _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
+    }
+
+    /// One block through the `AESDEC` pipeline. `AESDEC` wants the
+    /// equivalent-inverse-cipher schedule (inner round keys through
+    /// InvMixColumns) — the same `dec_key_blocks` the T-table path uses.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `aes` and `sse2` feature sets.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn decrypt_aesni(&self, block: &mut [u8; 16]) {
+        use std::arch::x86_64::*;
+        let rk = &self.dec_key_blocks;
+        let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+        state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
+        for key in rk.iter().take(self.rounds).skip(1) {
+            state = _mm_aesdec_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
+        }
+        state = _mm_aesdeclast_si128(
+            state,
+            _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
+        );
+        _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
     }
 }
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
-    }
+/// Whether the host CPU offers AES-NI (checked once per key schedule; the
+/// result also decides which backend the equivalence property tests pin
+/// against the reference core on a given host).
+#[cfg(target_arch = "x86_64")]
+fn aesni_available() -> bool {
+    std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse2")
 }
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
+#[cfg(not(target_arch = "x86_64"))]
+fn aesni_available() -> bool {
+    false
 }
 
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = INV_SBOX[*b as usize];
-    }
+/// Assembles one final-round word from the four state words feeding it:
+/// `S[a₂₄] ‖ S[b₁₆] ‖ S[c₈] ‖ S[d₀]` (ShiftRows selects a,b,c,d).
+#[inline]
+fn sub_shift(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
 }
 
-// State layout: state[r + 4c] is row r, column c (column-major, FIPS 197).
-fn shift_rows(state: &mut [u8; 16]) {
-    for r in 1..4 {
-        let mut row = [0u8; 4];
-        for c in 0..4 {
-            row[c] = state[r + 4 * ((c + r) % 4)];
-        }
-        for c in 0..4 {
-            state[r + 4 * c] = row[c];
-        }
-    }
-}
-
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    for r in 1..4 {
-        let mut row = [0u8; 4];
-        for c in 0..4 {
-            row[c] = state[r + 4 * ((c + 4 - r) % 4)];
-        }
-        for c in 0..4 {
-            state[r + 4 * c] = row[c];
-        }
-    }
-}
-
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
-    }
-}
-
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] =
-            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
-        state[4 * c + 1] =
-            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
-        state[4 * c + 2] =
-            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
-        state[4 * c + 3] =
-            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
-    }
+/// [`sub_shift`] with the inverse S-box (InvShiftRows column selection is
+/// done by the caller's argument order).
+#[inline]
+fn inv_sub_shift(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((INV_SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((INV_SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((INV_SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (INV_SBOX[(d & 0xff) as usize] as u32)
 }
 
 macro_rules! aes_variant {
@@ -304,8 +492,196 @@ aes_variant!(
     32
 );
 
+pub mod reference {
+    //! The original byte-wise AES core, kept as an executable specification.
+    //!
+    //! This is the straight-from-FIPS-197 formulation: per-byte SubBytes,
+    //! explicit ShiftRows permutation, and `gf_mul` inside MixColumns on
+    //! every block. It is one to two orders of magnitude slower than the
+    //! T-table core in the parent module, and exists so that
+    //!
+    //! * property tests can pin the fast core to it over random
+    //!   keys/blocks, and
+    //! * the `crypto_throughput` bench can report the measured speedup.
+
+    use super::{gf_mul, BlockCipher, AES_BLOCK_SIZE, INV_SBOX, RCON, SBOX};
+
+    /// Byte-wise AES for any standard key size (16, 24 or 32 bytes).
+    ///
+    /// # Panics
+    ///
+    /// [`ReferenceAes::new`] panics on a non-standard key length.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceAes {
+        round_keys: Vec<[u8; 16]>,
+        key_len: usize,
+    }
+
+    impl ReferenceAes {
+        /// Expands `key` (16/24/32 bytes) with the byte-wise key schedule.
+        pub fn new(key: &[u8]) -> Self {
+            let nk = key.len() / 4;
+            let nr = nk + 6;
+            assert!(matches!(key.len(), 16 | 24 | 32), "AES key must be 16, 24 or 32 bytes");
+            let total_words = 4 * (nr + 1);
+            let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+            for i in 0..nk {
+                w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+            }
+            for i in nk..total_words {
+                let mut temp = w[i - 1];
+                if i % nk == 0 {
+                    temp = [
+                        SBOX[temp[1] as usize] ^ RCON[i / nk - 1],
+                        SBOX[temp[2] as usize],
+                        SBOX[temp[3] as usize],
+                        SBOX[temp[0] as usize],
+                    ];
+                } else if nk > 6 && i % nk == 4 {
+                    temp = [
+                        SBOX[temp[0] as usize],
+                        SBOX[temp[1] as usize],
+                        SBOX[temp[2] as usize],
+                        SBOX[temp[3] as usize],
+                    ];
+                }
+                let prev = w[i - nk];
+                w.push([
+                    prev[0] ^ temp[0],
+                    prev[1] ^ temp[1],
+                    prev[2] ^ temp[2],
+                    prev[3] ^ temp[3],
+                ]);
+            }
+            let round_keys = w
+                .chunks(4)
+                .map(|c| {
+                    let mut rk = [0u8; 16];
+                    for (i, word) in c.iter().enumerate() {
+                        rk[4 * i..4 * i + 4].copy_from_slice(word);
+                    }
+                    rk
+                })
+                .collect();
+            ReferenceAes { round_keys, key_len: key.len() }
+        }
+
+        fn rounds(&self) -> usize {
+            self.round_keys.len() - 1
+        }
+
+        fn encrypt(&self, state: &mut [u8; 16]) {
+            add_round_key(state, &self.round_keys[0]);
+            for round in 1..self.rounds() {
+                sub_bytes(state);
+                shift_rows(state);
+                mix_columns(state);
+                add_round_key(state, &self.round_keys[round]);
+            }
+            sub_bytes(state);
+            shift_rows(state);
+            add_round_key(state, &self.round_keys[self.rounds()]);
+        }
+
+        fn decrypt(&self, state: &mut [u8; 16]) {
+            add_round_key(state, &self.round_keys[self.rounds()]);
+            for round in (1..self.rounds()).rev() {
+                inv_shift_rows(state);
+                inv_sub_bytes(state);
+                add_round_key(state, &self.round_keys[round]);
+                inv_mix_columns(state);
+            }
+            inv_shift_rows(state);
+            inv_sub_bytes(state);
+            add_round_key(state, &self.round_keys[0]);
+        }
+    }
+
+    impl BlockCipher for ReferenceAes {
+        fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+            self.encrypt(block);
+        }
+
+        fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
+            self.decrypt(block);
+        }
+
+        fn key_len(&self) -> usize {
+            self.key_len
+        }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    // State layout: state[r + 4c] is row r, column c (column-major, FIPS 197).
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[r + 4 * ((c + r) % 4)];
+            }
+            for c in 0..4 {
+                state[r + 4 * c] = row[c];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[r + 4 * ((c + 4 - r) % 4)];
+            }
+            for c in 0..4 {
+                state[r + 4 * c] = row[c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceAes;
     use super::*;
     use crate::util::{from_hex, to_hex};
 
@@ -329,6 +705,23 @@ mod tests {
         }
     }
 
+    #[test]
+    fn t_tables_are_consistent_rotations() {
+        for x in 0..256usize {
+            for k in 1..4 {
+                assert_eq!(TE[k][x], TE[0][x].rotate_right(8 * k as u32));
+                assert_eq!(TD[k][x], TD[0][x].rotate_right(8 * k as u32));
+            }
+            // Column structure: TE[0] packs (2s, s, s, 3s) of S[x].
+            let s = SBOX[x];
+            let b = TE[0][x].to_be_bytes();
+            assert_eq!(b, [gf_mul(s, 2), s, s, gf_mul(s, 3)]);
+            let si = INV_SBOX[x];
+            let b = TD[0][x].to_be_bytes();
+            assert_eq!(b, [gf_mul(si, 14), gf_mul(si, 9), gf_mul(si, 13), gf_mul(si, 11)]);
+        }
+    }
+
     fn check_vector(key_hex: &str, pt_hex: &str, ct_hex: &str) {
         let key = from_hex(key_hex).unwrap();
         let pt = from_hex(pt_hex).unwrap();
@@ -343,6 +736,12 @@ mod tests {
         cipher.encrypt_block(&mut block);
         assert_eq!(to_hex(&block), ct_hex);
         cipher.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), pt_hex);
+        // The byte-wise reference must agree on the same vector.
+        let reference = ReferenceAes::new(&key);
+        reference.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), ct_hex);
+        reference.decrypt_block(&mut block);
         assert_eq!(to_hex(&block), pt_hex);
     }
 
@@ -410,6 +809,76 @@ mod tests {
     }
 
     #[test]
+    fn t_table_core_matches_reference_core() {
+        // Deterministic random keys/blocks across all three key sizes: the
+        // fast core and the byte-wise specification must agree bit-for-bit
+        // in both directions. (The proptest suite covers this too; this is
+        // the quick in-crate pin.)
+        let mut x: u64 = 0xfeed_beef;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 24) as u8
+        };
+        for round in 0..100 {
+            let mut key32 = [0u8; 32];
+            key32.iter_mut().for_each(|b| *b = next());
+            let mut block = [0u8; 16];
+            block.iter_mut().for_each(|b| *b = next());
+            let key_len = [16, 24, 32][round % 3];
+            let key = &key32[..key_len];
+            let fast: Box<dyn BlockCipher> = match key_len {
+                16 => Box::new(Aes128::from_slice(key)),
+                24 => Box::new(Aes192::from_slice(key)),
+                _ => Box::new(Aes256::from_slice(key)),
+            };
+            let reference = ReferenceAes::new(key);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            reference.encrypt_block(&mut b);
+            assert_eq!(a, b, "encrypt mismatch, key_len {key_len}");
+            fast.decrypt_block(&mut a);
+            reference.decrypt_block(&mut b);
+            assert_eq!(a, b, "decrypt mismatch, key_len {key_len}");
+            assert_eq!(a, block, "roundtrip");
+        }
+    }
+
+    #[test]
+    fn both_backends_match_reference() {
+        // On AES-NI hosts the public ciphers dispatch to the hardware
+        // path, so pin the T-table path explicitly by clearing the flag —
+        // both backends must match the byte-wise specification on every
+        // host, whichever one the dispatch would pick.
+        let mut x: u64 = 0x0ddba11;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 24) as u8
+        };
+        for round in 0..60 {
+            let mut key32 = [0u8; 32];
+            key32.iter_mut().for_each(|b| *b = next());
+            let mut block = [0u8; 16];
+            block.iter_mut().for_each(|b| *b = next());
+            let key = &key32[..[16, 24, 32][round % 3]];
+            let reference = ReferenceAes::new(key);
+            let mut expect_ct = block;
+            reference.encrypt_block(&mut expect_ct);
+            for force_soft in [false, true] {
+                let mut core = AesCore::new(key);
+                if force_soft {
+                    core.use_aesni = false;
+                }
+                let mut b = block;
+                core.encrypt(&mut b);
+                assert_eq!(b, expect_ct, "encrypt (forced soft: {force_soft})");
+                core.decrypt(&mut b);
+                assert_eq!(b, block, "decrypt (forced soft: {force_soft})");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "wrong key length")]
     fn from_slice_rejects_bad_length() {
         let _ = Aes128::from_slice(&[0u8; 17]);
@@ -420,5 +889,6 @@ mod tests {
         assert_eq!(Aes128::new(&[0; 16]).key_len(), 16);
         assert_eq!(Aes192::new(&[0; 24]).key_len(), 24);
         assert_eq!(Aes256::new(&[0; 32]).key_len(), 32);
+        assert_eq!(ReferenceAes::new(&[0; 32]).key_len(), 32);
     }
 }

@@ -8,9 +8,12 @@
 //!
 //! * [`Sha256`] / [`hmac_sha256`] / [`pbkdf2_hmac_sha256`] — key derivation
 //!   (§II-A, §IV-C of the paper).
-//! * [`Aes128`] / [`Aes256`] block ciphers with [`CbcEssiv`] (the dm-crypt
-//!   `aes-cbc-essiv:sha256` mode used by Android FDE) and [`Xts`] (the
-//!   mode modern dm-crypt deployments use) — sector encryption.
+//! * [`Aes128`] / [`Aes256`] block ciphers (T-table cores, pinned by
+//!   property tests to the byte-wise [`reference`] implementation) with
+//!   [`CbcEssiv`] (the dm-crypt `aes-cbc-essiv:sha256` mode used by
+//!   Android FDE) and [`Xts`] (the mode modern dm-crypt deployments use) —
+//!   sector encryption, allocating or in place
+//!   ([`SectorCipher::encrypt_sector_in_place`]).
 //! * [`ChaCha20Rng`] — a deterministic CSPRNG used to produce encryption
 //!   keys and the random payloads of dummy writes; dummy data must be
 //!   computationally indistinguishable from ciphertext (§IV-A Q2).
@@ -39,6 +42,7 @@ mod pbkdf2;
 mod sha256;
 mod util;
 
+pub use aes::reference;
 pub use aes::{Aes128, Aes192, Aes256, BlockCipher, AES_BLOCK_SIZE};
 pub use chacha20::{chacha20_block, chacha20_xor, ChaCha20Rng};
 pub use hmac::{hmac_sha256, HmacSha256};

@@ -10,6 +10,13 @@ use crate::sha256::sha256;
 
 /// A length-preserving cipher over whole device sectors, keyed by sector
 /// number. This is the interface `mobiceal-dm`'s crypt target consumes.
+///
+/// The in-place methods are the hot path: `dm-crypt`-style layers own the
+/// sector buffers they are about to write (or just read), so encrypting
+/// in place avoids a heap allocation per sector, exactly like in-place
+/// bio encryption in the kernel. The allocating and in-place variants are
+/// interchangeable — default implementations route each through the other,
+/// and property tests pin the equivalence for the two provided modes.
 pub trait SectorCipher: Send + Sync {
     /// Encrypts `sector_data`, whose position on the device is `sector_index`.
     ///
@@ -24,6 +31,27 @@ pub trait SectorCipher: Send + Sync {
     ///
     /// Panics if the data length is not a positive multiple of 16.
     fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8>;
+
+    /// Encrypts `sector_data` in place (no allocation in the provided
+    /// modes; the default falls back to [`SectorCipher::encrypt_sector`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not a positive multiple of 16.
+    fn encrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        let out = self.encrypt_sector(sector_index, sector_data);
+        sector_data.copy_from_slice(&out);
+    }
+
+    /// Inverse of [`SectorCipher::encrypt_sector_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is not a positive multiple of 16.
+    fn decrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        let out = self.decrypt_sector(sector_index, sector_data);
+        sector_data.copy_from_slice(&out);
+    }
 }
 
 fn check_len(len: usize) {
@@ -79,38 +107,38 @@ impl<C: BlockCipher> CbcEssiv<C> {
 
 impl<C: BlockCipher> SectorCipher for CbcEssiv<C> {
     fn encrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
-        check_len(sector_data.len());
         let mut out = sector_data.to_vec();
-        let mut prev = self.iv_for(sector_index);
-        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
-            let mut block = [0u8; AES_BLOCK_SIZE];
-            block.copy_from_slice(chunk);
-            for i in 0..AES_BLOCK_SIZE {
-                block[i] ^= prev[i];
-            }
-            self.data_cipher.encrypt_block(&mut block);
-            chunk.copy_from_slice(&block);
-            prev = block;
-        }
+        self.encrypt_sector_in_place(sector_index, &mut out);
         out
     }
 
     fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
-        check_len(sector_data.len());
         let mut out = sector_data.to_vec();
-        let mut prev = self.iv_for(sector_index);
-        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
-            let mut block = [0u8; AES_BLOCK_SIZE];
-            block.copy_from_slice(chunk);
-            let ct = block;
-            self.data_cipher.decrypt_block(&mut block);
-            for i in 0..AES_BLOCK_SIZE {
-                block[i] ^= prev[i];
-            }
-            chunk.copy_from_slice(&block);
+        self.decrypt_sector_in_place(sector_index, &mut out);
+        out
+    }
+
+    fn encrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        check_len(sector_data.len());
+        let mut prev = u128::from_ne_bytes(self.iv_for(sector_index));
+        for chunk in sector_data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let block: &mut [u8; AES_BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+            *block = (u128::from_ne_bytes(*block) ^ prev).to_ne_bytes();
+            self.data_cipher.encrypt_block(block);
+            prev = u128::from_ne_bytes(*block);
+        }
+    }
+
+    fn decrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        check_len(sector_data.len());
+        let mut prev = u128::from_ne_bytes(self.iv_for(sector_index));
+        for chunk in sector_data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let block: &mut [u8; AES_BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+            let ct = u128::from_ne_bytes(*block);
+            self.data_cipher.decrypt_block(block);
+            *block = (u128::from_ne_bytes(*block) ^ prev).to_ne_bytes();
             prev = ct;
         }
-        out
     }
 }
 
@@ -141,50 +169,53 @@ impl<C: BlockCipher> Xts<C> {
         t
     }
 
+    /// Multiplies the tweak by x in GF(2^128). In the little-endian u128
+    /// view the byte-wise carry chain collapses to one wide shift: each
+    /// byte shifts left taking the previous byte's top bit, and the final
+    /// carry folds back as the 0x87 reduction polynomial.
     fn gf_double(t: &mut [u8; 16]) {
-        let mut carry = 0u8;
-        for b in t.iter_mut() {
-            let new_carry = *b >> 7;
-            *b = (*b << 1) | carry;
-            carry = new_carry;
-        }
-        if carry != 0 {
-            t[0] ^= 0x87;
-        }
+        let v = u128::from_le_bytes(*t);
+        let reduce = ((v >> 127) as u8) * 0x87;
+        *t = ((v << 1) ^ reduce as u128).to_le_bytes();
     }
 
-    fn process(&self, sector_index: u64, data: &[u8], encrypt: bool) -> Vec<u8> {
+    fn process_in_place(&self, sector_index: u64, data: &mut [u8], encrypt: bool) {
         check_len(data.len());
-        let mut out = data.to_vec();
         let mut tweak = self.initial_tweak(sector_index);
-        for chunk in out.chunks_mut(AES_BLOCK_SIZE) {
-            let mut block = [0u8; AES_BLOCK_SIZE];
-            block.copy_from_slice(chunk);
-            for i in 0..AES_BLOCK_SIZE {
-                block[i] ^= tweak[i];
-            }
+        for chunk in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let block: &mut [u8; AES_BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+            let t = u128::from_ne_bytes(tweak);
+            *block = (u128::from_ne_bytes(*block) ^ t).to_ne_bytes();
             if encrypt {
-                self.data_cipher.encrypt_block(&mut block);
+                self.data_cipher.encrypt_block(block);
             } else {
-                self.data_cipher.decrypt_block(&mut block);
+                self.data_cipher.decrypt_block(block);
             }
-            for i in 0..AES_BLOCK_SIZE {
-                block[i] ^= tweak[i];
-            }
-            chunk.copy_from_slice(&block);
+            *block = (u128::from_ne_bytes(*block) ^ t).to_ne_bytes();
             Self::gf_double(&mut tweak);
         }
-        out
     }
 }
 
 impl<C: BlockCipher> SectorCipher for Xts<C> {
     fn encrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
-        self.process(sector_index, sector_data, true)
+        let mut out = sector_data.to_vec();
+        self.process_in_place(sector_index, &mut out, true);
+        out
     }
 
     fn decrypt_sector(&self, sector_index: u64, sector_data: &[u8]) -> Vec<u8> {
-        self.process(sector_index, sector_data, false)
+        let mut out = sector_data.to_vec();
+        self.process_in_place(sector_index, &mut out, false);
+        out
+    }
+
+    fn encrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        self.process_in_place(sector_index, sector_data, true);
+    }
+
+    fn decrypt_sector_in_place(&self, sector_index: u64, sector_data: &mut [u8]) {
+        self.process_in_place(sector_index, sector_data, false);
     }
 }
 

@@ -1,12 +1,85 @@
 //! Property-based tests of the cryptographic primitives.
 
+use mobiceal_crypto::reference::ReferenceAes;
 use mobiceal_crypto::{
     chacha20_xor, from_hex, hmac_sha256, pbkdf2_hmac_sha256, sha256, to_hex, Aes128, Aes192,
     Aes256, BlockCipher, CbcEssiv, ChaCha20Rng, HmacSha256, SectorCipher, Sha256, Xts,
 };
 use proptest::prelude::*;
 
+/// Pads to the 16-byte multiple the sector modes require (min one block).
+fn pad_sector(mut data: Vec<u8>) -> Vec<u8> {
+    if data.is_empty() {
+        data.push(0);
+    }
+    while !data.len().is_multiple_of(16) {
+        data.push(0);
+    }
+    data
+}
+
 proptest! {
+    #[test]
+    fn t_table_core_is_pinned_to_reference(
+        key in prop::array::uniform32(any::<u8>()),
+        block in prop::array::uniform16(any::<u8>()),
+    ) {
+        // The fast T-table core must agree bit-for-bit with the byte-wise
+        // FIPS 197 specification in both directions, for all key sizes.
+        for key_len in [16usize, 24, 32] {
+            let fast: Box<dyn BlockCipher> = match key_len {
+                16 => Box::new(Aes128::from_slice(&key[..16])),
+                24 => Box::new(Aes192::from_slice(&key[..24])),
+                _ => Box::new(Aes256::from_slice(&key)),
+            };
+            let reference = ReferenceAes::new(&key[..key_len]);
+            let mut a = block;
+            let mut b = block;
+            fast.encrypt_block(&mut a);
+            reference.encrypt_block(&mut b);
+            prop_assert_eq!(a, b, "encrypt diverges at key_len {}", key_len);
+            fast.decrypt_block(&mut a);
+            reference.decrypt_block(&mut b);
+            prop_assert_eq!(a, b, "decrypt diverges at key_len {}", key_len);
+            prop_assert_eq!(a, block, "roundtrip broken at key_len {}", key_len);
+        }
+    }
+
+    #[test]
+    fn essiv_in_place_equals_allocating(
+        key in prop::array::uniform32(any::<u8>()),
+        sector in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let plain = pad_sector(data);
+        let cipher = CbcEssiv::with_essiv_key(Aes256::new(&key), &sha256(&key));
+        let ct = cipher.encrypt_sector(sector, &plain);
+        let mut buf = plain.clone();
+        cipher.encrypt_sector_in_place(sector, &mut buf);
+        prop_assert_eq!(&buf, &ct, "in-place encrypt must match allocating");
+        cipher.decrypt_sector_in_place(sector, &mut buf);
+        prop_assert_eq!(&buf, &plain, "in-place decrypt must invert");
+        prop_assert_eq!(cipher.decrypt_sector(sector, &ct), plain);
+    }
+
+    #[test]
+    fn xts_in_place_equals_allocating(
+        key in prop::array::uniform32(any::<u8>()),
+        tweak_key in prop::array::uniform32(any::<u8>()),
+        sector in any::<u64>(),
+        data in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let plain = pad_sector(data);
+        let xts = Xts::new(Aes256::new(&key), Aes256::new(&tweak_key));
+        let ct = xts.encrypt_sector(sector, &plain);
+        let mut buf = plain.clone();
+        xts.encrypt_sector_in_place(sector, &mut buf);
+        prop_assert_eq!(&buf, &ct, "in-place encrypt must match allocating");
+        xts.decrypt_sector_in_place(sector, &mut buf);
+        prop_assert_eq!(&buf, &plain, "in-place decrypt must invert");
+        prop_assert_eq!(xts.decrypt_sector(sector, &ct), plain);
+    }
+
     #[test]
     fn aes_roundtrip_all_key_sizes(key in prop::array::uniform32(any::<u8>()),
                                    block in prop::array::uniform16(any::<u8>())) {

@@ -20,16 +20,49 @@ pub enum CipherMode {
     XtsPlain64,
 }
 
+/// Batches at or above this many sectors are sharded across worker
+/// threads by default (see [`DmCrypt::with_parallelism`]).
+pub const DEFAULT_PARALLEL_MIN_SECTORS: usize = 8;
+
+/// Under the default policy each worker must carry at least this much
+/// payload before threads are spawned: spawning a scoped thread costs tens
+/// of microseconds, so a shard has to hold enough AES work (64 KiB is
+/// ~100 µs even on an AES-NI core) to amortize it. Batches too shallow to
+/// feed every worker simply use fewer threads, or none.
+pub const DEFAULT_MIN_SHARD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on the default worker count; batches are rarely deep enough
+/// to feed more cores, and tests run many stacks concurrently.
+const DEFAULT_MAX_WORKERS: usize = 8;
+
 /// A transparent encryption layer over a block device.
 ///
 /// Reads decrypt; writes encrypt; the backing device only ever sees
 /// ciphertext. Without the key, backing blocks are indistinguishable from
 /// random — the property MobiCeal's dummy writes rely on (§IV-A Q2).
+///
+/// Batched reads/writes encrypt sectors *in place* (one ciphertext arena
+/// per write batch, zero extra allocation per read batch) and, for batches
+/// of at least [`DEFAULT_PARALLEL_MIN_SECTORS`] sectors carrying
+/// [`DEFAULT_MIN_SHARD_BYTES`] of payload per worker, shard the AES work
+/// across scoped worker threads — the real-time analogue of dm-crypt's
+/// per-CPU crypto queues. Sector ciphers are deterministic per
+/// `(key, sector, data)`, and the simulated-clock charge is computed from
+/// byte counts before the work is sharded, so ciphertext on the backing
+/// device *and* virtual-clock charges are bit-for-bit identical to the
+/// sequential path (pinned by `tests/parallel_props.rs`).
 pub struct DmCrypt {
     backing: SharedDevice,
     cipher: Box<dyn SectorCipher>,
     mode: CipherMode,
     timing: Option<(SimClock, CpuCostModel)>,
+    /// Maximum worker threads for batched crypto (1 = always sequential).
+    workers: usize,
+    /// Minimum batch depth, in sectors, before threads are spawned.
+    parallel_min_sectors: usize,
+    /// Minimum payload bytes per worker before threads are spawned
+    /// (0 = shard on depth alone; set by [`DmCrypt::with_parallelism`]).
+    min_shard_bytes: usize,
 }
 
 impl std::fmt::Debug for DmCrypt {
@@ -42,12 +75,11 @@ impl DmCrypt {
     /// Creates an AES-256-CBC-ESSIV target (the Android FDE configuration).
     pub fn new_essiv(backing: SharedDevice, key: &[u8; 32]) -> Self {
         let essiv_key = mobiceal_crypto::sha256(key);
-        DmCrypt {
+        Self::with_cipher(
             backing,
-            cipher: Box::new(CbcEssiv::with_essiv_key(Aes256::new(key), &essiv_key)),
-            mode: CipherMode::CbcEssiv,
-            timing: None,
-        }
+            Box::new(CbcEssiv::with_essiv_key(Aes256::new(key), &essiv_key)),
+            CipherMode::CbcEssiv,
+        )
     }
 
     /// Creates an AES-256-XTS target from a 64-byte key (data key ‖ tweak
@@ -57,11 +89,22 @@ impl DmCrypt {
         let mut k2 = [0u8; 32];
         k1.copy_from_slice(&key[..32]);
         k2.copy_from_slice(&key[32..]);
+        Self::with_cipher(
+            backing,
+            Box::new(Xts::new(Aes256::new(&k1), Aes256::new(&k2))),
+            CipherMode::XtsPlain64,
+        )
+    }
+
+    fn with_cipher(backing: SharedDevice, cipher: Box<dyn SectorCipher>, mode: CipherMode) -> Self {
         DmCrypt {
             backing,
-            cipher: Box::new(Xts::new(Aes256::new(&k1), Aes256::new(&k2))),
-            mode: CipherMode::XtsPlain64,
+            cipher,
+            mode,
             timing: None,
+            workers: default_workers(),
+            parallel_min_sectors: DEFAULT_PARALLEL_MIN_SECTORS,
+            min_shard_bytes: DEFAULT_MIN_SHARD_BYTES,
         }
     }
 
@@ -69,6 +112,31 @@ impl DmCrypt {
     pub fn with_timing(mut self, clock: SimClock, model: CpuCostModel) -> Self {
         self.timing = Some((clock, model));
         self
+    }
+
+    /// Configures batched-crypto parallelism explicitly: shard batches of
+    /// at least `min_sectors` sectors across up to `workers` threads.
+    /// `workers <= 1` keeps every batch on the calling thread.
+    ///
+    /// Unlike the default policy, an explicit configuration shards on
+    /// batch depth alone — no [`DEFAULT_MIN_SHARD_BYTES`] amortization
+    /// guard — so tests and tuning runs can force the threaded path for
+    /// any batch the depth threshold admits.
+    ///
+    /// Parallelism only changes wall-clock speed: ciphertext and
+    /// simulated-clock charges are identical in either configuration.
+    pub fn with_parallelism(mut self, workers: usize, min_sectors: usize) -> Self {
+        self.workers = workers.max(1);
+        self.parallel_min_sectors = min_sectors.max(2);
+        self.min_shard_bytes = 0;
+        self
+    }
+
+    /// Disables batched-crypto parallelism (equivalent to
+    /// `with_parallelism(1, _)`).
+    pub fn sequential(self) -> Self {
+        let min = self.parallel_min_sectors;
+        self.with_parallelism(1, min)
     }
 
     /// The cipher mode in use.
@@ -81,6 +149,55 @@ impl DmCrypt {
             clock.advance(model.aes_cost(bytes));
         }
     }
+
+    /// How many worker threads a batch of `jobs` sectors carrying `bytes`
+    /// of payload should be sharded across: the configured worker count,
+    /// reduced so every shard holds enough bytes to amortize its thread
+    /// spawn, and 1 (inline) for batches below the depth threshold.
+    fn shard_count(&self, jobs: usize, bytes: usize) -> usize {
+        if jobs < self.parallel_min_sectors {
+            return 1;
+        }
+        match self.min_shard_bytes {
+            0 => self.workers,
+            min => self.workers.min(bytes / min).max(1),
+        }
+    }
+
+    /// Runs `cipher op` over every `(sector, buffer)` job, sharding the
+    /// batch across scoped worker threads when it is deep enough. Jobs are
+    /// disjoint buffers and sector ciphers are pure per job, so sharding
+    /// cannot change the bytes produced.
+    fn crypt_sectors(&self, mut jobs: Vec<(BlockIndex, &mut [u8])>, encrypt: bool) {
+        let cipher: &dyn SectorCipher = &*self.cipher;
+        let run = |chunk: &mut [(BlockIndex, &mut [u8])]| {
+            for (index, buf) in chunk.iter_mut() {
+                if encrypt {
+                    cipher.encrypt_sector_in_place(*index, buf);
+                } else {
+                    cipher.decrypt_sector_in_place(*index, buf);
+                }
+            }
+        };
+        let shards = self.shard_count(jobs.len(), jobs.iter().map(|(_, b)| b.len()).sum());
+        if shards <= 1 {
+            run(&mut jobs);
+            return;
+        }
+        let per_shard = jobs.len().div_ceil(shards);
+        let run = &run;
+        std::thread::scope(|s| {
+            for chunk in jobs.chunks_mut(per_shard) {
+                s.spawn(move || run(chunk));
+            }
+        });
+    }
+}
+
+/// Default worker count: the machine's parallelism, capped so deep test
+/// matrices don't oversubscribe the host.
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(DEFAULT_MAX_WORKERS)
 }
 
 impl BlockDevice for DmCrypt {
@@ -93,54 +210,68 @@ impl BlockDevice for DmCrypt {
     }
 
     fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
-        let ct = self.backing.read_block(index)?;
-        self.charge_aes(ct.len());
-        Ok(self.cipher.decrypt_sector(index, &ct))
+        let mut buf = self.backing.read_block(index)?;
+        self.charge_aes(buf.len());
+        self.cipher.decrypt_sector_in_place(index, &mut buf);
+        Ok(buf)
     }
 
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
         self.check_buffer(data)?;
         self.charge_aes(data.len());
-        let ct = self.cipher.encrypt_sector(index, data);
+        let mut ct = data.to_vec();
+        self.cipher.encrypt_sector_in_place(index, &mut ct);
         self.backing.write_block(index, &ct)
     }
 
-    /// Batched read: one vectored read on the backing device, then
-    /// decryption of every sector. AES time for the whole batch is charged
-    /// in one clock advance.
+    /// Batched read: one vectored read on the backing device, then in-place
+    /// (possibly thread-sharded) decryption of every sector — no extra
+    /// allocation. AES time for the whole batch is charged in one clock
+    /// advance, before the work is sharded.
     fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
-        let cts = self.backing.read_blocks(indices)?;
-        self.charge_aes(cts.iter().map(Vec::len).sum());
-        Ok(indices
+        let mut bufs = self.backing.read_blocks(indices)?;
+        self.charge_aes(bufs.iter().map(Vec::len).sum());
+        let jobs: Vec<(BlockIndex, &mut [u8])> = indices
             .iter()
-            .zip(&cts)
-            .map(|(&index, ct)| self.cipher.decrypt_sector(index, ct))
-            .collect())
+            .zip(bufs.iter_mut())
+            .map(|(&index, buf)| (index, buf.as_mut_slice()))
+            .collect();
+        self.crypt_sectors(jobs, false);
+        Ok(bufs)
     }
 
-    /// Batched write: encrypts every sector up front, then issues one
-    /// vectored write on the backing device. A wrong-sized buffer mid-batch
-    /// writes the valid prefix first, preserving sequential fail-fast
-    /// semantics. AES time for the whole valid batch is charged even when
-    /// the backing write then fails mid-batch — the encryption work really
-    /// was done up front, which is where the batched path's cost
-    /// deliberately differs from the sequential loop's on failure.
+    /// Batched write: copies the batch into one contiguous ciphertext
+    /// arena (a single allocation, not one per sector), encrypts every
+    /// sector in place — sharded across threads for deep batches — then
+    /// issues one vectored write on the backing device. A wrong-sized
+    /// buffer mid-batch writes the valid prefix first, preserving
+    /// sequential fail-fast semantics. AES time for the whole valid batch
+    /// is charged even when the backing write then fails mid-batch — the
+    /// encryption work really was done up front, which is where the
+    /// batched path's cost deliberately differs from the sequential loop's
+    /// on failure.
     fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
-        let bad = writes.iter().position(|&(_, d)| d.len() != self.block_size());
+        let bs = self.block_size();
+        let bad = writes.iter().position(|&(_, d)| d.len() != bs);
         let valid = &writes[..bad.unwrap_or(writes.len())];
         self.charge_aes(valid.iter().map(|(_, d)| d.len()).sum());
-        let cts: Vec<(BlockIndex, Vec<u8>)> = valid
+        let mut arena = vec![0u8; valid.len() * bs];
+        let jobs: Vec<(BlockIndex, &mut [u8])> = valid
             .iter()
-            .map(|&(index, data)| (index, self.cipher.encrypt_sector(index, data)))
+            .zip(arena.chunks_mut(bs))
+            .map(|(&(index, data), slot)| {
+                slot.copy_from_slice(data);
+                (index, slot)
+            })
             .collect();
+        self.crypt_sectors(jobs, true);
         let refs: Vec<(BlockIndex, &[u8])> =
-            cts.iter().map(|(index, ct)| (*index, ct.as_slice())).collect();
+            valid.iter().zip(arena.chunks(bs)).map(|(&(index, _), ct)| (index, ct)).collect();
         self.backing.write_blocks(&refs)?;
         match bad {
-            Some(pos) => Err(BlockDeviceError::WrongBufferSize {
-                got: writes[pos].1.len(),
-                expected: self.block_size(),
-            }),
+            Some(pos) => {
+                Err(BlockDeviceError::WrongBufferSize { got: writes[pos].1.len(), expected: bs })
+            }
             None => Ok(()),
         }
     }
@@ -270,6 +401,23 @@ mod tests {
                 assert_eq!(expect, got, "batched read decrypts to the written plaintext");
             }
         }
+    }
+
+    #[test]
+    fn shard_policy_amortizes_thread_spawns() {
+        let (_, enc) = setup(CipherMode::CbcEssiv);
+        let enc = enc.with_parallelism(8, 8);
+        // Explicit config shards on depth alone.
+        assert_eq!(enc.shard_count(7, 7 * 512), 1, "below depth threshold");
+        assert_eq!(enc.shard_count(64, 64 * 512), 8, "explicit config ignores bytes");
+        // The default policy refuses to spawn threads that would each get
+        // less than DEFAULT_MIN_SHARD_BYTES of work.
+        let (_, dflt) = setup(CipherMode::CbcEssiv);
+        let dflt = DmCrypt { workers: 8, ..dflt };
+        assert_eq!(dflt.shard_count(64, 64 * 512), 1, "32 KiB batch stays inline");
+        assert_eq!(dflt.shard_count(64, 64 * 4096), 4, "256 KiB batch feeds 4 workers");
+        assert_eq!(dflt.shard_count(1024, 1024 * 4096), 8, "deep batch uses all workers");
+        assert_eq!(dflt.shard_count(4, 4 << 20), 1, "depth threshold still applies");
     }
 
     #[test]

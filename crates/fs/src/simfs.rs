@@ -16,6 +16,12 @@
 //! pattern MobiCeal's random physical allocation must hide (§IV-B).
 //! Metadata (superblock, bitmap, inode table) is cached in memory and
 //! written back on [`FileSystem::sync`], modelling the page cache.
+//!
+//! Data writes and the metadata write-back each land as one vectored
+//! `write_blocks` batch, so when the device below is a `DmCrypt` target the
+//! whole batch is encrypted in place (and thread-sharded when deep enough)
+//! with no per-sector allocation — the file system itself never re-buffers
+//! full-block writes.
 
 use crate::fs_trait::{FileSystem, FsError};
 use mobiceal_blockdev::SharedDevice;
@@ -630,8 +636,13 @@ impl FileSystem for SimFs {
             .collect();
         // Keep ptr_dirty intact until the write-back lands: a failed sync
         // must leave the dirty set (and meta_dirty) in place so a retry
-        // writes everything, not just the sb/bitmap/itable.
-        let dirty: Vec<u64> = self.ptr_dirty.iter().copied().collect();
+        // writes everything, not just the sb/bitmap/itable. Sorted, because
+        // HashSet order is randomly seeded per process and the simulated
+        // cost of the batch depends on block order (sequential vs random):
+        // an unsorted write-back would charge different virtual time on
+        // identical runs.
+        let mut dirty: Vec<u64> = self.ptr_dirty.iter().copied().collect();
+        dirty.sort_unstable();
         let mut writes: Vec<(u64, &[u8])> =
             Vec::with_capacity(1 + self.bitmap_blocks as usize + itable.len() + dirty.len());
         writes.push((0, sb.as_slice()));

@@ -161,6 +161,13 @@ impl CostModel for EmmcCostModel {
 /// The Snapdragon S4 Pro in the Nexus 4 has no AES instructions, so dm-crypt
 /// runs table-based AES at roughly 55–80 MB/s per core; PBKDF2 with Android's
 /// default iteration count takes tens of milliseconds per derivation.
+///
+/// This model is the *only* source of simulated encryption time: layers like
+/// `DmCrypt` charge [`CpuCostModel::aes_cost`] to the virtual clock for the
+/// bytes they process, regardless of how fast the host actually runs the
+/// real cipher (T-tables, AES-NI, or the byte-wise reference core) and of
+/// whether a batch was sharded across worker threads. Making the real
+/// implementation faster therefore never moves a simulated result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CpuCostModel {
     /// AES-CBC/XTS bulk cost per byte (encrypt or decrypt).
