@@ -92,6 +92,27 @@ impl DeviceStats {
         )
     }
 
+    /// A copy with every charged-time field zeroed.
+    ///
+    /// Since the amortized multi-command cost model, a batched pipeline
+    /// charges *less* time than the equivalent sequence of single-block
+    /// operations while still performing the same op mix on the same bytes.
+    /// Equivalence tests therefore compare this view when they pin
+    /// "same operations, same data" without pinning the timing.
+    pub fn without_time(&self) -> DeviceStats {
+        fn strip(mut c: OpCounter) -> OpCounter {
+            c.time_nanos = 0;
+            c
+        }
+        DeviceStats {
+            seq_reads: strip(self.seq_reads),
+            rand_reads: strip(self.rand_reads),
+            seq_writes: strip(self.seq_writes),
+            rand_writes: strip(self.rand_writes),
+            flushes: strip(self.flushes),
+        }
+    }
+
     /// Difference against an earlier sample (for measuring one workload).
     pub fn delta_since(&self, earlier: &DeviceStats) -> DeviceStats {
         fn sub(a: OpCounter, b: OpCounter) -> OpCounter {
@@ -135,6 +156,19 @@ mod tests {
         c.record(1_000_000, SimDuration::from_millis(100)); // 1 MB in 0.1 s = 10 MB/s
         assert!((c.throughput_mbps() - 10.0).abs() < 1e-9);
         assert_eq!(OpCounter::default().throughput_mbps(), 0.0);
+    }
+
+    #[test]
+    fn without_time_keeps_ops_and_bytes() {
+        let mut s = DeviceStats::default();
+        s.record(OpKind::SequentialWrite, 4096, SimDuration::from_micros(10));
+        s.record(OpKind::RandomRead, 4096, SimDuration::from_micros(20));
+        let stripped = s.without_time();
+        assert_eq!(stripped.total_writes(), 1);
+        assert_eq!(stripped.bytes_read(), 4096);
+        assert_eq!(stripped.total_time(), SimDuration::ZERO);
+        assert_ne!(s, stripped);
+        assert_eq!(stripped, stripped.without_time());
     }
 
     #[test]

@@ -86,9 +86,10 @@ proptest! {
         prop_assert_eq!(rebuilt, snap);
     }
 
-    /// The vectored write path is observationally identical to the
-    /// sequential one: same bytes on the medium, same statistics (op mix,
-    /// bytes, charged time), same clock position.
+    /// The vectored write path lands the same bytes with the same op mix
+    /// and byte counts as the sequential loop; under the amortized
+    /// multi-command cost model its charged time is *at most* the
+    /// sequential loop's, with equality for batches of one block.
     #[test]
     fn write_blocks_equivalent_to_sequential(
         writes in prop::collection::vec((0u64..64, any::<u8>()), 0..100),
@@ -103,12 +104,26 @@ proptest! {
             sequential.write_block(*b, d).unwrap();
         }
         prop_assert_eq!(batched.snapshot().as_bytes(), sequential.snapshot().as_bytes());
-        prop_assert_eq!(batched.stats(), sequential.stats());
-        prop_assert_eq!(batched.clock().now(), sequential.clock().now());
+        prop_assert_eq!(batched.stats().without_time(), sequential.stats().without_time());
+        prop_assert!(batched.clock().now() <= sequential.clock().now(),
+            "batched {} must not exceed sequential {}",
+            batched.clock().now().as_nanos(), sequential.clock().now().as_nanos());
+        if writes.len() == 1 {
+            prop_assert_eq!(batched.clock().now(), sequential.clock().now());
+        }
+        // With three or more blocks, at least one of the two simulated
+        // commands (sequential-merging, packed-random) covers two blocks,
+        // so some setup must amortize. (A two-block batch can split one
+        // block per command and legitimately charge the sequential sum.)
+        if writes.len() > 2 {
+            prop_assert!(batched.clock().now() < sequential.clock().now(),
+                "deep batches must amortize command setup");
+        }
     }
 
     /// The vectored read path returns exactly what the sequential loop
-    /// returns, with identical statistics and charged time.
+    /// returns, with identical op/byte statistics and amortized (never
+    /// larger, equal at depth 1) charged time.
     #[test]
     fn read_blocks_equivalent_to_sequential(
         writes in prop::collection::vec((0u64..64, any::<u8>()), 0..40),
@@ -120,12 +135,23 @@ proptest! {
             batched.write_block(b, &vec![fill; 512]).unwrap();
             sequential.write_block(b, &vec![fill; 512]).unwrap();
         }
+        let before_b = batched.clock().now();
+        let before_s = sequential.clock().now();
+        prop_assert_eq!(before_b, before_s, "single-block preamble charges identically");
         let from_batch = batched.read_blocks(&reads).unwrap();
         let from_loop: Vec<Vec<u8>> =
             reads.iter().map(|&b| sequential.read_block(b).unwrap()).collect();
         prop_assert_eq!(from_batch, from_loop);
-        prop_assert_eq!(batched.stats(), sequential.stats());
-        prop_assert_eq!(batched.clock().now(), sequential.clock().now());
+        prop_assert_eq!(batched.stats().without_time(), sequential.stats().without_time());
+        let batched_time = batched.clock().now() - before_b;
+        let sequential_time = sequential.clock().now() - before_s;
+        prop_assert!(batched_time <= sequential_time);
+        if reads.len() == 1 {
+            prop_assert_eq!(batched_time, sequential_time);
+        }
+        if reads.len() > 2 {
+            prop_assert!(batched_time < sequential_time, "see the write property");
+        }
     }
 
     /// Statistics account for every operation.

@@ -24,6 +24,11 @@ pub enum CipherMode {
 /// threads by default (see [`DmCrypt::with_parallelism`]).
 pub const DEFAULT_PARALLEL_MIN_SECTORS: usize = 8;
 
+/// The floor [`DmCrypt::with_parallelism`] clamps `min_sectors` to: a
+/// one-sector batch has nothing to shard. Configuration layers validate
+/// against this instead of hard-coding the clamp.
+pub const MIN_PARALLEL_SECTORS: usize = 2;
+
 /// Under the default policy each worker must carry at least this much
 /// payload before threads are spawned: spawning a scoped thread costs tens
 /// of microseconds, so a shard has to hold enough AES work (64 KiB is
@@ -127,7 +132,7 @@ impl DmCrypt {
     /// simulated-clock charges are identical in either configuration.
     pub fn with_parallelism(mut self, workers: usize, min_sectors: usize) -> Self {
         self.workers = workers.max(1);
-        self.parallel_min_sectors = min_sectors.max(2);
+        self.parallel_min_sectors = min_sectors.max(MIN_PARALLEL_SECTORS);
         self.min_shard_bytes = 0;
         self
     }
@@ -255,14 +260,14 @@ impl BlockDevice for DmCrypt {
         let bad = writes.iter().position(|&(_, d)| d.len() != bs);
         let valid = &writes[..bad.unwrap_or(writes.len())];
         self.charge_aes(valid.iter().map(|(_, d)| d.len()).sum());
-        let mut arena = vec![0u8; valid.len() * bs];
+        let mut arena = Vec::with_capacity(valid.len() * bs);
+        for &(_, data) in valid {
+            arena.extend_from_slice(data);
+        }
         let jobs: Vec<(BlockIndex, &mut [u8])> = valid
             .iter()
             .zip(arena.chunks_mut(bs))
-            .map(|(&(index, data), slot)| {
-                slot.copy_from_slice(data);
-                (index, slot)
-            })
+            .map(|(&(index, _), slot)| (index, slot))
             .collect();
         self.crypt_sectors(jobs, true);
         let refs: Vec<(BlockIndex, &[u8])> =

@@ -29,5 +29,5 @@
 mod crypt;
 mod linear;
 
-pub use crypt::{CipherMode, DmCrypt};
+pub use crypt::{CipherMode, DmCrypt, MIN_PARALLEL_SECTORS};
 pub use linear::DmLinear;

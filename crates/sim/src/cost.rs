@@ -42,6 +42,37 @@ impl OpKind {
 pub trait CostModel: Send + Sync + std::fmt::Debug {
     /// Cost of one operation on `bytes` bytes.
     fn cost(&self, op: OpKind, bytes: usize) -> SimDuration;
+
+    /// Cost of one multi-block command covering `blocks` blocks of `op` for
+    /// `bytes` total transferred bytes.
+    ///
+    /// Real eMMC amortizes command overhead across a batch: a CMD23-prefixed
+    /// CMD25 (or a packed WRITE command) pays controller/command setup once
+    /// for the whole transfer, then a per-block cost for each block moved.
+    /// Models that capture this override `batch_cost`; the default
+    /// implementation is the legacy per-block sum, so a plain model (or the
+    /// [`EmmcCostModel::flat`] profile) charges a batch exactly like the
+    /// equivalent sequence of single-block operations.
+    ///
+    /// Implementations must keep three properties the simulator relies on
+    /// (pinned by `crates/sim/tests/cost_props.rs`):
+    ///
+    /// 1. `batch_cost(op, 1, b) == cost(op, b)` — a batch of one *is* a
+    ///    single command;
+    /// 2. `batch_cost(op, n, n*b) <= n * cost(op, b)` — batching never
+    ///    costs more than going block-by-block;
+    /// 3. monotonicity in both `blocks` and `bytes`.
+    fn batch_cost(&self, op: OpKind, blocks: usize, bytes: usize) -> SimDuration {
+        if blocks == 0 {
+            return SimDuration::ZERO;
+        }
+        // Distribute the bytes across the blocks without dropping a
+        // remainder: `rem` blocks carry one extra byte, so the sum covers
+        // exactly `bytes` and stays monotone for non-uniform batches.
+        let per = bytes / blocks;
+        let rem = bytes % blocks;
+        self.cost(op, per) * (blocks - rem) as u64 + self.cost(op, per + 1) * rem as u64
+    }
 }
 
 /// eMMC-like flash timing (as exposed through an FTL as a block device).
@@ -64,6 +95,12 @@ pub trait CostModel: Send + Sync + std::fmt::Debug {
 pub struct EmmcCostModel {
     /// Fixed controller/command overhead per operation.
     pub per_op_ns: u64,
+    /// The portion of [`EmmcCostModel::per_op_ns`] that is per-*command*
+    /// setup (CMD23 block-count programming, command/response turnaround,
+    /// interrupt handling): a multi-block command pays it once for the whole
+    /// batch instead of once per block. Must not exceed `per_op_ns`; `0`
+    /// disables amortization entirely (every block is its own command).
+    pub cmd_setup_ns: u64,
     /// Extra seek-equivalent penalty for a non-sequential access.
     pub random_penalty_ns: u64,
     /// Transfer cost per byte read.
@@ -85,6 +122,10 @@ impl EmmcCostModel {
     pub fn nexus4() -> Self {
         EmmcCostModel {
             per_op_ns: 28_000,
+            // Roughly 40 % of the per-op overhead is command setup the
+            // eMMC host controller pays once per CMD23/CMD25 batch; the
+            // rest (FTL lookup, transfer-unit handling) stays per block.
+            cmd_setup_ns: 12_000,
             // The FTL log-structures writes and flash has no seek, so the
             // random-access penalty at the block interface is modest.
             random_penalty_ns: 16_000,
@@ -101,6 +142,9 @@ impl EmmcCostModel {
     pub fn ssd_840evo() -> Self {
         EmmcCostModel {
             per_op_ns: 4_000,
+            // SATA command/completion overhead dominates the per-op cost;
+            // NCQ amortizes most of it across a queued batch.
+            cmd_setup_ns: 3_000,
             random_penalty_ns: 120_000,
             read_ns_per_byte: 2.5,
             write_ns_per_byte: 3.7,
@@ -115,6 +159,9 @@ impl EmmcCostModel {
     pub fn nandsim_ramdisk() -> Self {
         EmmcCostModel {
             per_op_ns: 1_500,
+            // The MTD request path is mostly syscall/request-queue setup,
+            // which vanishes when requests merge into one command.
+            cmd_setup_ns: 1_000,
             random_penalty_ns: 500,
             read_ns_per_byte: 0.9,
             write_ns_per_byte: 1.1,
@@ -124,35 +171,77 @@ impl EmmcCostModel {
 
     /// A uniform "null" model where every transfer op costs `ns` and flushes
     /// are free. Useful for unit tests that only need relative ordering.
+    ///
+    /// `cmd_setup_ns` is zero, so a batch costs exactly the per-block sum:
+    /// the flat model has no multi-block amortization, which makes it the
+    /// control profile for tests isolating the amortization effect.
     pub fn flat(ns: u64) -> Self {
         EmmcCostModel {
             per_op_ns: ns,
+            cmd_setup_ns: 0,
             random_penalty_ns: 0,
             read_ns_per_byte: 0.0,
             write_ns_per_byte: 0.0,
             flush_ns: 0,
         }
     }
+
+    /// The per-byte transfer rate for `op` (0 for flushes).
+    fn ns_per_byte(&self, op: OpKind) -> f64 {
+        match op {
+            OpKind::SequentialRead | OpKind::RandomRead => self.read_ns_per_byte,
+            OpKind::SequentialWrite | OpKind::RandomWrite => self.write_ns_per_byte,
+            OpKind::Flush => 0.0,
+        }
+    }
+
+    /// The per-block overhead that does *not* amortize: FTL lookup and
+    /// transfer-unit handling, plus the seek-equivalent penalty for random
+    /// accesses (a packed command still visits every scattered block).
+    fn per_block_ns(&self, op: OpKind) -> u64 {
+        let base = self.per_op_ns.saturating_sub(self.cmd_setup_ns);
+        match op {
+            OpKind::RandomRead | OpKind::RandomWrite => base + self.random_penalty_ns,
+            _ => base,
+        }
+    }
+
+    /// Nanoseconds of one single-block transfer command: full setup, one
+    /// block's overhead, the transfer. The building block of both
+    /// [`CostModel::cost`] and [`CostModel::batch_cost`].
+    fn single_op_ns(&self, op: OpKind, bytes: usize) -> u64 {
+        self.cmd_setup_ns + self.per_block_ns(op) + (self.ns_per_byte(op) * bytes as f64) as u64
+    }
 }
 
 impl CostModel for EmmcCostModel {
     fn cost(&self, op: OpKind, bytes: usize) -> SimDuration {
-        let ns = match op {
-            OpKind::SequentialRead => self.per_op_ns as f64 + self.read_ns_per_byte * bytes as f64,
-            OpKind::RandomRead => {
-                (self.per_op_ns + self.random_penalty_ns) as f64
-                    + self.read_ns_per_byte * bytes as f64
-            }
-            OpKind::SequentialWrite => {
-                self.per_op_ns as f64 + self.write_ns_per_byte * bytes as f64
-            }
-            OpKind::RandomWrite => {
-                (self.per_op_ns + self.random_penalty_ns) as f64
-                    + self.write_ns_per_byte * bytes as f64
-            }
-            OpKind::Flush => self.flush_ns as f64,
-        };
-        SimDuration::from_nanos(ns as u64)
+        // A single-block operation is a command of one block: full setup
+        // plus one block's overhead plus the transfer.
+        self.batch_cost(op, 1, bytes)
+    }
+
+    /// One multi-block command: setup once, per-block overhead (and random
+    /// penalty) per block, transfer per byte — computed as the legacy
+    /// per-block sum minus `(blocks - 1) · cmd_setup_ns`. Subtracting from
+    /// the per-block-truncated sum (instead of truncating one big float)
+    /// keeps every documented invariant *exact*: equality with
+    /// [`Self::cost`] at `blocks == 1`, equality with the sequential sum
+    /// when `cmd_setup_ns == 0` (the [`Self::flat`] profile, or any model
+    /// with amortization disabled) even under fractional per-byte rates,
+    /// and never above the sequential sum otherwise.
+    fn batch_cost(&self, op: OpKind, blocks: usize, bytes: usize) -> SimDuration {
+        if blocks == 0 {
+            return SimDuration::ZERO;
+        }
+        if op == OpKind::Flush {
+            return SimDuration::from_nanos(self.flush_ns * blocks as u64);
+        }
+        let per = bytes / blocks;
+        let rem = bytes % blocks;
+        let sum = self.single_op_ns(op, per) * (blocks - rem) as u64
+            + self.single_op_ns(op, per + 1) * rem as u64;
+        SimDuration::from_nanos(sum - (blocks as u64 - 1) * self.cmd_setup_ns)
     }
 }
 
@@ -295,6 +384,70 @@ mod tests {
         assert!(!OpKind::SequentialRead.is_write());
         assert!(OpKind::SequentialRead.is_transfer());
         assert!(!OpKind::Flush.is_transfer());
+    }
+
+    #[test]
+    fn batch_of_one_is_a_single_command() {
+        for m in [
+            EmmcCostModel::nexus4(),
+            EmmcCostModel::ssd_840evo(),
+            EmmcCostModel::nandsim_ramdisk(),
+            EmmcCostModel::flat(100),
+        ] {
+            for op in [
+                OpKind::SequentialRead,
+                OpKind::RandomRead,
+                OpKind::SequentialWrite,
+                OpKind::RandomWrite,
+            ] {
+                assert_eq!(m.batch_cost(op, 1, 4096), m.cost(op, 4096), "{m:?} {op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_amortizes_exactly_the_setup() {
+        let m = EmmcCostModel::nexus4();
+        for op in [OpKind::SequentialWrite, OpKind::RandomRead] {
+            let single = m.cost(op, 4096).as_nanos();
+            let batch = m.batch_cost(op, 64, 64 * 4096).as_nanos();
+            // One setup + 64 × (everything but the setup).
+            assert_eq!(batch, single * 64 - 63 * m.cmd_setup_ns, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn flat_model_has_no_amortization() {
+        let m = EmmcCostModel::flat(100);
+        assert_eq!(
+            m.batch_cost(OpKind::SequentialWrite, 64, 64 * 4096),
+            m.cost(OpKind::SequentialWrite, 4096) * 64
+        );
+    }
+
+    #[test]
+    fn batch_cost_empty_and_flush() {
+        let m = EmmcCostModel::nexus4();
+        assert_eq!(m.batch_cost(OpKind::SequentialWrite, 0, 0), SimDuration::ZERO);
+        assert_eq!(m.batch_cost(OpKind::Flush, 2, 0), m.cost(OpKind::Flush, 0) * 2);
+    }
+
+    #[test]
+    fn default_batch_cost_is_the_per_block_sum() {
+        // A model that does not override batch_cost charges the legacy sum.
+        #[derive(Debug)]
+        struct Plain;
+        impl CostModel for Plain {
+            fn cost(&self, op: OpKind, bytes: usize) -> SimDuration {
+                SimDuration::from_nanos(1_000 + bytes as u64 + u64::from(op.is_write()))
+            }
+        }
+        let p = Plain;
+        assert_eq!(
+            p.batch_cost(OpKind::RandomWrite, 7, 7 * 512),
+            p.cost(OpKind::RandomWrite, 512) * 7
+        );
+        assert_eq!(p.batch_cost(OpKind::RandomWrite, 0, 0), SimDuration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Property tests of the amortized multi-command cost model: for every
+//! device profile, `batch_cost` is exactly one setup charge plus per-block
+//! costs, collapses to the legacy per-block sum under the default
+//! implementation, and is monotone in depth and bytes.
+
+use mobiceal_sim::{CostModel, EmmcCostModel, OpKind, SimDuration};
+use proptest::prelude::*;
+
+fn profiles() -> Vec<EmmcCostModel> {
+    vec![
+        EmmcCostModel::nexus4(),
+        EmmcCostModel::ssd_840evo(),
+        EmmcCostModel::nandsim_ramdisk(),
+        EmmcCostModel::flat(25_000),
+        // Amortization disabled on a profile with *fractional* per-byte
+        // rates: the regression corner where one-shot float truncation
+        // used to charge a batch slightly MORE than the sequential sum.
+        EmmcCostModel { cmd_setup_ns: 0, ..EmmcCostModel::ssd_840evo() },
+    ]
+}
+
+fn transfer_ops() -> [OpKind; 4] {
+    [OpKind::SequentialRead, OpKind::RandomRead, OpKind::SequentialWrite, OpKind::RandomWrite]
+}
+
+/// A cost model that deliberately does not override `batch_cost`.
+#[derive(Debug)]
+struct LegacyModel(EmmcCostModel);
+
+impl CostModel for LegacyModel {
+    fn cost(&self, op: OpKind, bytes: usize) -> SimDuration {
+        self.0.cost(op, bytes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// For every profile, a batch of `n` uniform blocks costs exactly one
+    /// command setup plus `n` per-block charges: the gap to the sequential
+    /// sum is `(n - 1) * cmd_setup_ns`, nothing more and nothing less.
+    #[test]
+    fn batch_is_setup_plus_per_block(
+        blocks in 1usize..256,
+        bs_sel in 0usize..2,
+        op_idx in 0usize..4,
+    ) {
+        let op = transfer_ops()[op_idx];
+        let block_size = [512usize, 4096][bs_sel];
+        for m in profiles() {
+            let single = m.cost(op, block_size).as_nanos();
+            let batch = m.batch_cost(op, blocks, blocks * block_size).as_nanos();
+            let amortized = (blocks as u64 - 1) * m.cmd_setup_ns;
+            prop_assert_eq!(
+                batch,
+                single * blocks as u64 - amortized,
+                "{:?} {:?}", m, op
+            );
+        }
+    }
+
+    /// Batch of one ≡ single command, for every profile and op kind.
+    #[test]
+    fn size_one_equals_single(bytes in 0usize..65536, op_idx in 0usize..4) {
+        let op = transfer_ops()[op_idx];
+        for m in profiles() {
+            prop_assert_eq!(m.batch_cost(op, 1, bytes), m.cost(op, bytes));
+        }
+    }
+
+    /// A model that keeps the default `batch_cost` charges exactly the
+    /// legacy per-block sum — existing models are unchanged by the trait
+    /// extension.
+    #[test]
+    fn default_impl_collapses_to_legacy_sum(
+        blocks in 1usize..128,
+        bs_sel in 0usize..2,
+        op_idx in 0usize..4,
+    ) {
+        let op = transfer_ops()[op_idx];
+        let block_size = [512usize, 4096][bs_sel];
+        for m in profiles() {
+            let legacy = LegacyModel(m.clone());
+            prop_assert_eq!(
+                legacy.batch_cost(op, blocks, blocks * block_size),
+                legacy.cost(op, block_size) * blocks as u64
+            );
+        }
+    }
+
+    /// `batch_cost` is monotone in blocks (at fixed block size) and in
+    /// bytes (at fixed depth), and never exceeds the sequential sum.
+    #[test]
+    fn monotone_and_bounded_by_sequential(
+        blocks in 1usize..128,
+        bs_sel in 0usize..2,
+        op_idx in 0usize..4,
+    ) {
+        let op = transfer_ops()[op_idx];
+        let block_size = [512usize, 4096][bs_sel];
+        for m in profiles() {
+            let cost_n = m.batch_cost(op, blocks, blocks * block_size);
+            let cost_n1 = m.batch_cost(op, blocks + 1, (blocks + 1) * block_size);
+            prop_assert!(cost_n1 > cost_n, "more blocks must cost more");
+            let more_bytes = m.batch_cost(op, blocks, blocks * block_size + 4096);
+            prop_assert!(more_bytes >= cost_n, "more bytes must not cost less");
+            prop_assert!(
+                cost_n <= m.cost(op, block_size) * blocks as u64,
+                "batching must never cost more than the sequential sum"
+            );
+        }
+    }
+}

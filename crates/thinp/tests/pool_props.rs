@@ -117,6 +117,11 @@ proptest! {
     /// A vectored thin-volume write is equivalent to the sequence of
     /// single-block writes: same allocator stream, same mappings, same
     /// bytes on the data device, same metadata an adversary would recover.
+    /// Under the amortized multi-command cost model the batch's charged
+    /// device time is at most the sequential loop's — equal for a single
+    /// write, strictly below once three or more blocks share the batch —
+    /// because the thin layer hands the whole mapped batch to the data
+    /// device in one vectored call instead of splitting it into singles.
     #[test]
     fn write_blocks_equivalent_to_sequential(
         writes in prop::collection::vec((0u64..64, any::<u8>()), 0..80),
@@ -151,6 +156,19 @@ proptest! {
                 snap_b.as_bytes(),
                 "identical physical placement and bytes"
             );
+            prop_assert_eq!(
+                data_a.stats().without_time(),
+                data_b.stats().without_time(),
+                "same op mix and bytes on the data device"
+            );
+            let (batched_t, sequential_t) = (data_a.clock().now(), data_b.clock().now());
+            prop_assert!(batched_t <= sequential_t, "batched must not exceed sequential");
+            if writes.len() == 1 {
+                prop_assert_eq!(batched_t, sequential_t, "a batch of one is a single command");
+            }
+            if writes.len() > 2 {
+                prop_assert!(batched_t < sequential_t, "deep batches must amortize");
+            }
             for b in 0..64 {
                 prop_assert_eq!(vol_a.read_block(b).unwrap(), vol_b.read_block(b).unwrap());
             }
@@ -158,26 +176,49 @@ proptest! {
     }
 
     /// A vectored thin-volume read returns exactly what the sequential
-    /// loop returns, holes included.
+    /// loop returns, holes included; charged device time is amortized
+    /// (never above the sequential loop, equal when at most one block
+    /// touches the medium).
     #[test]
     fn read_blocks_equivalent_to_sequential(
         writes in prop::collection::vec((0u64..64, any::<u8>()), 0..40),
         reads in prop::collection::vec(0u64..64, 0..60),
         seed in 0u64..500,
     ) {
-        let data: SharedDevice = Arc::new(MemDisk::with_default_timing(512, 512));
-        let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
-        let pool = ThinPool::create_seeded(
-            data, meta, PoolConfig::new(1), AllocStrategy::Random, seed,
-        ).unwrap();
-        let vol = pool.create_volume(1, 64).unwrap();
+        let mk = || {
+            let data = Arc::new(MemDisk::with_default_timing(512, 512));
+            let shared: SharedDevice = data.clone();
+            let meta: SharedDevice = Arc::new(MemDisk::with_default_timing(128, 512));
+            let pool = ThinPool::create_seeded(
+                shared, meta, PoolConfig::new(1), AllocStrategy::Random, seed,
+            ).unwrap();
+            let vol = pool.create_volume(1, 64).unwrap();
+            (data, vol)
+        };
+        let (data_a, vol_a) = mk();
+        let (data_b, vol_b) = mk();
         for &(b, fill) in &writes {
-            vol.write_block(b, &vec![fill; 512]).unwrap();
+            vol_a.write_block(b, &vec![fill; 512]).unwrap();
+            vol_b.write_block(b, &vec![fill; 512]).unwrap();
         }
-        let from_batch = vol.read_blocks(&reads).unwrap();
+        let (before_a, before_b) = (data_a.clock().now(), data_b.clock().now());
+        let from_batch = vol_a.read_blocks(&reads).unwrap();
         let from_loop: Vec<Vec<u8>> =
-            reads.iter().map(|&b| vol.read_block(b).unwrap()).collect();
+            reads.iter().map(|&b| vol_b.read_block(b).unwrap()).collect();
         prop_assert_eq!(from_batch, from_loop);
+        let batched_t = data_a.clock().now() - before_a;
+        let sequential_t = data_b.clock().now() - before_b;
+        prop_assert!(batched_t <= sequential_t);
+        // Only mapped blocks touch the medium; holes read as zeros for
+        // free, so amortization kicks in from three device reads up.
+        let written: HashSet<u64> = writes.iter().map(|&(b, _)| b).collect();
+        let mapped_reads = reads.iter().filter(|b| written.contains(b)).count();
+        if mapped_reads <= 1 {
+            prop_assert_eq!(batched_t, sequential_t);
+        }
+        if mapped_reads > 2 {
+            prop_assert!(batched_t < sequential_t, "deep batches must amortize");
+        }
     }
 
     /// A batched append lands exactly the blocks the sequential

@@ -191,4 +191,27 @@ mod tests {
         let r = run_on(StackConfig::Android);
         assert!(r.rewrite_kbps < r.block_read_kbps + r.block_write_kbps);
     }
+
+    #[test]
+    fn bonnie_bands_match_the_amortized_calibration() {
+        // Bonnie's 8 KiB chunks ride 2-block commands, so amortization is
+        // shallower than dd's 64-block batches: Android block output lands
+        // at ~21.4 MB/s (vs ~22.2 for dd) under the amortized nexus4()
+        // profile, and the MobiCeal/Android write ratio stays inside the
+        // paper's 15-35 % overhead band here too.
+        let android = run_on(StackConfig::Android);
+        let mcp = run_on(StackConfig::MobiCealPublic);
+        assert!(
+            (18.5..24.5).contains(&android.write_mbps()),
+            "Android block output {:.1} MB/s",
+            android.write_mbps()
+        );
+        assert!(
+            (24.0..30.0).contains(&android.read_mbps()),
+            "Android block input {:.1} MB/s",
+            android.read_mbps()
+        );
+        let ratio = mcp.block_write_kbps / android.block_write_kbps;
+        assert!((0.65..0.85).contains(&ratio), "MC-P/Android Bonnie write ratio {ratio:.2}");
+    }
 }

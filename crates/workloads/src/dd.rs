@@ -100,11 +100,13 @@ mod tests {
 
     #[test]
     fn android_fde_lands_in_calibrated_band() {
-        // Fig. 4 band: Android FDE writes ~15-21 MB/s, reads ~24-28 MB/s
-        // on the Nexus 4 class eMMC.
+        // Fig. 4 band under the amortized multi-command eMMC model: dd's
+        // 256 KiB chunks ride 64-block CMD25 batches, so Android FDE lands
+        // at ~22 MB/s writes and ~28 MB/s reads (was ~21/~26 under the
+        // per-block model; the paper measured ~19.5/~27 through dm-crypt).
         let r = run_on(StackConfig::Android);
-        assert!((14.0..24.0).contains(&r.write_mbps()), "FDE write {:.1} MB/s", r.write_mbps());
-        assert!((20.0..32.0).contains(&r.read_mbps()), "FDE read {:.1} MB/s", r.read_mbps());
+        assert!((19.0..25.0).contains(&r.write_mbps()), "FDE write {:.1} MB/s", r.write_mbps());
+        assert!((25.0..31.0).contains(&r.read_mbps()), "FDE read {:.1} MB/s", r.read_mbps());
     }
 
     #[test]
@@ -113,9 +115,11 @@ mod tests {
         let atp = run_on(StackConfig::AndroidThinPublic);
         let write_ratio = atp.write_kbps / android.write_kbps;
         let read_ratio = atp.read_kbps / android.read_kbps;
-        assert!(write_ratio > 0.9, "thin writes near-free: ratio {write_ratio:.2}");
+        // The stock thin layer's sequential allocator keeps batches
+        // contiguous, so its writes amortize exactly like raw FDE's.
+        assert!(write_ratio > 0.97, "thin writes near-free: ratio {write_ratio:.2}");
         assert!(
-            (0.70..0.95).contains(&read_ratio),
+            (0.78..0.92).contains(&read_ratio),
             "thin reads pay the lookup: ratio {read_ratio:.2}"
         );
     }
@@ -125,8 +129,12 @@ mod tests {
         let android = run_on(StackConfig::Android);
         let mcp = run_on(StackConfig::MobiCealPublic);
         let ratio = mcp.write_kbps / android.write_kbps;
-        // Paper: "MobiCeal reduces the performance by about 18%" on writes.
-        assert!((0.65..0.95).contains(&ratio), "MC-P/Android write ratio {ratio:.2}");
+        // Paper: "MobiCeal reduces the performance by about 18%" on writes;
+        // we accept the 15-35 % overhead band. Amortization widens the raw
+        // gap (Android's contiguous batches merge into fewer commands than
+        // MobiCeal's randomly-allocated ones) but packed-command batching
+        // keeps MobiCeal inside the band.
+        assert!((0.65..0.85).contains(&ratio), "MC-P/Android write ratio {ratio:.2}");
     }
 
     #[test]

@@ -93,26 +93,24 @@ pub fn render_table(table: &Table) -> String {
             widths[i] = widths[i].max(cell.len());
         }
     }
+    // Pad every column but the last, so lines carry no trailing spaces.
+    let push_line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            if i + 1 == widths.len() {
+                out.push_str(c);
+            } else {
+                out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
     let mut out = String::new();
     out.push_str(&format!("== {} ==\n", table.title));
-    let header: Vec<String> = table
-        .columns
-        .iter()
-        .enumerate()
-        .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
-        .collect();
-    out.push_str(&header.join("  "));
-    out.push('\n');
+    push_line(&mut out, &table.columns);
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
     for row in &rendered {
-        let line: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
-            .collect();
-        out.push_str(&line.join("  "));
-        out.push('\n');
+        push_line(&mut out, row);
     }
     out
 }

@@ -1,0 +1,111 @@
+//! Dedicated coverage for the IOZone workload and the report renderer:
+//! golden-output assertions for `render_table`, and an IOZone run on the
+//! `flat()` control profile vs the amortized `nexus4()` profile showing
+//! that multi-command amortization affects multi-block ops only.
+
+use mobiceal_blockdev::{MemDisk, SharedDevice};
+use mobiceal_sim::{EmmcCostModel, SimClock};
+use mobiceal_workloads::{render_table, Cell, IozoneResult, IozoneWorkload, Table};
+use std::sync::Arc;
+
+/// Runs IOZone directly on a raw MemDisk with the given cost model, so the
+/// record size is the *only* thing controlling device batch depth.
+fn run_raw(model: EmmcCostModel, record_bytes: usize) -> IozoneResult {
+    let clock = SimClock::new();
+    let disk: SharedDevice =
+        Arc::new(MemDisk::with_cost_model(4096, 4096, clock.clone(), Arc::new(model)));
+    let wl = IozoneWorkload {
+        file_bytes: 4 * 1024 * 1024,
+        record_bytes,
+        random_ops: 128,
+        seed: 0xA0_57,
+    };
+    wl.run(disk, &clock).unwrap()
+}
+
+/// On the `flat()` profile (no command-setup amortization) the sequential
+/// phases charge exactly the same time whether the file moves in 16 KiB
+/// records (4-block batches) or 4 KiB records (single-block ops): the same
+/// blocks cross the device in the same order, and without amortization the
+/// batch boundaries are invisible.
+#[test]
+fn flat_profile_is_blind_to_record_size() {
+    let batched = run_raw(EmmcCostModel::flat(25_000), 16 * 1024);
+    let single = run_raw(EmmcCostModel::flat(25_000), 4 * 1024);
+    assert_eq!(
+        batched.write_kbps, single.write_kbps,
+        "flat sequential writes must not see batch boundaries"
+    );
+    assert_eq!(
+        batched.read_kbps, single.read_kbps,
+        "flat sequential reads must not see batch boundaries"
+    );
+}
+
+/// On the amortized `nexus4()` profile the same comparison shows the
+/// multi-block win: 16 KiB records merge four blocks into one command and
+/// beat the single-block run, while single-block ops themselves cost
+/// exactly what they did before (pinned by the equality at depth 1 in
+/// `crates/sim/tests/cost_props.rs` — here we pin the workload-level
+/// consequence).
+#[test]
+fn nexus4_profile_rewards_multi_block_records() {
+    let batched = run_raw(EmmcCostModel::nexus4(), 16 * 1024);
+    let single = run_raw(EmmcCostModel::nexus4(), 4 * 1024);
+    assert!(
+        batched.write_kbps > single.write_kbps * 1.02,
+        "amortized multi-block writes must be measurably faster: {:.1} vs {:.1}",
+        batched.write_kbps,
+        single.write_kbps
+    );
+    assert!(
+        batched.read_kbps > single.read_kbps * 1.02,
+        "amortized multi-block reads must be measurably faster: {:.1} vs {:.1}",
+        batched.read_kbps,
+        single.read_kbps
+    );
+}
+
+/// All five IOZone phases produce finite, positive rates on a raw device.
+#[test]
+fn iozone_phases_are_positive_and_finite() {
+    let r = run_raw(EmmcCostModel::nexus4(), 16 * 1024);
+    for (name, v) in [
+        ("write", r.write_kbps),
+        ("random write", r.random_write_kbps),
+        ("read", r.read_kbps),
+        ("random read", r.random_read_kbps),
+        ("mixed", r.mixed_kbps),
+    ] {
+        assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+    }
+}
+
+/// Golden output: the rendered table layout is part of the experiment
+/// binaries' contract (EXPERIMENTS.md embeds it verbatim), so pin it
+/// byte for byte.
+#[test]
+fn report_renders_the_golden_table() {
+    let mut t = Table::new("Table I: overhead comparison", &["system", "MB/s", "overhead"]);
+    t.push_row(vec!["MobiCeal".into(), Cell::Num(18.0), Cell::Pct(23.5)]);
+    t.push_row(vec!["HIVE".into(), Cell::Num(1.58), Cell::Pct(99.22)]);
+    t.push_row(vec![Cell::Text("DEFY".into()), Cell::Int(31), Cell::Pct(95.37)]);
+    let expected = "\
+== Table I: overhead comparison ==
+system    MB/s   overhead
+-------------------------
+MobiCeal  18.00  23.50%
+HIVE      1.58   99.22%
+DEFY      31     95.37%
+";
+    assert_eq!(render_table(&t), expected);
+}
+
+/// Golden output: a single-column table exercises the width arithmetic's
+/// edge case (no inter-column padding).
+#[test]
+fn report_renders_single_column_table() {
+    let mut t = Table::new("L", &["x"]);
+    t.push_row(vec![Cell::Int(7)]);
+    assert_eq!(render_table(&t), "== L ==\nx\n-\n7\n");
+}

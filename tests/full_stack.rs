@@ -148,6 +148,65 @@ fn dummy_traffic_appears_on_disk_as_ciphertextlike_noise() {
 }
 
 #[test]
+fn batched_stack_writes_amortize_simulated_device_time_end_to_end() {
+    // The acceptance check for the amortized multi-command cost model: a
+    // 64×4 KiB batch through the full unlocked stack (UnlockedVolume →
+    // dm-crypt → thin volume → dm-linear → MemDisk) must charge strictly
+    // less simulated time than the same 64 blocks written one by one,
+    // because the batch reaches the device as one vectored call whose
+    // command setup is paid once. A batch of one must charge exactly the
+    // single-block time. The hidden volume isolates the device effect
+    // (no probabilistic dummy traffic differing between the two runs).
+    let measure = |batched: bool| {
+        let (_disk, clock, mc) = fresh(42);
+        let hidden = mc.unlock_hidden("hidden").unwrap();
+        let data = vec![0xA5u8; 4096];
+        let blocks: Vec<(u64, &[u8])> = (0..64u64).map(|b| (b, data.as_slice())).collect();
+        let t0 = clock.now();
+        if batched {
+            hidden.write_blocks(&blocks).unwrap();
+        } else {
+            for &(b, d) in &blocks {
+                hidden.write_block(b, d).unwrap();
+            }
+        }
+        let write_time = clock.now() - t0;
+        let t1 = clock.now();
+        let indices: Vec<u64> = (0..64u64).collect();
+        if batched {
+            hidden.read_blocks(&indices).unwrap();
+        } else {
+            for &i in &indices {
+                hidden.read_block(i).unwrap();
+            }
+        }
+        (write_time, clock.now() - t1)
+    };
+    let (w_batched, r_batched) = measure(true);
+    let (w_sequential, r_sequential) = measure(false);
+    assert!(
+        w_batched < w_sequential,
+        "batched write {w_batched} must be strictly below sequential {w_sequential}"
+    );
+    assert!(
+        r_batched < r_sequential,
+        "batched read {r_batched} must be strictly below sequential {r_sequential}"
+    );
+
+    // Depth 1: the batched pipeline collapses to the single-block cost.
+    let (_d1, clock_a, mc_a) = fresh(43);
+    let (_d2, clock_b, mc_b) = fresh(43);
+    let va = mc_a.unlock_hidden("hidden").unwrap();
+    let vb = mc_b.unlock_hidden("hidden").unwrap();
+    let data = vec![0x5Au8; 4096];
+    let (t_a, t_b) = (clock_a.now(), clock_b.now());
+    assert_eq!(t_a, t_b, "twin devices start aligned");
+    va.write_blocks(&[(7, data.as_slice())]).unwrap();
+    vb.write_block(7, &data).unwrap();
+    assert_eq!(clock_a.now() - t_a, clock_b.now() - t_b, "batch of one ≡ single block");
+}
+
+#[test]
 fn pool_exhaustion_surfaces_cleanly_through_the_whole_stack() {
     let clock = SimClock::new();
     let disk = Arc::new(MemDisk::new(512, 4096, clock.clone()));

@@ -76,6 +76,11 @@ fn claim_initialization_avoids_the_full_disk_fill() {
 /// much smaller than that of typical prior PDE systems secure against
 /// multi-snapshot adversaries" (§I) — we accept the 15-35 % band and check
 /// the "much smaller than HIVE/DEFY" part strictly.
+///
+/// Recalibrated for the amortized multi-command eMMC model: Android's
+/// contiguous dd batches merge into 64-block commands while MobiCeal's
+/// randomly-allocated blocks ride packed commands, so the measured
+/// overhead sits at ~24 % (was ~27 % under the per-block model).
 #[test]
 fn claim_write_overhead_band() {
     let android: f64 =
@@ -84,8 +89,8 @@ fn claim_write_overhead_band() {
         (0..4).map(|i| dd_write_mbps(StackConfig::MobiCealPublic, 100 + i)).sum::<f64>() / 4.0;
     let overhead = 1.0 - mcp / android;
     assert!(
-        (0.10..0.40).contains(&overhead),
-        "MobiCeal write overhead {:.1}% out of band",
+        (0.15..0.35).contains(&overhead),
+        "MobiCeal write overhead {:.1}% out of the paper's 15-35% band",
         overhead * 100.0
     );
     assert!(overhead < 0.90, "must be far below the >=90% of HIVE/DEFY");
@@ -100,10 +105,12 @@ fn claim_thin_layer_is_read_side() {
     let atp_w = dd_write_mbps(StackConfig::AndroidThinPublic, 7);
     let android_r = dd_read_mbps(StackConfig::Android, 7);
     let atp_r = dd_read_mbps(StackConfig::AndroidThinPublic, 7);
-    assert!(atp_w / android_w > 0.95, "thin writes near-free");
+    assert!(atp_w / android_w > 0.97, "thin writes near-free");
     let read_overhead = 1.0 - atp_r / android_r;
+    // ~15 % under the amortized model (the btree-lookup charge is a larger
+    // share of a read once command setup amortizes away).
     assert!(
-        (0.08..0.25).contains(&read_overhead),
+        (0.10..0.22).contains(&read_overhead),
         "thin read overhead {:.1}% out of band",
         read_overhead * 100.0
     );
