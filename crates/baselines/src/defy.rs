@@ -10,6 +10,18 @@
 //! `DefyLite` reproduces that regime: an append-only log with logical→log
 //! mapping, per-append key-chain hashing plus a double AES pass, per-append
 //! metadata write, and stop-the-world log cleaning when the log fills.
+//!
+//! The log is driven *vectored*: a `write_blocks` batch lands each
+//! contiguous head run as one sequential extent (one multi-block command on
+//! an amortizing device), and cleaning reads every live block in one
+//! vectored relocation pass before rewriting the compacted front as a
+//! second. Reading everything before writing anything also fixes a latent
+//! read-after-overwrite hazard of the incremental cleaning loop: when a
+//! live block's old log position lay inside the compacted front, the
+//! one-block-at-a-time loop could overwrite it under the new epoch key
+//! before relocating it, corrupting the block. Log head and mapping commit
+//! only after an extent has landed, so a mid-batch device error never
+//! advances the head past what is on the medium.
 
 use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use mobiceal_crypto::{sha256, Aes256, CbcEssiv, SectorCipher};
@@ -104,12 +116,21 @@ impl DefyLite {
 
     /// Compacts live entries to the front of the log under a fresh epoch
     /// key (secure deletion of stale versions).
+    ///
+    /// The relocation is fully vectored: one read batch of every live
+    /// block, then one sequential write extent for the compacted front.
+    /// Reading everything first (instead of interleaving) means a block
+    /// whose old position lies inside the new front is relocated from its
+    /// pre-compaction content, never from a slot the pass already rewrote.
+    /// The epoch key, mapping and head commit only after the extent lands;
+    /// a failed cleaning pass leaves the store on the old epoch (blocks
+    /// whose old position was inside the landed prefix are lost to the
+    /// overwrite, as in any interrupted secure-deletion pass).
     fn clean(&self, state: &mut DefyState) -> Result<(), BlockDeviceError> {
         let old_cipher = Self::cipher_for(&state.epoch_key);
-        state.epoch += 1;
-        state.epoch_key = sha256(&state.epoch_key);
+        let new_key = sha256(&state.epoch_key);
         self.clock.advance(self.cpu.hash_cost());
-        let new_cipher = Self::cipher_for(&state.epoch_key);
+        let new_cipher = Self::cipher_for(&new_key);
 
         let live: Vec<(u64, u64)> = state
             .map
@@ -117,21 +138,63 @@ impl DefyLite {
             .enumerate()
             .filter_map(|(l, pos)| pos.map(|p| (l as u64, p)))
             .collect();
-        state.inverse.fill(None);
-        let mut new_head = 0u64;
-        for (logical, old_pos) in live {
-            let mut buf = self.dev.read_block(old_pos)?;
+        // One vectored relocation read of every live block.
+        let old_positions: Vec<u64> = live.iter().map(|&(_, p)| p).collect();
+        let mut bufs = self.dev.read_blocks(&old_positions)?;
+        for (new_pos, ((_, old_pos), buf)) in live.iter().zip(bufs.iter_mut()).enumerate() {
             self.charge_crypto(buf.len());
-            old_cipher.decrypt_sector_in_place(old_pos, &mut buf);
-            new_cipher.encrypt_sector_in_place(new_head, &mut buf);
-            self.dev.write_block(new_head, &buf)?;
-            state.map[logical as usize] = Some(new_head);
-            state.inverse[new_head as usize] = Some(logical);
-            new_head += 1;
+            old_cipher.decrypt_sector_in_place(*old_pos, buf);
+            new_cipher.encrypt_sector_in_place(new_pos as u64, buf);
         }
-        state.head = new_head;
+        // One sequential extent for the compacted front.
+        let writes: Vec<(u64, &[u8])> =
+            bufs.iter().enumerate().map(|(i, b)| (i as u64, b.as_slice())).collect();
+        self.dev.write_blocks(&writes)?;
+
+        state.epoch += 1;
+        state.epoch_key = new_key;
+        state.inverse.fill(None);
+        for (new_pos, &(logical, _)) in live.iter().enumerate() {
+            state.map[logical as usize] = Some(new_pos as u64);
+            state.inverse[new_pos] = Some(logical);
+        }
+        state.head = live.len() as u64;
         state.cleanings += 1;
         self.dev.flush()
+    }
+
+    /// Encrypts and lands `run` as one contiguous extent at the current
+    /// head, committing head and mapping only after the extent is on the
+    /// medium. The caller guarantees the run fits before the log end.
+    fn append_run(
+        &self,
+        state: &mut DefyState,
+        run: &[(BlockIndex, &[u8])],
+    ) -> Result<(), BlockDeviceError> {
+        let base = state.head;
+        let cipher = Self::cipher_for(&state.epoch_key);
+        let mut payloads: Vec<(u64, Vec<u8>)> = Vec::with_capacity(run.len());
+        for (i, &(_, data)) in run.iter().enumerate() {
+            self.charge_crypto(data.len());
+            let pos = base + i as u64;
+            let mut ct = data.to_vec();
+            cipher.encrypt_sector_in_place(pos, &mut ct);
+            payloads.push((pos, ct));
+        }
+        let extent: Vec<(u64, &[u8])> = payloads.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+        // Land the whole run before advancing any state: on a mid-extent
+        // device error the head and mapping stay put (the landed prefix is
+        // on the medium but unreferenced) and the run can be retried.
+        self.dev.write_blocks(&extent)?;
+        for (i, &(logical, _)) in run.iter().enumerate() {
+            let pos = base + i as u64;
+            if let Some(old) = state.map[logical as usize].replace(pos) {
+                state.inverse[old as usize] = None;
+            }
+            state.inverse[pos as usize] = Some(logical);
+        }
+        state.head = base + run.len() as u64;
+        Ok(())
     }
 }
 
@@ -162,29 +225,74 @@ impl BlockDevice for DefyLite {
     }
 
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
-        self.check_index(index)?;
-        self.check_buffer(data)?;
+        self.write_blocks(&[(index, data)])
+    }
+
+    /// Batched write: appends land as contiguous head runs, each one
+    /// vectored sequential extent (split only where the log fills and a
+    /// cleaning pass compacts it). Mapping tags live inline with the chunk
+    /// (YAFFS keeps them in the page's OOB area), so no separate metadata
+    /// write is needed. Head and mapping advance per landed extent, never
+    /// past a mid-extent device error (see [`DefyLite::append_run`]);
+    /// geometry errors fail the whole batch before anything lands.
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        for &(index, data) in writes {
+            self.check_index(index)?;
+            self.check_buffer(data)?;
+        }
         let mut state = self.state.lock();
-        if state.head >= self.log_blocks {
-            self.clean(&mut state)?;
+        let mut rest = writes;
+        while !rest.is_empty() {
             if state.head >= self.log_blocks {
-                return Err(BlockDeviceError::NoSpace);
+                self.clean(&mut state)?;
+                if state.head >= self.log_blocks {
+                    return Err(BlockDeviceError::NoSpace);
+                }
             }
+            let room = (self.log_blocks - state.head) as usize;
+            let take = rest.len().min(room);
+            let (run, tail) = rest.split_at(take);
+            self.append_run(&mut state, run)?;
+            rest = tail;
         }
-        let pos = state.head;
-        state.head += 1;
-        self.charge_crypto(data.len());
-        let mut ct = data.to_vec();
-        Self::cipher_for(&state.epoch_key).encrypt_sector_in_place(pos, &mut ct);
-        self.dev.write_block(pos, &ct)?;
-        if let Some(old) = state.map[index as usize].replace(pos) {
-            state.inverse[old as usize] = None;
-        }
-        state.inverse[pos as usize] = Some(index);
-        // Mapping tags live inline with the chunk (YAFFS keeps them in the
-        // page's OOB area), so no separate metadata write is needed.
-        drop(state);
         Ok(())
+    }
+
+    /// Batched read: resolves every index through the mapping, then
+    /// fetches all mapped log positions in one vectored read (an
+    /// out-of-range index fails after the valid prefix is served, like the
+    /// sequential loop).
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        let bad = indices.iter().position(|&i| i >= self.n_logical);
+        let valid = &indices[..bad.unwrap_or(indices.len())];
+        let (resolved, key) = {
+            let state = self.state.lock();
+            let resolved: Vec<Option<u64>> = valid.iter().map(|&i| state.map[i as usize]).collect();
+            (resolved, state.epoch_key)
+        };
+        let fetch: Vec<(usize, u64)> =
+            resolved.iter().enumerate().filter_map(|(i, pos)| pos.map(|p| (i, p))).collect();
+        let positions: Vec<u64> = fetch.iter().map(|&(_, p)| p).collect();
+        let bufs = self.dev.read_blocks(&positions)?;
+        let cipher = Self::cipher_for(&key);
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; resolved.len()];
+        for (&(i, p), mut buf) in fetch.iter().zip(bufs) {
+            self.charge_crypto(buf.len());
+            cipher.decrypt_sector_in_place(p, &mut buf);
+            out[i] = Some(buf);
+        }
+        // Unmapped blocks read zero; only they allocate a fresh buffer.
+        let out: Vec<Vec<u8>> = out
+            .into_iter()
+            .map(|b| b.unwrap_or_else(|| vec![0u8; self.dev.block_size()]))
+            .collect();
+        match bad {
+            Some(pos) => Err(BlockDeviceError::OutOfRange {
+                index: indices[pos],
+                num_blocks: self.n_logical,
+            }),
+            None => Ok(out),
+        }
     }
 
     fn flush(&self) -> Result<(), BlockDeviceError> {
@@ -275,6 +383,52 @@ mod tests {
             "DEFY-regime overhead should exceed 85%, got {:.1}%",
             overhead * 100.0
         );
+    }
+
+    #[test]
+    fn cleaning_relocates_before_overwriting_the_front() {
+        // Regression: a live block whose old log position lies inside the
+        // compacted front must be relocated from its pre-compaction
+        // content. The incremental cleaning loop read each block only
+        // after rewriting earlier front slots, so this layout (logical 3
+        // at log position 0, three later logicals compacting in front of
+        // it) corrupted block 3 under the new epoch key.
+        let (_disk, defy, _clock) = store(8, 4);
+        defy.write_block(3, &vec![0x33; 4096]).unwrap(); // log position 0
+        for l in 0..3u64 {
+            defy.write_block(l, &vec![l as u8 + 1; 4096]).unwrap(); // positions 1-3
+        }
+        for _ in 0..4 {
+            defy.write_block(0, &vec![0xAA; 4096]).unwrap(); // fills the log
+        }
+        defy.write_block(1, &vec![0xBB; 4096]).unwrap(); // forces cleaning
+        assert!(defy.cleanings() >= 1, "cleaning must have run");
+        assert_eq!(defy.read_block(3).unwrap(), vec![0x33; 4096], "relocated, not overwritten");
+        assert_eq!(defy.read_block(2).unwrap(), vec![3u8; 4096]);
+        assert_eq!(defy.read_block(1).unwrap(), vec![0xBB; 4096]);
+        assert_eq!(defy.read_block(0).unwrap(), vec![0xAA; 4096]);
+    }
+
+    #[test]
+    fn batched_appends_land_as_one_extent() {
+        let (disk, defy, _clock) = store(256, 64);
+        disk.reset_stats();
+        let data = vec![9u8; 4096];
+        let batch: Vec<(u64, &[u8])> = (0..32u64).map(|l| (l, data.as_slice())).collect();
+        defy.write_blocks(&batch).unwrap();
+        let s = disk.stats();
+        assert_eq!(s.total_writes(), 32);
+        assert!(s.seq_writes.ops >= 31, "one contiguous extent: {s:?}");
+        for l in 0..32u64 {
+            assert_eq!(defy.read_block(l).unwrap(), data, "block {l}");
+        }
+        // Batched reads resolve through the same mapping.
+        let indices: Vec<u64> = (0..40).collect();
+        let bufs = defy.read_blocks(&indices).unwrap();
+        for (l, buf) in indices.iter().zip(&bufs) {
+            let expect = if *l < 32 { data.clone() } else { vec![0u8; 4096] };
+            assert_eq!(*buf, expect, "block {l}");
+        }
     }
 
     #[test]

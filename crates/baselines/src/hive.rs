@@ -10,12 +10,21 @@
 //!
 //! Reads are direct through the position map (HIVE is a *write-only* ORAM;
 //! read patterns are assumed invisible to the snapshot adversary).
+//!
+//! Every shuffle pass — one logical write or a whole `write_blocks` batch —
+//! issues its device I/O *vectored*: one read batch (live slots plus the
+//! position-map blocks it will rewrite) and one write batch (slot rewrites,
+//! placements, noise, coalesced map blocks), followed by a single sync. The
+//! decisions themselves are planned first and committed only after the write
+//! batch lands, so a mid-batch device error never advances the position map
+//! past what is actually on the medium (the stash retains every enqueued
+//! write, so no data is lost and the whole batch can be retried).
 
 use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use mobiceal_crypto::{Aes256, ChaCha20Rng, SectorCipher, Xts};
-use mobiceal_sim::{CpuCostModel, SimClock};
+use mobiceal_sim::{CpuCostModel, SimClock, SimDuration};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 const K: usize = 3;
 
@@ -136,24 +145,230 @@ impl HiveWoOram {
         self.map_region_blocks
     }
 
-    fn persist_map_entry(&self, logical: u64) -> Result<(), BlockDeviceError> {
-        // Write-through of the map block containing this entry.
+    /// Serializes the map block holding `logical`'s entry: committed
+    /// `position` entries overridden by this pass's planned `delta`.
+    fn map_block_payload(
+        &self,
+        position: &[Option<u64>],
+        delta: &HashMap<u64, Option<u64>>,
+        logical: u64,
+    ) -> Vec<u8> {
         let entries_per_block = self.dev.block_size() / 8;
-        let map_block = self.map_region_start + logical / entries_per_block as u64;
-        let mut block = self.dev.read_block(map_block)?;
-        let state = self.state.lock();
         let base = (logical as usize / entries_per_block) * entries_per_block;
+        let mut block = vec![0u8; self.dev.block_size()];
         for i in 0..entries_per_block {
             let l = base + i;
-            let value = if l < state.position.len() {
-                state.position[l].map(|p| p + 1).unwrap_or(0)
+            let entry = if l < position.len() {
+                delta.get(&(l as u64)).copied().unwrap_or(position[l])
             } else {
-                0
+                None
             };
+            let value = entry.map(|p| p + 1).unwrap_or(0);
             block[i * 8..(i + 1) * 8].copy_from_slice(&value.to_le_bytes());
         }
-        drop(state);
-        self.dev.write_block(map_block, &block)
+        block
+    }
+
+    /// One shuffle pass over `writes` — the whole batch rides a single
+    /// eviction: each logical write still rewrites `k` uniformly random
+    /// physical blocks (the decision sequence, RNG consumption and stash
+    /// dynamics are exactly the single-block loop's), but the device sees
+    /// one vectored read, one vectored write and one sync for the pass
+    /// instead of ~2k single-block commands per logical write.
+    ///
+    /// Commit ordering (the fail-fast-with-prefix invariant): decisions are
+    /// planned against sparse *overlays* of the position map, inverse map
+    /// and stash (O(k·batch) state, not an O(N) copy); the in-memory state
+    /// absorbs the overlays only after the write batch has landed. On a
+    /// mid-batch device error the landed prefix is visible on the medium
+    /// but the position map is not advanced past it — every write of the
+    /// failed batch stays in the stash (read-your-writes keeps returning
+    /// the newest data) and the batch can simply be retried.
+    ///
+    /// Position-map write-through is coalesced per pass: all touched
+    /// entries that share a map block ride one read-modify-write of that
+    /// block instead of one per entry.
+    fn shuffle_pass(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        for &(index, data) in writes {
+            self.check_index(index)?;
+            self.check_buffer(data)?;
+        }
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let bs = self.dev.block_size();
+        let entries_per_block = bs / 8;
+
+        /// One planned slot write of the pass, in device order.
+        enum Planned {
+            /// Slot ends the pass holding encrypted live content — either a
+            /// re-encrypt of what it already holds (read off the device
+            /// unless this pass placed it) or a fresh stash placement; the
+            /// plaintext lives in the `in_batch` overlay either way.
+            Rewrite { slot: u64 },
+            /// Free slot with an empty stash: fresh randomness.
+            Noise { slot: u64, noise: Vec<u8> },
+        }
+
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        // Planning overlays: logical → planned position, physical →
+        // planned inverse entry. The planned stash is the committed one
+        // with `pops_committed` entries consumed from the front, plus the
+        // batch entries (pushed one by one, the first `pushed_consumed` of
+        // them already placed).
+        let mut pos_delta: HashMap<u64, Option<u64>> = HashMap::new();
+        let mut inv_delta: HashMap<u64, Option<u64>> = HashMap::new();
+        let mut pops_committed = 0usize;
+        let mut pushed_consumed = 0usize;
+        let mut planned_len = state.stash.len();
+        let mut stash_peak = state.stash_peak;
+        let mut plans: Vec<Planned> = Vec::new();
+        // Plaintext a slot will hold after earlier writes of this pass.
+        let mut in_batch: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut touched_logical: Vec<u64> = Vec::new();
+        let mut cpu = SimDuration::ZERO;
+        for wi in 0..writes.len() {
+            // Batch entry `wi` enters the planned stash here (implicitly:
+            // the pop logic below reads it straight from `writes`).
+            planned_len += 1;
+            stash_peak = stash_peak.max(planned_len);
+            let slots: Vec<u64> = (0..K).map(|_| state.rng.next_below(self.n_physical)).collect();
+            for p in slots {
+                let live =
+                    inv_delta.get(&p).copied().unwrap_or(state.inverse[p as usize]).filter(|&l| {
+                        pos_delta.get(&l).copied().unwrap_or(state.position[l as usize]) == Some(p)
+                    });
+                match live {
+                    Some(_) => {
+                        // Live block: re-encrypt in place so the adversary
+                        // sees it change regardless.
+                        cpu += self.cpu.aes_cost(bs) * 2;
+                        plans.push(Planned::Rewrite { slot: p });
+                    }
+                    None => {
+                        // Pop the planned stash front: committed entries
+                        // first, then this batch's entries in push order
+                        // (only those pushed so far, i.e. up to `wi`).
+                        let next = if pops_committed < state.stash.len() {
+                            let (l, d) = &state.stash[pops_committed];
+                            pops_committed += 1;
+                            Some((*l, d.clone()))
+                        } else if pushed_consumed <= wi {
+                            let (l, d) = writes[pushed_consumed];
+                            pushed_consumed += 1;
+                            Some((l, d.to_vec()))
+                        } else {
+                            None
+                        };
+                        match next {
+                            Some((l, d)) => {
+                                planned_len -= 1;
+                                cpu += self.cpu.aes_cost(d.len());
+                                if let Some(old) =
+                                    pos_delta.get(&l).copied().unwrap_or(state.position[l as usize])
+                                {
+                                    inv_delta.insert(old, None);
+                                }
+                                pos_delta.insert(l, Some(p));
+                                inv_delta.insert(p, Some(l));
+                                in_batch.insert(p, d);
+                                touched_logical.push(l);
+                                plans.push(Planned::Rewrite { slot: p });
+                            }
+                            None => {
+                                let mut noise = vec![0u8; bs];
+                                state.rng.fill_bytes(&mut noise);
+                                cpu += self.cpu.rng_cost(bs);
+                                plans.push(Planned::Noise { slot: p, noise });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // One vectored read: live slots whose content is still on the
+        // device (deduplicated; slots this pass placed are already in the
+        // overlay), plus the map blocks about to be rewritten (HIVE
+        // persists the map read-modify-write).
+        let mut read_slots: Vec<u64> = Vec::new();
+        let mut read_index: HashMap<u64, usize> = HashMap::new();
+        for plan in &plans {
+            if let Planned::Rewrite { slot } = plan {
+                if !in_batch.contains_key(slot) && !read_index.contains_key(slot) {
+                    read_index.insert(*slot, read_slots.len());
+                    read_slots.push(*slot);
+                }
+            }
+        }
+        let mut map_blocks: Vec<u64> = touched_logical
+            .iter()
+            .map(|&l| self.map_region_start + l / entries_per_block as u64)
+            .collect();
+        map_blocks.sort_unstable();
+        map_blocks.dedup();
+        let mut read_list = read_slots.clone();
+        read_list.extend_from_slice(&map_blocks);
+        let mut read_bufs = match self.dev.read_blocks(&read_list) {
+            Ok(bufs) => bufs,
+            Err(e) => {
+                // Nothing committed; keep the enqueued writes in the stash
+                // so no data is lost and the batch can be retried.
+                state.stash.extend(writes.iter().map(|&(l, d)| (l, d.to_vec())));
+                state.stash_peak = state.stash_peak.max(state.stash.len());
+                return Err(e);
+            }
+        };
+        for (slot, idx) in &read_index {
+            // Each read buffer is consumed exactly once; take it by move.
+            let mut buf = std::mem::take(&mut read_bufs[*idx]);
+            self.cipher.decrypt_sector_in_place(*slot, &mut buf);
+            in_batch.insert(*slot, buf);
+        }
+
+        // One vectored write: slot rewrites in decision order, then the
+        // coalesced map blocks, serialized from the *planned* position map.
+        let mut payloads: Vec<(u64, Vec<u8>)> = Vec::with_capacity(plans.len() + map_blocks.len());
+        for plan in plans {
+            match plan {
+                Planned::Rewrite { slot } => {
+                    let mut ct = in_batch[&slot].clone();
+                    self.cipher.encrypt_sector_in_place(slot, &mut ct);
+                    payloads.push((slot, ct));
+                }
+                Planned::Noise { slot, noise } => payloads.push((slot, noise)),
+            }
+        }
+        for &mb in &map_blocks {
+            let logical = (mb - self.map_region_start) * entries_per_block as u64;
+            payloads.push((mb, self.map_block_payload(&state.position, &pos_delta, logical)));
+        }
+        self.clock.advance(cpu);
+        let batch: Vec<(u64, &[u8])> = payloads.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        if let Err(e) = self.dev.write_blocks(&batch) {
+            // Landed prefix stays on the medium, but the position map must
+            // not advance past it: commit nothing, retain the batch in the
+            // stash (fresh copies still win reads).
+            state.stash.extend(writes.iter().map(|&(l, d)| (l, d.to_vec())));
+            state.stash_peak = state.stash_peak.max(state.stash.len());
+            return Err(e);
+        }
+        // Absorb the overlays: consume the popped committed-stash prefix,
+        // append the batch entries that were not placed, apply the map
+        // deltas.
+        state.stash.drain(..pops_committed);
+        state.stash.extend(writes[pushed_consumed..].iter().map(|&(l, d)| (l, d.to_vec())));
+        for (l, v) in pos_delta {
+            state.position[l as usize] = v;
+        }
+        for (p, v) in inv_delta {
+            state.inverse[p as usize] = v;
+        }
+        state.stash_peak = stash_peak;
+        // HIVE syncs after every operation so a snapshot can land anywhere;
+        // a batch is one operation, so it syncs once.
+        self.dev.flush()
     }
 }
 
@@ -187,71 +402,58 @@ impl BlockDevice for HiveWoOram {
     }
 
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
-        self.check_index(index)?;
-        self.check_buffer(data)?;
-        // Enqueue the write, then rewrite k uniformly random physical
-        // blocks; free/stale slots absorb stashed writes.
-        let slots: Vec<u64> = {
-            let mut state = self.state.lock();
-            state.stash.push_back((index, data.to_vec()));
-            let peak = state.stash.len();
-            state.stash_peak = state.stash_peak.max(peak);
-            (0..K).map(|_| state.rng.next_below(self.n_physical)).collect()
-        };
-        let mut touched_logical: Vec<u64> = Vec::new();
-        for p in slots {
-            let live = {
-                let state = self.state.lock();
-                state.inverse[p as usize].filter(|&l| state.position[l as usize] == Some(p))
-            };
-            match live {
-                Some(l) => {
-                    // Live block: re-encrypt in place so the adversary sees
-                    // it change regardless.
-                    let mut buf = self.dev.read_block(p)?;
-                    self.clock.advance(self.cpu.aes_cost(buf.len()) * 2);
-                    self.cipher.decrypt_sector_in_place(p, &mut buf);
-                    self.cipher.encrypt_sector_in_place(p, &mut buf);
-                    self.dev.write_block(p, &buf)?;
-                    let _ = l;
-                }
-                None => {
-                    // Free or stale slot: place a stashed write if any,
-                    // otherwise write fresh randomness.
-                    let pending = {
-                        let mut state = self.state.lock();
-                        state.stash.pop_front()
-                    };
-                    match pending {
-                        Some((l, mut d)) => {
-                            self.clock.advance(self.cpu.aes_cost(d.len()));
-                            self.cipher.encrypt_sector_in_place(p, &mut d);
-                            self.dev.write_block(p, &d)?;
-                            let mut state = self.state.lock();
-                            if let Some(old) = state.position[l as usize] {
-                                state.inverse[old as usize] = None;
-                            }
-                            state.position[l as usize] = Some(p);
-                            state.inverse[p as usize] = Some(l);
-                            touched_logical.push(l);
-                        }
-                        None => {
-                            let mut noise = vec![0u8; self.dev.block_size()];
-                            let mut state = self.state.lock();
-                            state.rng.fill_bytes(&mut noise);
-                            drop(state);
-                            self.clock.advance(self.cpu.rng_cost(noise.len()));
-                            self.dev.write_block(p, &noise)?;
-                        }
+        self.shuffle_pass(&[(index, data)])
+    }
+
+    /// Batched write: the whole batch rides **one** shuffle pass — one
+    /// vectored read (live slots + map blocks), one vectored write (slot
+    /// rewrites + coalesced map write-through) and one sync, with decisions
+    /// identical to issuing the writes one by one (see
+    /// [`HiveWoOram::shuffle_pass`] for the commit ordering on a mid-batch
+    /// device error).
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        self.shuffle_pass(writes)
+    }
+
+    /// Batched read: resolves every index through the stash and position
+    /// map, then fetches all mapped physical blocks in one vectored read
+    /// (an out-of-range index fails after the valid prefix is served, like
+    /// the sequential loop).
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        let bad = indices.iter().position(|&i| i >= self.n_logical);
+        let valid = &indices[..bad.unwrap_or(indices.len())];
+        let state = self.state.lock();
+        let mut out: Vec<Option<Vec<u8>>> = Vec::with_capacity(valid.len());
+        let mut fetch: Vec<(usize, u64)> = Vec::new();
+        for (i, &index) in valid.iter().enumerate() {
+            if let Some((_, data)) = state.stash.iter().rev().find(|(l, _)| *l == index) {
+                out.push(Some(data.clone()));
+            } else {
+                match state.position[index as usize] {
+                    Some(p) => {
+                        fetch.push((i, p));
+                        out.push(None);
                     }
+                    None => out.push(Some(vec![0u8; self.dev.block_size()])),
                 }
             }
         }
-        for l in touched_logical {
-            self.persist_map_entry(l)?;
+        drop(state);
+        let slots: Vec<u64> = fetch.iter().map(|&(_, p)| p).collect();
+        let bufs = self.dev.read_blocks(&slots)?;
+        for (&(i, p), mut buf) in fetch.iter().zip(bufs) {
+            self.clock.advance(self.cpu.aes_cost(buf.len()));
+            self.cipher.decrypt_sector_in_place(p, &mut buf);
+            out[i] = Some(buf);
         }
-        // HIVE syncs after every operation so a snapshot can land anywhere.
-        self.dev.flush()
+        let resolved: Vec<Vec<u8>> = out.into_iter().map(|b| b.expect("resolved")).collect();
+        match bad {
+            Some(pos) => Err(BlockDeviceError::OutOfRange {
+                index: indices[pos],
+                num_blocks: self.n_logical,
+            }),
+            None => Ok(resolved),
+        }
     }
 
     fn flush(&self) -> Result<(), BlockDeviceError> {

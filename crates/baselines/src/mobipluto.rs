@@ -68,32 +68,55 @@ impl MobiPluto {
         }
         let data_blocks = disk.num_blocks() - metadata_blocks - footer_blocks;
 
-        // Step 1: fill the data region with randomness (the static defence).
+        // Step 1: fill the data region with randomness (the static
+        // defence). The fill lands as maximal sequential extents — one
+        // multi-block command per chunk, like MemDisk's full-disk fill —
+        // instead of one command per block, so initialization is charged
+        // what a real `dd if=/dev/urandom` pass costs.
         let data_dev: SharedDevice =
             Arc::new(DmLinear::new(disk.clone(), metadata_blocks, data_blocks)?);
         {
             let mut fill_rng = ChaCha20Rng::from_u64_seed(seed ^ 0xF111);
             let bs = disk.block_size();
-            let mut buf = vec![0u8; bs];
-            for b in 0..data_blocks {
-                fill_rng.fill_bytes(&mut buf);
-                data_dev.write_block(b, &buf)?;
+            const FILL_EXTENT: u64 = 512;
+            let mut b = 0u64;
+            while b < data_blocks {
+                let take = (data_blocks - b).min(FILL_EXTENT);
+                let bufs: Vec<Vec<u8>> = (0..take)
+                    .map(|_| {
+                        let mut buf = vec![0u8; bs];
+                        fill_rng.fill_bytes(&mut buf);
+                        buf
+                    })
+                    .collect();
+                let writes: Vec<(u64, &[u8])> =
+                    bufs.iter().enumerate().map(|(i, d)| (b + i as u64, d.as_slice())).collect();
+                data_dev.write_blocks(&writes)?;
+                b += take;
             }
         }
 
-        // Footer (same format as FDE).
+        // Footer (same format as FDE), one vectored write.
         let (footer, master) = EncryptionFooter::create(&mut rng, decoy_password, 64);
         let bytes = footer.to_bytes();
         let bs = disk.block_size();
-        for i in 0..footer_blocks {
-            let mut block = vec![0u8; bs];
-            let lo = i as usize * bs;
-            if lo < bytes.len() {
-                let hi = (lo + bs).min(bytes.len());
-                block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
-            }
-            disk.write_block(metadata_blocks + data_blocks + i, &block)?;
-        }
+        let footer_payloads: Vec<Vec<u8>> = (0..footer_blocks)
+            .map(|i| {
+                let mut block = vec![0u8; bs];
+                let lo = i as usize * bs;
+                if lo < bytes.len() {
+                    let hi = (lo + bs).min(bytes.len());
+                    block[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+                }
+                block
+            })
+            .collect();
+        let footer_writes: Vec<(u64, &[u8])> = footer_payloads
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (metadata_blocks + data_blocks + i as u64, d.as_slice()))
+            .collect();
+        disk.write_blocks(&footer_writes)?;
 
         // Step 2: a stock (sequential) thin pool hosting the public volume.
         let meta_dev: SharedDevice = Arc::new(DmLinear::new(disk.clone(), 0, metadata_blocks)?);
@@ -175,14 +198,33 @@ impl MobiPluto {
     ///
     /// Fails if no hidden password was configured, or on device errors.
     pub fn hidden_write(&self, data: &[u8]) -> Result<(), MobiCealError> {
+        self.hidden_write_blocks(&[data])
+    }
+
+    /// Writes a run of hidden blocks as one vectored sequential extent in
+    /// the hidden region. The hidden cursor — the region's log head —
+    /// advances only after the extent has landed, so a mid-batch device
+    /// error leaves it unmoved and the whole run can be retried.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no hidden password was configured, or on device errors.
+    pub fn hidden_write_blocks(&self, blocks: &[&[u8]]) -> Result<(), MobiCealError> {
         let cipher = self.hidden_cipher.as_ref().ok_or(MobiCealError::BadPassword)?;
         let mut cursor = self.hidden_cursor.lock();
-        let sector = self.hidden_offset + *cursor;
-        let mut ct = data.to_vec();
-        cipher.encrypt_sector_in_place(sector, &mut ct);
-        self.disk.write_block(self.metadata_blocks + sector, &ct)?;
-        self.clock.advance(self.cpu.aes_cost(data.len()));
-        *cursor += 1;
+        let mut payloads: Vec<(u64, Vec<u8>)> = Vec::with_capacity(blocks.len());
+        for (i, data) in blocks.iter().enumerate() {
+            let sector = self.hidden_offset + *cursor + i as u64;
+            let mut ct = data.to_vec();
+            cipher.encrypt_sector_in_place(sector, &mut ct);
+            payloads.push((self.metadata_blocks + sector, ct));
+        }
+        let extent: Vec<(u64, &[u8])> = payloads.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        self.disk.write_blocks(&extent)?;
+        for data in blocks {
+            self.clock.advance(self.cpu.aes_cost(data.len()));
+        }
+        *cursor += blocks.len() as u64;
         Ok(())
     }
 
@@ -281,6 +323,52 @@ mod tests {
     fn no_hidden_configured_rejects_hidden_write() {
         let (_disk, mp) = device(4, false);
         assert!(mp.hidden_write(&vec![0u8; 4096]).is_err());
+        assert!(mp.hidden_write_blocks(&[&vec![0u8; 4096]]).is_err());
+    }
+
+    #[test]
+    fn hidden_batch_matches_the_single_block_loop_and_amortizes() {
+        let build = |seed| {
+            let clock = SimClock::new();
+            let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+            let mp = MobiPluto::initialize(disk.clone(), clock.clone(), "decoy", Some("h"), seed)
+                .unwrap();
+            (disk, clock, mp)
+        };
+        let payloads: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 4096]).collect();
+        let (disk_a, clock_a, mp_a) = build(9);
+        let t0 = clock_a.now();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        mp_a.hidden_write_blocks(&refs).unwrap();
+        let batched = clock_a.now() - t0;
+        let (disk_b, clock_b, mp_b) = build(9);
+        let t1 = clock_b.now();
+        for p in &payloads {
+            mp_b.hidden_write(p).unwrap();
+        }
+        let looped = clock_b.now() - t1;
+        assert_eq!(disk_a.snapshot().as_bytes(), disk_b.snapshot().as_bytes(), "same ciphertext");
+        assert!(batched < looped, "one extent must amortize: {batched} vs {looped}");
+    }
+
+    #[test]
+    fn format_charges_vectored_fill_time() {
+        // The randomness fill rides maximal sequential extents: under the
+        // amortized nexus4 profile a 2048-block initialization charges
+        // ~433 ms, below the ~457 ms the per-block loop charged at this
+        // geometry (the remainder is the fill transfer itself plus the
+        // PBKDF2 derivations, which no batching can remove).
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+        let t0 = clock.now();
+        let _mp = MobiPluto::initialize(disk as SharedDevice, clock.clone(), "decoy", Some("h"), 3)
+            .unwrap();
+        let init = (clock.now() - t0).as_secs_f64();
+        assert!(
+            (0.40..0.45).contains(&init),
+            "vectored format should beat the per-block fill while still \
+             charging the transfer: {init:.3}s"
+        );
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! [`mobiceal_adversary::run_distinguisher_game`]. Each world builds a
 //! fresh device per round; the `with_hidden` flag decides whether a hidden
 //! volume exists and receives writes (`Σ0`) or not (`Σ1`).
+//!
+//! Each game event forwards its blocks as **one** `write_blocks` batch (or
+//! one [`MobiPluto::hidden_write_blocks`] extent), so per-command
+//! amortization survives every stack end-to-end — the baselines are
+//! measured with the same vectored discipline MobiCeal gets, not
+//! handicapped to single-block commands.
 
 use mobiceal::{MobiCeal, MobiCealConfig, UnlockedVolume};
 use mobiceal_adversary::{GameWorld, Observation};
@@ -18,6 +24,18 @@ use crate::mobipluto::MobiPluto;
 pub const WORLD_DISK_BLOCKS: u64 = 4096;
 /// Block size shared by the game worlds.
 pub const WORLD_BLOCK_SIZE: usize = 4096;
+
+/// Draws `blocks` fresh event payloads in the same per-block RNG order the
+/// single-block loop used, so game traces are bit-identical to PR 3's.
+fn next_payloads(rng: &mut ChaCha20Rng, blocks: u64) -> Vec<Vec<u8>> {
+    (0..blocks)
+        .map(|_| {
+            let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
+            rng.fill_bytes(&mut buf);
+            buf
+        })
+        .collect()
+}
 
 fn fast_config() -> MobiCealConfig {
     MobiCealConfig {
@@ -92,24 +110,26 @@ impl MobiCealWorld {
 
 impl GameWorld for MobiCealWorld {
     fn public_write(&mut self, blocks: u64) {
-        let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
-        for _ in 0..blocks {
-            self.payload.fill_bytes(&mut buf);
-            self.public
-                .write_block(self.pub_cursor % self.public.num_blocks(), &buf)
-                .expect("public write");
-            self.pub_cursor += 1;
-        }
+        let payloads = next_payloads(&mut self.payload, blocks);
+        let batch: Vec<(u64, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ((self.pub_cursor + i as u64) % self.public.num_blocks(), d.as_slice()))
+            .collect();
+        self.public.write_blocks(&batch).expect("public write");
+        self.pub_cursor += blocks;
     }
 
     fn hidden_write(&mut self, blocks: u64) {
         let hidden = self.hidden.as_ref().expect("hidden_write only in the hidden world");
-        let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
-        for _ in 0..blocks {
-            self.payload.fill_bytes(&mut buf);
-            hidden.write_block(self.hid_cursor % hidden.num_blocks(), &buf).expect("hidden write");
-            self.hid_cursor += 1;
-        }
+        let payloads = next_payloads(&mut self.payload, blocks);
+        let batch: Vec<(u64, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ((self.hid_cursor + i as u64) % hidden.num_blocks(), d.as_slice()))
+            .collect();
+        hidden.write_blocks(&batch).expect("hidden write");
+        self.hid_cursor += blocks;
     }
 
     fn observe(&self) -> Observation {
@@ -214,21 +234,21 @@ impl MobiPlutoWorld {
 
 impl GameWorld for MobiPlutoWorld {
     fn public_write(&mut self, blocks: u64) {
-        let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
-        for _ in 0..blocks {
-            self.payload.fill_bytes(&mut buf);
-            let idx = 1 + (self.pub_cursor % (self.public.num_blocks() / 2));
-            self.public.write_block(idx, &buf).expect("public write");
-            self.pub_cursor += 1;
-        }
+        let payloads = next_payloads(&mut self.payload, blocks);
+        let half = self.public.num_blocks() / 2;
+        let batch: Vec<(u64, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (1 + (self.pub_cursor + i as u64) % half, d.as_slice()))
+            .collect();
+        self.public.write_blocks(&batch).expect("public write");
+        self.pub_cursor += blocks;
     }
 
     fn hidden_write(&mut self, blocks: u64) {
-        let mut buf = vec![0u8; WORLD_BLOCK_SIZE];
-        for _ in 0..blocks {
-            self.payload.fill_bytes(&mut buf);
-            self.mp.hidden_write(&buf).expect("hidden write");
-        }
+        let payloads = next_payloads(&mut self.payload, blocks);
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        self.mp.hidden_write_blocks(&refs).expect("hidden write");
     }
 
     fn observe(&self) -> Observation {

@@ -1,0 +1,208 @@
+//! Property tests of the baselines' vectored I/O paths, mirroring
+//! `crates/blockdev/tests/device_props.rs` one stack up: for every baseline,
+//! a `write_blocks` batch is observably equivalent to the single-block loop
+//! — same final medium, same logical read-back — and charges **at most** the
+//! loop's simulated time, with equality at batch depth 1 and, for the
+//! stacks that add no per-pass device overhead of their own (DEFY's pure
+//! appends, MobiPluto's hidden extent), exact equality under the
+//! amortization-free `flat()` control profile. HIVE is strictly cheaper
+//! batched even under `flat()`: one sync and one coalesced position-map
+//! read-modify-write per pass replace one of each per logical write.
+
+use mobiceal_baselines::{AndroidFde, DefyLite, HiveWoOram, MobiPluto};
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_sim::{EmmcCostModel, SimClock};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const BS: usize = 4096;
+
+fn profiles() -> Vec<EmmcCostModel> {
+    vec![EmmcCostModel::nexus4(), EmmcCostModel::ssd_840evo(), EmmcCostModel::flat(25_000)]
+}
+
+fn disk_on(model: &EmmcCostModel, blocks: u64) -> (Arc<MemDisk>, SimClock) {
+    let clock = SimClock::new();
+    let disk =
+        Arc::new(MemDisk::with_cost_model(blocks, BS, clock.clone(), Arc::new(model.clone())));
+    (disk, clock)
+}
+
+/// Materializes `(logical, fill)` pairs into full-block payloads.
+fn payloads(writes: &[(u64, u8)]) -> Vec<(u64, Vec<u8>)> {
+    writes.iter().map(|&(l, v)| (l, vec![v; BS])).collect()
+}
+
+fn as_batch(payloads: &[(u64, Vec<u8>)]) -> Vec<(u64, &[u8])> {
+    payloads.iter().map(|(l, d)| (*l, d.as_slice())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// HIVE: one batched shuffle pass makes the same placement decisions as
+    /// the equivalent sequence of single-write passes (same RNG stream,
+    /// same stash dynamics), so the final medium is bit-identical; charged
+    /// time never exceeds the loop's, on amortizing and flat profiles
+    /// alike (the batch syncs once and coalesces map write-through).
+    #[test]
+    fn hive_batched_matches_singles_and_never_charges_more(
+        writes in prop::collection::vec((0u64..256, any::<u8>()), 1..24),
+        seed in 0u64..512,
+    ) {
+        for model in profiles() {
+            let data = payloads(&writes);
+            let (disk_b, clock_b) = disk_on(&model, 600);
+            let oram_b =
+                HiveWoOram::new(disk_b.clone(), clock_b.clone(), 256, [9u8; 64], seed).unwrap();
+            oram_b.write_blocks(&as_batch(&data)).unwrap();
+            let batched = clock_b.now();
+
+            let (disk_s, clock_s) = disk_on(&model, 600);
+            let oram_s =
+                HiveWoOram::new(disk_s.clone(), clock_s.clone(), 256, [9u8; 64], seed).unwrap();
+            for (l, d) in &data {
+                oram_s.write_block(*l, d).unwrap();
+            }
+            let sequential = clock_s.now();
+
+            prop_assert_eq!(
+                disk_b.snapshot().as_bytes(),
+                disk_s.snapshot().as_bytes(),
+                "identical decisions must leave an identical medium ({:?})", model
+            );
+            prop_assert!(batched <= sequential,
+                "batched {} > sequential {} ({:?})",
+                batched.as_nanos(), sequential.as_nanos(), model);
+            if writes.len() == 1 {
+                prop_assert_eq!(batched, sequential, "a batch of one IS the single pass");
+            } else {
+                // n passes pay n syncs and n map write-throughs; the batch
+                // pays one of each (sync time only shows on profiles that
+                // charge flushes, map coalescing shows everywhere).
+                prop_assert!(batched < sequential,
+                    "a deep batch must be strictly cheaper ({:?})", model);
+            }
+            // Logical read-back agrees between the two drives.
+            let indices: Vec<u64> = (0..256).collect();
+            prop_assert_eq!(oram_b.read_blocks(&indices).unwrap(),
+                indices.iter().map(|&l| oram_s.read_block(l).unwrap()).collect::<Vec<_>>());
+        }
+    }
+
+    /// DEFY: a batched append run lands the same ciphertext at the same log
+    /// positions as the loop (cleaning included — it triggers at the same
+    /// append), charging at most the loop's time, with exact equality under
+    /// the flat() control (appends are pure device writes plus per-block
+    /// crypto: nothing per-pass remains to coalesce).
+    #[test]
+    fn defy_batched_matches_singles_with_flat_equality(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 1..80),
+    ) {
+        for model in profiles() {
+            let data = payloads(&writes);
+            let (disk_b, clock_b) = disk_on(&model, 160);
+            let defy_b = DefyLite::new(disk_b.clone(), clock_b.clone(), 64, [5u8; 32]).unwrap();
+            defy_b.write_blocks(&as_batch(&data)).unwrap();
+            let batched = clock_b.now();
+
+            let (disk_s, clock_s) = disk_on(&model, 160);
+            let defy_s = DefyLite::new(disk_s.clone(), clock_s.clone(), 64, [5u8; 32]).unwrap();
+            for (l, d) in &data {
+                defy_s.write_block(*l, d).unwrap();
+            }
+            let sequential = clock_s.now();
+
+            prop_assert_eq!(disk_b.snapshot().as_bytes(), disk_s.snapshot().as_bytes());
+            prop_assert_eq!(defy_b.cleanings(), defy_s.cleanings());
+            prop_assert!(batched <= sequential);
+            if model.cmd_setup_ns == 0 {
+                prop_assert_eq!(batched, sequential,
+                    "without amortization an append run charges the per-block sum");
+            } else if writes.len() > 2 {
+                prop_assert!(batched < sequential, "extents must amortize on {:?}", model);
+            }
+            let indices: Vec<u64> = (0..64).collect();
+            prop_assert_eq!(defy_b.read_blocks(&indices).unwrap(),
+                indices.iter().map(|&l| defy_s.read_block(l).unwrap()).collect::<Vec<_>>());
+        }
+    }
+
+    /// MobiPluto: a hidden extent lands the same ciphertext as the
+    /// single-block loop at the same cursor positions, charging at most the
+    /// loop's time with flat() equality (the hidden path is raw sequential
+    /// writes plus per-block AES).
+    #[test]
+    fn mobipluto_hidden_batch_matches_singles_with_flat_equality(
+        fills in prop::collection::vec(any::<u8>(), 1..32),
+        seed in 0u64..64,
+    ) {
+        for model in profiles() {
+            let blocks: Vec<Vec<u8>> = fills.iter().map(|&v| vec![v; BS]).collect();
+            let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
+
+            let (disk_b, clock_b) = disk_on(&model, 2048);
+            let mp_b = MobiPluto::initialize(
+                disk_b.clone() as SharedDevice, clock_b.clone(), "decoy", Some("h"), seed,
+            ).unwrap();
+            let t0 = clock_b.now();
+            mp_b.hidden_write_blocks(&refs).unwrap();
+            let batched = clock_b.now() - t0;
+
+            let (disk_s, clock_s) = disk_on(&model, 2048);
+            let mp_s = MobiPluto::initialize(
+                disk_s.clone() as SharedDevice, clock_s.clone(), "decoy", Some("h"), seed,
+            ).unwrap();
+            let t1 = clock_s.now();
+            for b in &blocks {
+                mp_s.hidden_write(b).unwrap();
+            }
+            let sequential = clock_s.now() - t1;
+
+            prop_assert_eq!(disk_b.snapshot().as_bytes(), disk_s.snapshot().as_bytes());
+            prop_assert!(batched <= sequential);
+            if model.cmd_setup_ns == 0 {
+                prop_assert_eq!(batched, sequential);
+            } else if fills.len() > 2 {
+                prop_assert!(batched < sequential);
+            }
+        }
+    }
+
+    /// Android FDE: the unlocked volume forwards batches through dm-crypt;
+    /// bytes match the loop and charged time never exceeds it (the crypt
+    /// layer also amortizes its fixed per-call AES charge per batch).
+    #[test]
+    fn fde_batched_matches_singles(
+        writes in prop::collection::vec((0u64..64, any::<u8>()), 1..32),
+    ) {
+        for model in profiles() {
+            let data = payloads(&writes);
+            let (disk_b, clock_b) = disk_on(&model, 1024);
+            let fde_b = AndroidFde::initialize(
+                disk_b.clone() as SharedDevice, clock_b.clone(), "pwd", 3,
+            ).unwrap();
+            let vol_b = fde_b.unlock("pwd").unwrap();
+            let t0 = clock_b.now();
+            vol_b.write_blocks(&as_batch(&data)).unwrap();
+            let batched = clock_b.now() - t0;
+
+            let (disk_s, clock_s) = disk_on(&model, 1024);
+            let fde_s = AndroidFde::initialize(
+                disk_s.clone() as SharedDevice, clock_s.clone(), "pwd", 3,
+            ).unwrap();
+            let vol_s = fde_s.unlock("pwd").unwrap();
+            let t1 = clock_s.now();
+            for (l, d) in &data {
+                vol_s.write_block(*l, d).unwrap();
+            }
+            let sequential = clock_s.now() - t1;
+
+            prop_assert_eq!(disk_b.snapshot().as_bytes(), disk_s.snapshot().as_bytes());
+            prop_assert!(batched <= sequential);
+            let indices: Vec<u64> = writes.iter().map(|&(l, _)| l).collect();
+            prop_assert_eq!(vol_b.read_blocks(&indices).unwrap(),
+                indices.iter().map(|&l| vol_s.read_block(l).unwrap()).collect::<Vec<_>>());
+        }
+    }
+}

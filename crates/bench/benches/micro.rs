@@ -139,9 +139,80 @@ fn bench_batched_io(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched-vs-single delta of the *baseline* stacks: one HIVE shuffle
+/// pass over 16 logical writes vs. 16 single-write passes, and one DEFY
+/// 64-append extent vs. 64 single appends (real CPU time; the simulated
+/// per-batch savings are recorded in BENCH_fig4.json).
+fn bench_baseline_batch(c: &mut Criterion) {
+    use mobiceal_baselines::{DefyLite, HiveWoOram};
+    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("baseline_batch");
+    group.throughput(Throughput::Bytes(16 * 4096));
+    group.bench_function("hive_batched_16x4k", |b| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(600, 4096, clock.clone()));
+        let oram = HiveWoOram::new(disk, clock, 256, [9u8; 64], 1).expect("oram");
+        let data = vec![1u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            let batch: Vec<(u64, &[u8])> =
+                (0..16).map(|i| ((base + i) % 256, data.as_slice())).collect();
+            oram.write_blocks(&batch).expect("batched write");
+            base += 16;
+        })
+    });
+    group.bench_function("hive_sequential_16x4k", |b| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(600, 4096, clock.clone()));
+        let oram = HiveWoOram::new(disk, clock, 256, [9u8; 64], 2).expect("oram");
+        let data = vec![1u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..16 {
+                oram.write_block((base + i) % 256, &data).expect("single write");
+            }
+            base += 16;
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("baseline_batch_defy");
+    group.throughput(Throughput::Bytes(64 * 4096));
+    group.bench_function("defy_batched_64x4k", |b| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(16384, 4096, clock.clone()));
+        let defy = DefyLite::new(disk, clock, 4096, [5u8; 32]).expect("defy");
+        let data = vec![1u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            let batch: Vec<(u64, &[u8])> =
+                (0..64).map(|i| ((base + i) % 4096, data.as_slice())).collect();
+            defy.write_blocks(&batch).expect("batched write");
+            base += 64;
+        })
+    });
+    group.bench_function("defy_sequential_64x4k", |b| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(16384, 4096, clock.clone()));
+        let defy = DefyLite::new(disk, clock, 4096, [5u8; 32]).expect("defy");
+        let data = vec![1u8; 4096];
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..64 {
+                defy.write_block((base + i) % 4096, &data).expect("single write");
+            }
+            base += 64;
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_allocators, bench_oram, bench_batched_io
+    targets = bench_crypto, bench_allocators, bench_oram, bench_batched_io, bench_baseline_batch
 }
 criterion_main!(benches);

@@ -1,113 +1,31 @@
 //! **Table I**: overhead comparison between the three systems that defend
 //! against multi-snapshot adversaries — DEFY, HIVE, MobiCeal — each in its
 //! own original test environment (the paper stresses the environments
-//! differ and only the *overheads* are comparable):
-//!
-//! | system   | environment                  | paper Ext4 | paper encrypted | paper overhead |
-//! |----------|------------------------------|-----------:|----------------:|---------------:|
-//! | DEFY     | Ubuntu + nandsim RAM disk    |  800 MB/s  |      50 MB/s    | 93.75 %        |
-//! | HIVE     | Arch + Samsung 840 EVO SSD   |  216 MB/s  |    0.97 MB/s    | 99.55 %        |
-//! | MobiCeal | Android 4.2.2 + Nexus 4 eMMC | 19.5 MB/s  |    15.2 MB/s    | 22.05 %        |
+//! differ and only the *overheads* are comparable). Row computation lives
+//! in `mobiceal_workloads::table1` (shared with the calibration band
+//! tests); every stack is driven with the same 64-block vectored chunks as
+//! the paper's `dd`, so the baselines amortize per-command setup exactly
+//! like MobiCeal does.
 //!
 //! Run with: `cargo bench -p mobiceal-bench --bench table1_overhead`
 
-use mobiceal_baselines::{DefyLite, HiveWoOram};
-use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
-use mobiceal_sim::{EmmcCostModel, SimClock};
-use mobiceal_workloads::{build_stack, render_table, Cell, DdWorkload, StackConfig, Table};
-use std::sync::Arc;
-
-const BLOCKS: u64 = 16384;
-const BS: usize = 4096;
-
-/// Sequential-write throughput of `dev` in MB/s over `n` blocks.
-fn seq_write_mbps(dev: &dyn BlockDevice, clock: &SimClock, n: u64) -> f64 {
-    let buf = vec![0xA5u8; BS];
-    let t0 = clock.now();
-    for i in 0..n {
-        dev.write_block(i, &buf).expect("write");
-    }
-    dev.flush().expect("flush");
-    let elapsed = clock.now() - t0;
-    (n as usize * BS) as f64 / elapsed.as_secs_f64() / 1e6
-}
-
-fn defy_row() -> (f64, f64) {
-    // DEFY's environment: nandsim RAM disk, where raw writes are nearly
-    // free and crypto dominates.
-    let clock = SimClock::new();
-    let raw = Arc::new(MemDisk::with_cost_model(
-        BLOCKS,
-        BS,
-        clock.clone(),
-        Arc::new(EmmcCostModel::nandsim_ramdisk()),
-    ));
-    let base = seq_write_mbps(&*raw, &clock, 2048);
-
-    let clock2 = SimClock::new();
-    let disk: SharedDevice = Arc::new(MemDisk::with_cost_model(
-        BLOCKS,
-        BS,
-        clock2.clone(),
-        Arc::new(EmmcCostModel::nandsim_ramdisk()),
-    ));
-    let defy = DefyLite::new(disk, clock2.clone(), 4096, [7u8; 32]).expect("defy");
-    let enc = seq_write_mbps(&defy, &clock2, 2048);
-    (base, enc)
-}
-
-fn hive_row() -> (f64, f64) {
-    // HIVE's environment: Samsung 840 EVO SSD.
-    let clock = SimClock::new();
-    let raw = Arc::new(MemDisk::with_cost_model(
-        BLOCKS,
-        BS,
-        clock.clone(),
-        Arc::new(EmmcCostModel::ssd_840evo()),
-    ));
-    let base = seq_write_mbps(&*raw, &clock, 2048);
-
-    let clock2 = SimClock::new();
-    let disk: SharedDevice = Arc::new(MemDisk::with_cost_model(
-        BLOCKS,
-        BS,
-        clock2.clone(),
-        Arc::new(EmmcCostModel::ssd_840evo()),
-    ));
-    let oram = HiveWoOram::new(disk, clock2.clone(), 4096, [9u8; 64], 3).expect("hive");
-    let enc = seq_write_mbps(&oram, &clock2, 2048);
-    (base, enc)
-}
-
-fn mobiceal_row() -> (f64, f64) {
-    // MobiCeal's environment: Nexus 4 eMMC, measured through Ext4 (SimFs)
-    // as the paper does.
-    let dd = DdWorkload { file_bytes: 8 * 1024 * 1024, chunk_bytes: 256 * 1024 };
-    // Baseline: plain SimFs ("Ext4") directly on the eMMC.
-    let clock = SimClock::new();
-    let raw: SharedDevice = Arc::new(MemDisk::new(BLOCKS, BS, clock.clone()));
-    let base = dd.run(raw, &clock).expect("dd raw").write_mbps();
-
-    let stack = build_stack(StackConfig::MobiCealPublic, BLOCKS, 5).expect("stack");
-    let enc = dd.run(stack.device.clone(), &stack.clock).expect("dd mc").write_mbps();
-    (base, enc)
-}
+use mobiceal_workloads::{defy_row, hive_row, mobiceal_row, render_table, Cell, Table};
 
 fn main() {
     let mut table = Table::new(
         "Table I: overhead comparison (sequential write, each system in its own environment)",
         &["system", "Ext4 (MB/s)", "Encrypted (MB/s)", "overhead", "paper overhead"],
     );
-    for (name, (base, enc), paper) in [
+    for (name, row, paper) in [
         ("DEFY", defy_row(), 93.75),
         ("HIVE", hive_row(), 99.55),
         ("MobiCeal", mobiceal_row(), 22.05),
     ] {
         table.push_row(vec![
             name.into(),
-            Cell::Num(base),
-            Cell::Num(enc),
-            Cell::Pct((1.0 - enc / base) * 100.0),
+            Cell::Num(row.base_mbps),
+            Cell::Num(row.encrypted_mbps),
+            Cell::Pct(row.overhead() * 100.0),
             Cell::Pct(paper),
         ]);
     }

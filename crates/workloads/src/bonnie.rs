@@ -197,21 +197,23 @@ mod tests {
         // Bonnie's 8 KiB chunks ride 2-block commands, so amortization is
         // shallower than dd's 64-block batches: Android block output lands
         // at ~21.4 MB/s (vs ~22.2 for dd) under the amortized nexus4()
-        // profile, and the MobiCeal/Android write ratio stays inside the
-        // paper's 15-35 % overhead band here too.
+        // profile, and the MobiCeal/Android write ratio (0.72 at seed 13)
+        // stays inside the paper's 15-35 % overhead band here too.
+        // Retightened after the baseline batching pass confirmed the stack
+        // rows are byte-stable.
         let android = run_on(StackConfig::Android);
         let mcp = run_on(StackConfig::MobiCealPublic);
         assert!(
-            (18.5..24.5).contains(&android.write_mbps()),
+            (20.5..22.5).contains(&android.write_mbps()),
             "Android block output {:.1} MB/s",
             android.write_mbps()
         );
         assert!(
-            (24.0..30.0).contains(&android.read_mbps()),
+            (26.0..28.5).contains(&android.read_mbps()),
             "Android block input {:.1} MB/s",
             android.read_mbps()
         );
         let ratio = mcp.block_write_kbps / android.block_write_kbps;
-        assert!((0.65..0.85).contains(&ratio), "MC-P/Android Bonnie write ratio {ratio:.2}");
+        assert!((0.68..0.80).contains(&ratio), "MC-P/Android Bonnie write ratio {ratio:.2}");
     }
 }

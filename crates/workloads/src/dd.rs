@@ -102,11 +102,12 @@ mod tests {
     fn android_fde_lands_in_calibrated_band() {
         // Fig. 4 band under the amortized multi-command eMMC model: dd's
         // 256 KiB chunks ride 64-block CMD25 batches, so Android FDE lands
-        // at ~22 MB/s writes and ~28 MB/s reads (was ~21/~26 under the
-        // per-block model; the paper measured ~19.5/~27 through dm-crypt).
+        // at ~22.2 MB/s writes and ~28.2 MB/s reads (the paper measured
+        // ~19.5/~27 through dm-crypt). Retightened after the baseline
+        // batching pass confirmed the five stack rows are byte-stable.
         let r = run_on(StackConfig::Android);
-        assert!((19.0..25.0).contains(&r.write_mbps()), "FDE write {:.1} MB/s", r.write_mbps());
-        assert!((25.0..31.0).contains(&r.read_mbps()), "FDE read {:.1} MB/s", r.read_mbps());
+        assert!((21.0..23.5).contains(&r.write_mbps()), "FDE write {:.1} MB/s", r.write_mbps());
+        assert!((27.0..29.5).contains(&r.read_mbps()), "FDE read {:.1} MB/s", r.read_mbps());
     }
 
     #[test]
@@ -116,10 +117,11 @@ mod tests {
         let write_ratio = atp.write_kbps / android.write_kbps;
         let read_ratio = atp.read_kbps / android.read_kbps;
         // The stock thin layer's sequential allocator keeps batches
-        // contiguous, so its writes amortize exactly like raw FDE's.
+        // contiguous, so its writes amortize exactly like raw FDE's. The
+        // read side pays the btree lookup: ~0.85 at this calibration.
         assert!(write_ratio > 0.97, "thin writes near-free: ratio {write_ratio:.2}");
         assert!(
-            (0.78..0.92).contains(&read_ratio),
+            (0.82..0.88).contains(&read_ratio),
             "thin reads pay the lookup: ratio {read_ratio:.2}"
         );
     }
@@ -130,11 +132,12 @@ mod tests {
         let mcp = run_on(StackConfig::MobiCealPublic);
         let ratio = mcp.write_kbps / android.write_kbps;
         // Paper: "MobiCeal reduces the performance by about 18%" on writes;
-        // we accept the 15-35 % overhead band. Amortization widens the raw
-        // gap (Android's contiguous batches merge into fewer commands than
+        // we accept the 15-28 % overhead slice of the paper's band this
+        // seed lands in (0.82 at seed 11). Amortization widens the raw gap
+        // (Android's contiguous batches merge into fewer commands than
         // MobiCeal's randomly-allocated ones) but packed-command batching
         // keeps MobiCeal inside the band.
-        assert!((0.65..0.85).contains(&ratio), "MC-P/Android write ratio {ratio:.2}");
+        assert!((0.72..0.85).contains(&ratio), "MC-P/Android write ratio {ratio:.2}");
     }
 
     #[test]
@@ -142,6 +145,8 @@ mod tests {
         let mcp = run_on(StackConfig::MobiCealPublic);
         let mch = run_on(StackConfig::MobiCealHidden);
         let ratio = mch.read_kbps / mcp.read_kbps;
-        assert!((0.8..1.25).contains(&ratio), "MC-H/MC-P read ratio {ratio:.2}");
+        // Reads share the thin-lookup path, so the two volumes are within
+        // a few percent of each other (exactly equal at this calibration).
+        assert!((0.9..1.1).contains(&ratio), "MC-H/MC-P read ratio {ratio:.2}");
     }
 }

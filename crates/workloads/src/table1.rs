@@ -1,0 +1,179 @@
+//! **Table I** row computation: overhead of the three multi-snapshot-secure
+//! systems — DEFY, HIVE, MobiCeal — each measured in its own original test
+//! environment (the paper stresses the environments differ and only the
+//! *overheads* are comparable).
+//!
+//! | system   | environment                  | paper Ext4 | paper encrypted | paper overhead |
+//! |----------|------------------------------|-----------:|----------------:|---------------:|
+//! | DEFY     | Ubuntu + nandsim RAM disk    |  800 MB/s  |      50 MB/s    | 93.75 %        |
+//! | HIVE     | Arch + Samsung 840 EVO SSD   |  216 MB/s  |    0.97 MB/s    | 99.55 %        |
+//! | MobiCeal | Android 4.2.2 + Nexus 4 eMMC | 19.5 MB/s  |    15.2 MB/s    | 22.05 %        |
+//!
+//! Both the baseline ("Ext4") and the encrypted stack are driven with the
+//! same *vectored* discipline as the paper's `dd`: 64-block (256 KiB)
+//! chunks, one `write_blocks` batch per chunk. Before the baselines grew
+//! batched paths, HIVE and DEFY were measured one block at a time — which
+//! silently flattered MobiCeal by an amortization axis the comparison
+//! never let the baselines use. The band tests below pin the recalibrated
+//! rows and the paper's ordering claims.
+
+use crate::dd::DdWorkload;
+use crate::stacks::{build_stack, StackConfig};
+use mobiceal_baselines::{DefyLite, HiveWoOram};
+use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
+use mobiceal_sim::{EmmcCostModel, SimClock};
+use std::sync::Arc;
+
+const BLOCKS: u64 = 16384;
+const BS: usize = 4096;
+
+/// Blocks per driven chunk: dd's 256 KiB at 4 KiB granularity.
+pub const TABLE1_CHUNK_BLOCKS: u64 = 64;
+
+/// One Table 1 row: baseline ("Ext4") vs. encrypted sequential-write
+/// throughput, both in MB/s of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Raw-medium throughput in the system's own environment.
+    pub base_mbps: f64,
+    /// Throughput through the encrypted stack.
+    pub encrypted_mbps: f64,
+}
+
+impl Table1Row {
+    /// Fractional overhead (`1 - encrypted/base`), the paper's comparison
+    /// metric.
+    pub fn overhead(&self) -> f64 {
+        1.0 - self.encrypted_mbps / self.base_mbps
+    }
+}
+
+/// Sequential-write throughput of `dev` in MB/s over `n` blocks, driven in
+/// [`TABLE1_CHUNK_BLOCKS`]-deep vectored chunks with one final flush (the
+/// `conv=fdatasync` condition).
+fn seq_write_mbps(dev: &dyn BlockDevice, clock: &SimClock, n: u64) -> f64 {
+    let buf = vec![0xA5u8; BS];
+    let t0 = clock.now();
+    let mut base = 0u64;
+    while base < n {
+        let take = (n - base).min(TABLE1_CHUNK_BLOCKS);
+        let batch: Vec<(u64, &[u8])> = (0..take).map(|i| (base + i, buf.as_slice())).collect();
+        dev.write_blocks(&batch).expect("write");
+        base += take;
+    }
+    dev.flush().expect("flush");
+    let elapsed = clock.now() - t0;
+    (n as usize * BS) as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// DEFY's row: nandsim RAM disk, where raw writes are nearly free and the
+/// per-write cryptography dominates.
+pub fn defy_row() -> Table1Row {
+    let clock = SimClock::new();
+    let raw = Arc::new(MemDisk::with_cost_model(
+        BLOCKS,
+        BS,
+        clock.clone(),
+        Arc::new(EmmcCostModel::nandsim_ramdisk()),
+    ));
+    let base = seq_write_mbps(&*raw, &clock, 2048);
+
+    let clock2 = SimClock::new();
+    let disk: SharedDevice = Arc::new(MemDisk::with_cost_model(
+        BLOCKS,
+        BS,
+        clock2.clone(),
+        Arc::new(EmmcCostModel::nandsim_ramdisk()),
+    ));
+    let defy = DefyLite::new(disk, clock2.clone(), 4096, [7u8; 32]).expect("defy");
+    let enc = seq_write_mbps(&defy, &clock2, 2048);
+    Table1Row { base_mbps: base, encrypted_mbps: enc }
+}
+
+/// HIVE's row: Samsung 840 EVO SSD, where the per-write sync and the k-fold
+/// random write amplification dominate.
+pub fn hive_row() -> Table1Row {
+    let clock = SimClock::new();
+    let raw = Arc::new(MemDisk::with_cost_model(
+        BLOCKS,
+        BS,
+        clock.clone(),
+        Arc::new(EmmcCostModel::ssd_840evo()),
+    ));
+    let base = seq_write_mbps(&*raw, &clock, 2048);
+
+    let clock2 = SimClock::new();
+    let disk: SharedDevice = Arc::new(MemDisk::with_cost_model(
+        BLOCKS,
+        BS,
+        clock2.clone(),
+        Arc::new(EmmcCostModel::ssd_840evo()),
+    ));
+    let oram = HiveWoOram::new(disk, clock2.clone(), 4096, [9u8; 64], 3).expect("hive");
+    let enc = seq_write_mbps(&oram, &clock2, 2048);
+    Table1Row { base_mbps: base, encrypted_mbps: enc }
+}
+
+/// MobiCeal's row: Nexus 4 eMMC, measured through Ext4 (SimFs) with the
+/// paper's dd, against plain SimFs on the same medium.
+pub fn mobiceal_row() -> Table1Row {
+    let dd = DdWorkload { file_bytes: 8 * 1024 * 1024, chunk_bytes: 256 * 1024 };
+    let clock = SimClock::new();
+    let raw: SharedDevice = Arc::new(MemDisk::new(BLOCKS, BS, clock.clone()));
+    let base = dd.run(raw, &clock).expect("dd raw").write_mbps();
+
+    let stack = build_stack(StackConfig::MobiCealPublic, BLOCKS, 5).expect("stack");
+    let enc = dd.run(stack.device.clone(), &stack.clock).expect("dd mc").write_mbps();
+    Table1Row { base_mbps: base, encrypted_mbps: enc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hive_overhead_in_recalibrated_band() {
+        // Batched driving moved HIVE for the first time since PR 1: the
+        // per-batch sync amortizes 64 flushes into one, so the row drops
+        // from 99.2 % (single-block; paper 99.55 %) into the mid-90s —
+        // still crushing, still far above MobiCeal's band.
+        let row = hive_row();
+        let overhead = row.overhead();
+        assert!(
+            (0.90..0.99).contains(&overhead),
+            "HIVE overhead {:.2}% out of the recalibrated band",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn defy_overhead_in_recalibrated_band() {
+        // DEFY's regime is crypto-bound on a near-free medium: batching the
+        // log barely moves the encrypted side, while the raw RAM disk gains
+        // from amortization — the overhead stays in the paper's ~94 %
+        // neighbourhood.
+        let row = defy_row();
+        let overhead = row.overhead();
+        assert!(
+            (0.90..0.98).contains(&overhead),
+            "DEFY overhead {:.2}% out of the recalibrated band",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn paper_ordering_survives_batched_baselines() {
+        // The paper's comparative claim (§I, Table I): HIVE slower than
+        // DEFY slower than MobiCeal, with MobiCeal "much smaller" — an
+        // ordering that must hold even once every stack amortizes.
+        let hive = hive_row().overhead();
+        let defy = defy_row().overhead();
+        let mobiceal = mobiceal_row().overhead();
+        assert!(
+            hive > defy && defy > mobiceal,
+            "ordering broken: HIVE {hive:.3}, DEFY {defy:.3}, MobiCeal {mobiceal:.3}"
+        );
+        assert!(hive > 0.90 && defy > 0.90, "prior PDE systems stay >= 90%");
+        assert!(mobiceal < 0.40, "only MobiCeal stays below 40%");
+    }
+}

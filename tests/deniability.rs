@@ -273,6 +273,109 @@ fn batch_amortization_opens_no_timing_channel() {
 }
 
 #[test]
+fn baseline_batch_shapes_are_world_independent() {
+    // Batching must not open a *new* timing channel in the baselines: the
+    // device-visible shape of a batched HIVE shuffle or DEFY append run —
+    // op mix, byte counts and charged time — depends only on the trace
+    // shape plus, for HIVE, the set of position-map blocks the trace
+    // touches (one 512-entry map block covers the whole logical space
+    // here). It never depends on the payload data, and not on *which*
+    // logical blocks were addressed within a map block's span. The
+    // map-block granularity itself is a pre-existing exposure of this
+    // HIVE model, not something batching added: the per-entry write-
+    // through already revealed which map block each pass rewrote (real
+    // HIVE hides it by recursing the position map into the ORAM); the
+    // companion test below pins that known residual leak explicitly.
+    use mobiceal_baselines::{DefyLite, HiveWoOram};
+    use mobiceal_blockdev::{BlockDevice, DeviceStats, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    let hive_trace = |base: u64, fill: u8| -> (mobiceal_sim::SimInstant, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(600, 4096, clock.clone()));
+        let oram = HiveWoOram::new(disk.clone(), clock.clone(), 256, [7u8; 64], 21).unwrap();
+        let data = vec![fill; 4096];
+        let mut cursor = base;
+        for &shape in &TRACE_SHAPES {
+            let batch: Vec<(u64, &[u8])> =
+                (0..shape as u64).map(|i| (cursor + i, data.as_slice())).collect();
+            oram.write_blocks(&batch).unwrap();
+            cursor += shape as u64;
+        }
+        (clock.now(), disk.stats())
+    };
+    // Same shapes, different data: identical — the payload leaves no trace.
+    let (time_a, stats_a) = hive_trace(0, 0xAA);
+    let (time_b, stats_b) = hive_trace(0, 0x55);
+    assert_eq!(time_a, time_b, "HIVE batch timing must be data-independent");
+    assert_eq!(stats_a, stats_b, "HIVE op mix must be data-independent");
+    // Same shapes, disjoint logical ranges within one map block's span:
+    // identical — the addresses leave no trace at sub-map-block
+    // granularity.
+    let (time_b, stats_b) = hive_trace(100, 0x55);
+    assert_eq!(time_a, time_b, "HIVE batch shapes must charge world-independent time");
+    assert_eq!(stats_a, stats_b, "HIVE batch shapes must leave a world-independent op mix");
+
+    let defy_trace = |base: u64, fill: u8| -> (mobiceal_sim::SimInstant, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(512, 4096, clock.clone()));
+        let defy = DefyLite::new(disk.clone(), clock.clone(), 256, [3u8; 32]).unwrap();
+        let data = vec![fill; 4096];
+        let mut cursor = base;
+        for &shape in &TRACE_SHAPES {
+            let batch: Vec<(u64, &[u8])> =
+                (0..shape as u64).map(|i| (cursor + i, data.as_slice())).collect();
+            defy.write_blocks(&batch).unwrap();
+            cursor += shape as u64;
+        }
+        (clock.now(), disk.stats())
+    };
+    let (time_a, stats_a) = defy_trace(0, 0xAA);
+    let (time_b, stats_b) = defy_trace(100, 0x55);
+    assert_eq!(time_a, time_b, "DEFY batch shapes must charge world-independent time");
+    assert_eq!(stats_a, stats_b, "DEFY batch shapes must leave a world-independent op mix");
+}
+
+#[test]
+fn hive_map_block_granularity_is_the_documented_residual_leak() {
+    // The flip side of the test above, pinned so the limitation stays
+    // documented rather than rediscovered: this HIVE model persists its
+    // position map as plain write-through blocks, so a trace's device
+    // shape reveals *how many* (and which) 512-entry map blocks it
+    // touched — with coalescing, a batch spanning a map-block boundary
+    // charges one extra read-modify-write compared to an identically
+    // shaped batch inside one block. Real HIVE closes this by recursing
+    // the map into the ORAM itself; the per-entry write-through this
+    // repo had before batching leaked the same granularity through which
+    // block each pass rewrote. MobiCeal is unaffected (its thin-pool
+    // metadata commits are volume-independent, see
+    // batch_amortization_opens_no_timing_channel).
+    use mobiceal_baselines::HiveWoOram;
+    use mobiceal_blockdev::{BlockDevice, MemDisk};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    let trace = |base: u64| {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(8300, 4096, clock.clone()));
+        let oram = HiveWoOram::new(disk, clock.clone(), 4096, [7u8; 64], 33).unwrap();
+        let data = vec![1u8; 4096];
+        let batch: Vec<(u64, &[u8])> = (0..16u64).map(|i| (base + i, data.as_slice())).collect();
+        oram.write_blocks(&batch).unwrap();
+        clock.now()
+    };
+    let inside_one_map_block = trace(0); // logicals 0..16, map block 0
+    let across_a_boundary = trace(504); // logicals 504..520, map blocks 0 and 1
+    assert!(
+        across_a_boundary > inside_one_map_block,
+        "crossing a map-block boundary must cost exactly the extra map RMW ({} vs {} ns)",
+        across_a_boundary.as_nanos(),
+        inside_one_map_block.as_nanos()
+    );
+}
+
+#[test]
 fn raw_device_is_uniformly_ciphertextlike() {
     let mut world = MobiCealWorld::build(3, true);
     use mobiceal_adversary::GameWorld;

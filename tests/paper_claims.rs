@@ -74,13 +74,15 @@ fn claim_initialization_avoids_the_full_disk_fill() {
 
 /// "MobiCeal introduces approximately 18% overhead [on writes] which is
 /// much smaller than that of typical prior PDE systems secure against
-/// multi-snapshot adversaries" (§I) — we accept the 15-35 % band and check
-/// the "much smaller than HIVE/DEFY" part strictly.
+/// multi-snapshot adversaries" (§I) — we pin the calibrated ~24 % slice of
+/// the paper's 15-35 % band and check the "much smaller than HIVE/DEFY"
+/// part strictly against the *measured* batched baselines, not a constant.
 ///
-/// Recalibrated for the amortized multi-command eMMC model: Android's
-/// contiguous dd batches merge into 64-block commands while MobiCeal's
-/// randomly-allocated blocks ride packed commands, so the measured
-/// overhead sits at ~24 % (was ~27 % under the per-block model).
+/// Recalibrated twice: once for the amortized multi-command eMMC model
+/// (PR 3), and once after the baselines gained batched I/O paths — the
+/// HIVE/DEFY overheads here are computed with the same 64-block vectored
+/// driving MobiCeal gets, so the comparison no longer flatters MobiCeal by
+/// an amortization axis the baselines never got to use.
 #[test]
 fn claim_write_overhead_band() {
     let android: f64 =
@@ -89,11 +91,16 @@ fn claim_write_overhead_band() {
         (0..4).map(|i| dd_write_mbps(StackConfig::MobiCealPublic, 100 + i)).sum::<f64>() / 4.0;
     let overhead = 1.0 - mcp / android;
     assert!(
-        (0.15..0.35).contains(&overhead),
-        "MobiCeal write overhead {:.1}% out of the paper's 15-35% band",
+        (0.18..0.30).contains(&overhead),
+        "MobiCeal write overhead {:.1}% out of the calibrated band",
         overhead * 100.0
     );
-    assert!(overhead < 0.90, "must be far below the >=90% of HIVE/DEFY");
+    let hive = mobiceal_workloads::hive_row().overhead();
+    let defy = mobiceal_workloads::defy_row().overhead();
+    assert!(
+        overhead < hive - 0.5 && overhead < defy - 0.5,
+        "MobiCeal ({overhead:.2}) must stay far below batched HIVE ({hive:.2}) / DEFY ({defy:.2})"
+    );
 }
 
 /// "Thin provisioning adds a layer between file system and disk, so the
@@ -108,9 +115,10 @@ fn claim_thin_layer_is_read_side() {
     assert!(atp_w / android_w > 0.97, "thin writes near-free");
     let read_overhead = 1.0 - atp_r / android_r;
     // ~15 % under the amortized model (the btree-lookup charge is a larger
-    // share of a read once command setup amortizes away).
+    // share of a read once command setup amortizes away); retightened once
+    // the baseline batching pass confirmed the stack rows are byte-stable.
     assert!(
-        (0.10..0.22).contains(&read_overhead),
+        (0.12..0.19).contains(&read_overhead),
         "thin read overhead {:.1}% out of band",
         read_overhead * 100.0
     );
