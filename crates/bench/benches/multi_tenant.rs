@@ -1,0 +1,48 @@
+//! Wall-clock benchmark of the `multi_tenant` workload: the same four
+//! tenant streams (public + hidden volumes + SimFs) executed by 1, 2 and 4
+//! worker threads through one MobiCeal device.
+//!
+//! On a multi-core host the sharded MemDisk, the split thin-pool locks and
+//! the CQE queue-depth model let the N-worker runs beat the 1-worker run
+//! in wall clock (and, on the CQE medium, in simulated time). On a 1-vCPU
+//! container the wall-clock numbers show parity — see the labeled
+//! recordings in EXPERIMENTS.md and BENCH_fig4.json.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobiceal_workloads::MultiTenantWorkload;
+
+fn bench_multi_tenant(c: &mut Criterion) {
+    let workload = MultiTenantWorkload::default();
+    // One untimed run per variant reports the simulated-time side, which
+    // criterion's wall-clock statistics cannot show.
+    for workers in [1usize, 2, 4] {
+        let r = workload.run(workers).expect("multi-tenant run");
+        println!(
+            "multi_tenant/workers={}: simulated {} for {} MiB ({} host CPUs)",
+            r.workers,
+            r.simulated,
+            r.bytes_written >> 20,
+            r.host_cpus
+        );
+    }
+
+    let mut group = c.benchmark_group("multi_tenant");
+    let bytes = {
+        let r = workload.run(1).expect("probe run");
+        r.bytes_written
+    };
+    group.throughput(Throughput::Bytes(bytes));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("workers_{workers}"), |b| {
+            b.iter(|| workload.run(workers).expect("multi-tenant run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multi_tenant
+}
+criterion_main!(benches);

@@ -37,4 +37,4 @@ pub use device::{
 };
 pub use memdisk::{FaultInjection, MemDisk};
 pub use snapshot::DiskSnapshot;
-pub use stats::{DeviceStats, OpCounter};
+pub use stats::{AtomicDeviceStats, DeviceStats, OpCounter};

@@ -304,6 +304,25 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_advances_sum_exactly() {
+        // The clock is a single atomic counter: charges from many threads
+        // never lose updates, so per-layer accounting telescopes to the
+        // clock no matter how the schedule interleaves.
+        let clock = SimClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = clock.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        handle.advance(SimDuration::from_nanos(3));
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now().as_nanos(), 4 * 1_000 * 3);
+    }
+
+    #[test]
     fn measure_reports_elapsed() {
         let clock = SimClock::new();
         let (value, elapsed) = clock.measure(|| {

@@ -73,6 +73,46 @@ pub trait CostModel: Send + Sync + std::fmt::Debug {
         let rem = bytes % blocks;
         self.cost(op, per) * (blocks - rem) as u64 + self.cost(op, per + 1) * rem as u64
     }
+
+    /// The number of commands this medium can keep in flight at once —
+    /// eMMC 5.1 CQE or SATA NCQ style hardware queueing. Depth 1 (the
+    /// default) means a strictly synchronous device: every command waits
+    /// for the previous one to finish, and queue-depth charging never
+    /// engages.
+    fn queue_depth(&self) -> usize {
+        1
+    }
+
+    /// Cost of one multi-block command when `depth` commands are in flight
+    /// on the device concurrently (CQE/NCQ overlap).
+    ///
+    /// While one command's data moves on the bus, the controller can
+    /// execute the latency phases (command setup, FTL lookup, seek
+    /// penalty) of the other queued commands, so latency — never the
+    /// transfer itself, the bus is shared — amortizes across the overlap.
+    /// The default implementation ignores `depth` and charges
+    /// [`CostModel::batch_cost`], so plain models and depth-1 media are
+    /// bit-identical to the pre-CQE model.
+    ///
+    /// Implementations must keep (pinned by `crates/sim/tests/cost_props.rs`):
+    ///
+    /// 1. `batch_cost_at_depth(op, n, b, 1) == batch_cost(op, n, b)` —
+    ///    a lone in-flight command is the pre-CQE model exactly;
+    /// 2. monotone non-increasing in `depth` (overlap never hurts) and
+    ///    never below the pure transfer cost (the bus is not parallel);
+    /// 3. monotone in `blocks`/`bytes` at every fixed depth;
+    /// 4. `depth` saturates at [`CostModel::queue_depth`] — a queue deeper
+    ///    than the hardware's buys nothing.
+    fn batch_cost_at_depth(
+        &self,
+        op: OpKind,
+        blocks: usize,
+        bytes: usize,
+        depth: usize,
+    ) -> SimDuration {
+        let _ = depth;
+        self.batch_cost(op, blocks, bytes)
+    }
 }
 
 /// eMMC-like flash timing (as exposed through an FTL as a block device).
@@ -103,6 +143,13 @@ pub struct EmmcCostModel {
     pub cmd_setup_ns: u64,
     /// Extra seek-equivalent penalty for a non-sequential access.
     pub random_penalty_ns: u64,
+    /// Hardware command-queue depth (eMMC 5.1 CQE / SATA NCQ). When the
+    /// host keeps several commands in flight, their latency phases overlap
+    /// up to this depth (see [`CostModel::batch_cost_at_depth`]); `1`
+    /// models a strictly synchronous device and disables overlap entirely.
+    /// Single-threaded driving always observes depth 1, so this field
+    /// never moves a sequentially-driven result.
+    pub queue_depth: usize,
     /// Transfer cost per byte read.
     pub read_ns_per_byte: f64,
     /// Transfer cost per byte written.
@@ -129,10 +176,26 @@ impl EmmcCostModel {
             // The FTL log-structures writes and flash has no seek, so the
             // random-access penalty at the block interface is modest.
             random_penalty_ns: 16_000,
+            // The Nexus 4's eMMC 4.x part predates CQE: one command at a
+            // time, no latency overlap. Keeping depth 1 here guarantees the
+            // Fig. 4 / Table 1 calibration can never move, even under
+            // concurrent driving.
+            queue_depth: 1,
             read_ns_per_byte: 29.0,
             write_ns_per_byte: 38.0,
             flush_ns: 400_000,
         }
+    }
+
+    /// A Nexus 4-class medium upgraded to an eMMC 5.1 command queue: the
+    /// same per-block/transfer timing as [`EmmcCostModel::nexus4`], plus
+    /// the CQE 32-slot task queue that lets the controller overlap the
+    /// latency phases of queued commands. This is the profile the
+    /// `multi_tenant` workload drives so multi-volume concurrency shows up
+    /// in *simulated* time; the paper's own (single-threaded, pre-CQE)
+    /// figures keep using `nexus4()`.
+    pub fn emmc51_cqe() -> Self {
+        EmmcCostModel { queue_depth: 32, ..EmmcCostModel::nexus4() }
     }
 
     /// Calibration for a SATA SSD of the Samsung 840 EVO class — the device
@@ -146,6 +209,8 @@ impl EmmcCostModel {
             // NCQ amortizes most of it across a queued batch.
             cmd_setup_ns: 3_000,
             random_penalty_ns: 120_000,
+            // SATA NCQ: 32 outstanding commands.
+            queue_depth: 32,
             read_ns_per_byte: 2.5,
             write_ns_per_byte: 3.7,
             flush_ns: 1_800_000,
@@ -163,6 +228,8 @@ impl EmmcCostModel {
             // which vanishes when requests merge into one command.
             cmd_setup_ns: 1_000,
             random_penalty_ns: 500,
+            // nandsim is a synchronous kernel thread: no hardware queue.
+            queue_depth: 1,
             read_ns_per_byte: 0.9,
             write_ns_per_byte: 1.1,
             flush_ns: 2_000,
@@ -180,6 +247,9 @@ impl EmmcCostModel {
             per_op_ns: ns,
             cmd_setup_ns: 0,
             random_penalty_ns: 0,
+            // Depth 1: the flat model is the control for queue-depth
+            // charging exactly as it is for setup amortization.
+            queue_depth: 1,
             read_ns_per_byte: 0.0,
             write_ns_per_byte: 0.0,
             flush_ns: 0,
@@ -242,6 +312,42 @@ impl CostModel for EmmcCostModel {
         let sum = self.single_op_ns(op, per) * (blocks - rem) as u64
             + self.single_op_ns(op, per + 1) * rem as u64;
         SimDuration::from_nanos(sum - (blocks as u64 - 1) * self.cmd_setup_ns)
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue_depth.max(1)
+    }
+
+    /// CQE/NCQ overlap: the command's latency (one setup + per-block
+    /// overhead and random penalties) divides across the `depth` commands
+    /// concurrently in flight — while this command's data is not on the
+    /// bus, the controller executes the others' latency phases — and the
+    /// transfer charges full price (the bus is shared). `depth` saturates
+    /// at [`EmmcCostModel::queue_depth`]; at (clamped) depth 1 the charge
+    /// is [`CostModel::batch_cost`] to the nanosecond, because
+    /// `transfer + ceil(latency / 1)` reassembles the exact decomposition.
+    fn batch_cost_at_depth(
+        &self,
+        op: OpKind,
+        blocks: usize,
+        bytes: usize,
+        depth: usize,
+    ) -> SimDuration {
+        if blocks == 0 {
+            return SimDuration::ZERO;
+        }
+        let depth = depth.clamp(1, self.queue_depth.max(1)) as u64;
+        let full = self.batch_cost(op, blocks, bytes);
+        if depth == 1 || op == OpKind::Flush {
+            return full;
+        }
+        // Exact latency/transfer split of `batch_cost`: everything except
+        // the truncated per-byte transfer sums is latency.
+        let latency = self.cmd_setup_ns + blocks as u64 * self.per_block_ns(op);
+        let transfer = full.as_nanos() - latency;
+        // div_ceil keeps the charge strictly positive for latency-only
+        // commands and makes depth 1 the identity.
+        SimDuration::from_nanos(transfer + latency.div_ceil(depth))
     }
 }
 
@@ -448,6 +554,90 @@ mod tests {
             p.cost(OpKind::RandomWrite, 512) * 7
         );
         assert_eq!(p.batch_cost(OpKind::RandomWrite, 0, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn depth_one_is_the_pre_cqe_model_exactly() {
+        for m in [
+            EmmcCostModel::nexus4(),
+            EmmcCostModel::emmc51_cqe(),
+            EmmcCostModel::ssd_840evo(),
+            EmmcCostModel::nandsim_ramdisk(),
+            EmmcCostModel::flat(25_000),
+        ] {
+            for op in [OpKind::SequentialWrite, OpKind::RandomRead, OpKind::Flush] {
+                for blocks in [1usize, 7, 64] {
+                    assert_eq!(
+                        m.batch_cost_at_depth(op, blocks, blocks * 4096, 1),
+                        m.batch_cost(op, blocks, blocks * 4096),
+                        "{m:?} {op:?} depth 1 must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_overlap_amortizes_latency_but_not_transfer() {
+        let m = EmmcCostModel::emmc51_cqe();
+        let op = OpKind::RandomWrite;
+        let full = m.batch_cost_at_depth(op, 8, 8 * 4096, 1);
+        let mut last = full;
+        for depth in [2usize, 4, 8, 32] {
+            let overlapped = m.batch_cost_at_depth(op, 8, 8 * 4096, depth);
+            assert!(overlapped < full, "depth {depth} must amortize");
+            assert!(overlapped <= last, "deeper queues never cost more");
+            last = overlapped;
+        }
+        // The bus is shared: the transfer component always charges full.
+        let latency = m.cmd_setup_ns + 8 * m.per_block_ns(op);
+        let transfer = m.batch_cost(op, 8, 8 * 4096).as_nanos() - latency;
+        assert!(last.as_nanos() > transfer, "charge stays above the pure transfer");
+    }
+
+    #[test]
+    fn depth_saturates_at_the_hardware_queue() {
+        let m = EmmcCostModel::emmc51_cqe();
+        assert_eq!(CostModel::queue_depth(&m), 32);
+        assert_eq!(
+            m.batch_cost_at_depth(OpKind::SequentialWrite, 4, 4 * 4096, 32),
+            m.batch_cost_at_depth(OpKind::SequentialWrite, 4, 4 * 4096, 1000),
+            "depth beyond the hardware queue buys nothing"
+        );
+    }
+
+    #[test]
+    fn synchronous_profiles_ignore_depth() {
+        // nexus4 (pre-CQE eMMC), nandsim and flat() all advertise depth 1,
+        // so even a deep in-flight count charges the pre-CQE cost — the
+        // control that pins Fig. 4 / Table 1 under concurrent driving.
+        for m in
+            [EmmcCostModel::nexus4(), EmmcCostModel::nandsim_ramdisk(), EmmcCostModel::flat(25_000)]
+        {
+            assert_eq!(CostModel::queue_depth(&m), 1, "{m:?}");
+            assert_eq!(
+                m.batch_cost_at_depth(OpKind::RandomWrite, 16, 16 * 4096, 8),
+                m.batch_cost(OpKind::RandomWrite, 16, 16 * 4096),
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_batch_cost_at_depth_ignores_depth() {
+        #[derive(Debug)]
+        struct Plain;
+        impl CostModel for Plain {
+            fn cost(&self, _op: OpKind, bytes: usize) -> SimDuration {
+                SimDuration::from_nanos(1_000 + bytes as u64)
+            }
+        }
+        let p = Plain;
+        assert_eq!(p.queue_depth(), 1);
+        assert_eq!(
+            p.batch_cost_at_depth(OpKind::SequentialRead, 5, 5 * 512, 16),
+            p.batch_cost(OpKind::SequentialRead, 5, 5 * 512)
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 fn profiles() -> Vec<EmmcCostModel> {
     vec![
         EmmcCostModel::nexus4(),
+        EmmcCostModel::emmc51_cqe(),
         EmmcCostModel::ssd_840evo(),
         EmmcCostModel::nandsim_ramdisk(),
         EmmcCostModel::flat(25_000),
@@ -108,6 +109,52 @@ proptest! {
                 cost_n <= m.cost(op, block_size) * blocks as u64,
                 "batching must never cost more than the sequential sum"
             );
+        }
+    }
+
+    /// Queue-depth charging: depth 1 is `batch_cost` bit for bit on every
+    /// profile; deeper queues are monotone non-increasing, saturate at the
+    /// hardware queue depth, never fall below the pure transfer cost, and
+    /// stay monotone in blocks at every fixed depth.
+    #[test]
+    fn queue_depth_charging_properties(
+        blocks in 1usize..128,
+        bs_sel in 0usize..2,
+        op_idx in 0usize..4,
+        depth in 1usize..64,
+    ) {
+        let op = transfer_ops()[op_idx];
+        let block_size = [512usize, 4096][bs_sel];
+        for m in profiles() {
+            let bytes = blocks * block_size;
+            prop_assert_eq!(
+                m.batch_cost_at_depth(op, blocks, bytes, 1),
+                m.batch_cost(op, blocks, bytes),
+                "depth 1 must be the pre-CQE charge: {:?} {:?}", m, op
+            );
+            let at_depth = m.batch_cost_at_depth(op, blocks, bytes, depth);
+            prop_assert!(at_depth <= m.batch_cost(op, blocks, bytes));
+            prop_assert!(
+                m.batch_cost_at_depth(op, blocks, bytes, depth + 1) <= at_depth,
+                "deeper queues never cost more"
+            );
+            let hw = CostModel::queue_depth(&m);
+            prop_assert_eq!(
+                m.batch_cost_at_depth(op, blocks, bytes, hw),
+                m.batch_cost_at_depth(op, blocks, bytes, hw + 100),
+                "depth saturates at the hardware queue"
+            );
+            // More blocks cost more at every depth.
+            prop_assert!(
+                m.batch_cost_at_depth(op, blocks + 1, bytes + block_size, depth) > at_depth,
+                "{:?} {:?} depth {}", m, op, depth
+            );
+            // The shared bus floor: transfer never amortizes.
+            let transfer = (match op {
+                OpKind::SequentialRead | OpKind::RandomRead => m.read_ns_per_byte,
+                _ => m.write_ns_per_byte,
+            } * block_size as f64) as u64 * blocks as u64;
+            prop_assert!(at_depth.as_nanos() >= transfer);
         }
     }
 }

@@ -6,7 +6,7 @@ use crate::meta::{MetadataView, Superblock, VolumeMeta};
 use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use mobiceal_crypto::sha256;
 use mobiceal_sim::{SimClock, SimDuration};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -31,15 +31,50 @@ impl PoolConfig {
 struct VolumeState {
     virtual_blocks: u64,
     mappings: BTreeMap<u64, u64>,
+    /// Tombstone set by [`ThinPool::delete_volume`] under this state's
+    /// lock. A caller that cloned the handle out of the directory *before*
+    /// the delete must observe it after locking: without the flag, a
+    /// racing writer could allocate a fresh physical block into the
+    /// orphaned state after the delete drained it, and that block would
+    /// leak into the committed bitmap forever. (The old single pool lock
+    /// made exists-check and allocation atomic; the flag restores that.)
+    deleted: bool,
 }
 
-struct PoolState {
+impl VolumeState {
+    /// Tombstone guard for pool-level APIs (their wording on a missing
+    /// volume).
+    fn check_live_pool(&self, id: VolumeId) -> Result<(), BlockDeviceError> {
+        if self.deleted {
+            Err(BlockDeviceError::Unsupported { what: format!("no volume {id}") })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Tombstone guard for [`ThinVolume`] I/O paths (their wording for a
+    /// handle that outlived its volume).
+    fn check_live_volume(&self, id: VolumeId) -> Result<(), BlockDeviceError> {
+        if self.deleted {
+            Err(BlockDeviceError::Unsupported { what: format!("volume {id} deleted") })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One volume's mapping state behind its own lock: two volumes map batches
+/// concurrently, contending only on the allocator when they need fresh
+/// physical blocks.
+type VolumeHandle = Arc<Mutex<VolumeState>>;
+
+/// The allocator/metadata half of the old single pool lock.
+struct AllocState {
     /// The bitmap as of the last commit. Blocks allocated in the open
     /// transaction live in `reserved` until commit folds them in — this is
     /// exactly the "transaction problem" setup of §V-A: the allocator works
     /// against the committed bitmap plus a record of in-flight allocations.
     bitmap: Bitmap,
-    volumes: BTreeMap<VolumeId, VolumeState>,
     allocator: Box<dyn Allocator>,
     /// Blocks allocated since the last commit (the open transaction). The
     /// allocator must not hand these out again (§V-A's transaction fix),
@@ -47,14 +82,9 @@ struct PoolState {
     reserved: HashSet<u64>,
     transaction_id: u64,
     active_half: u8,
-    /// Optional per-read mapping-lookup cost. Real dm-thin walks a btree on
-    /// the read path (the paper measures ~18 % sequential-read overhead
-    /// from the thin layer, Fig. 4); the write path amortises its btree
-    /// updates into the commit.
-    read_overhead: Option<(SimClock, SimDuration)>,
 }
 
-impl PoolState {
+impl AllocState {
     /// Committed bitmap with the open transaction folded in — the live
     /// occupancy an adversary reading the device right now would infer.
     fn live_bitmap(&self) -> Bitmap {
@@ -64,15 +94,69 @@ impl PoolState {
         }
         bm
     }
+
+    /// Releases one physical block, whether it was committed or still in
+    /// the open transaction.
+    fn release(&mut self, p: u64) {
+        if !self.reserved.remove(&p) {
+            self.bitmap.clear(p);
+        }
+    }
+}
+
+/// The pool state shared by the pool object and every volume handle.
+///
+/// # Lock order
+///
+/// `directory` → volume locks (ascending id when several are held) →
+/// `alloc`. `read_overhead` is a leaf: it is never held across another
+/// acquisition. Every path in this file follows that order, so the split
+/// locks cannot deadlock.
+struct PoolShared {
+    /// Which volumes exist. Read-locked by every I/O (a `BTreeMap` lookup
+    /// plus an `Arc` clone), write-locked only by create/delete — so
+    /// volume lifetime changes still serialize, but steady-state I/O on
+    /// different volumes proceeds in parallel.
+    directory: RwLock<BTreeMap<VolumeId, VolumeHandle>>,
+    /// Allocator, committed bitmap and open-transaction bookkeeping.
+    alloc: Mutex<AllocState>,
+    /// Optional per-read mapping-lookup cost. Real dm-thin walks a btree on
+    /// the read path (the paper measures ~18 % sequential-read overhead
+    /// from the thin layer, Fig. 4); the write path amortises its btree
+    /// updates into the commit.
+    read_overhead: RwLock<Option<(SimClock, SimDuration)>>,
+}
+
+impl PoolShared {
+    /// Looks up a volume handle, erroring like the legacy single-lock code
+    /// did for deleted/unknown volumes.
+    fn volume(&self, id: VolumeId) -> Result<VolumeHandle, BlockDeviceError> {
+        self.directory
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })
+    }
+
+    /// Charges the configured thin-lookup cost for `lookups` mapped reads.
+    fn charge_read_overhead(&self, lookups: usize) {
+        if let Some((clock, cost)) = self.read_overhead.read().as_ref() {
+            for _ in 0..lookups {
+                clock.advance(*cost);
+            }
+        }
+    }
 }
 
 /// A thin-provisioning pool over a data device and a metadata device.
 ///
 /// See the crate docs for the role this plays in MobiCeal. All mutation is
 /// internally synchronised; clones of volume handles may be used from
-/// multiple threads.
+/// multiple threads. Since the lock split, synchronisation is sharded: an
+/// allocator/metadata lock plus one mapping lock per volume, so volumes
+/// serve I/O concurrently (see [`PoolShared`] for the lock order).
 pub struct ThinPool {
-    state: Arc<Mutex<PoolState>>,
+    shared: Arc<PoolShared>,
     data: SharedDevice,
     meta: SharedDevice,
     config: PoolConfig,
@@ -118,15 +202,17 @@ impl ThinPool {
         seed: u64,
     ) -> Result<Self, BlockDeviceError> {
         let pool = ThinPool {
-            state: Arc::new(Mutex::new(PoolState {
-                bitmap: Bitmap::new(data.num_blocks()),
-                volumes: BTreeMap::new(),
-                allocator: make_allocator(strategy, seed),
-                reserved: HashSet::new(),
-                transaction_id: 0,
-                active_half: 1, // first commit goes to half 0
-                read_overhead: None,
-            })),
+            shared: Arc::new(PoolShared {
+                directory: RwLock::new(BTreeMap::new()),
+                alloc: Mutex::new(AllocState {
+                    bitmap: Bitmap::new(data.num_blocks()),
+                    allocator: make_allocator(strategy, seed),
+                    reserved: HashSet::new(),
+                    transaction_id: 0,
+                    active_half: 1, // first commit goes to half 0
+                }),
+                read_overhead: RwLock::new(None),
+            }),
             data,
             meta,
             config,
@@ -165,19 +251,28 @@ impl ThinPool {
             .volumes
             .into_iter()
             .map(|(id, v)| {
-                (id, VolumeState { virtual_blocks: v.virtual_blocks, mappings: v.mappings })
+                (
+                    id,
+                    Arc::new(Mutex::new(VolumeState {
+                        virtual_blocks: v.virtual_blocks,
+                        mappings: v.mappings,
+                        deleted: false,
+                    })),
+                )
             })
             .collect();
         Ok(ThinPool {
-            state: Arc::new(Mutex::new(PoolState {
-                bitmap: view.bitmap,
-                volumes,
-                allocator: make_allocator(strategy, seed),
-                reserved: HashSet::new(),
-                transaction_id: sb.transaction_id,
-                active_half: sb.active_half,
-                read_overhead: None,
-            })),
+            shared: Arc::new(PoolShared {
+                directory: RwLock::new(volumes),
+                alloc: Mutex::new(AllocState {
+                    bitmap: view.bitmap,
+                    allocator: make_allocator(strategy, seed),
+                    reserved: HashSet::new(),
+                    transaction_id: sb.transaction_id,
+                    active_half: sb.active_half,
+                }),
+                read_overhead: RwLock::new(None),
+            }),
             data,
             meta,
             config,
@@ -222,23 +317,33 @@ impl ThinPool {
     /// Persists all metadata crash-consistently and closes the open
     /// transaction.
     ///
+    /// Holds the directory, every volume lock (in ascending id order) and
+    /// the allocator lock for the duration: a commit is a global barrier,
+    /// so the persisted bitmap and mapping tables are one consistent cut —
+    /// a mapping never references a physical block the persisted bitmap
+    /// does not account for.
+    ///
     /// # Errors
     ///
     /// I/O errors from the metadata device; on failure the previous
     /// transaction remains intact.
     pub fn commit(&self) -> Result<(), BlockDeviceError> {
-        let mut state = self.state.lock();
+        let directory = self.shared.directory.read();
+        // BTreeMap iteration is ascending by id — the canonical volume
+        // lock order.
+        let volumes: Vec<(VolumeId, parking_lot::MutexGuard<'_, VolumeState>)> =
+            directory.iter().map(|(&id, handle)| (id, handle.lock())).collect();
+        let mut alloc = self.shared.alloc.lock();
         let view = MetadataView {
-            transaction_id: state.transaction_id + 1,
-            bitmap: state.live_bitmap(),
-            volumes: state
-                .volumes
+            transaction_id: alloc.transaction_id + 1,
+            bitmap: alloc.live_bitmap(),
+            volumes: volumes
                 .iter()
-                .map(|(&id, v)| {
+                .map(|(id, v)| {
                     (
-                        id,
+                        *id,
                         VolumeMeta {
-                            id,
+                            id: *id,
                             virtual_blocks: v.virtual_blocks,
                             mappings: v.mappings.clone(),
                         },
@@ -249,7 +354,7 @@ impl ThinPool {
         let payload = view.to_bytes();
         let (first, half_len) = Self::half_geometry(&self.meta);
         let bs = self.meta.block_size();
-        let target_half = 1 - state.active_half;
+        let target_half = 1 - alloc.active_half;
         let start = first + target_half as u64 * half_len;
         let need_blocks = payload.len().div_ceil(bs) as u64;
         if need_blocks > half_len {
@@ -275,7 +380,7 @@ impl ThinPool {
         self.meta.flush()?;
         // Superblock last: this is the commit point.
         let sb = Superblock {
-            transaction_id: state.transaction_id + 1,
+            transaction_id: alloc.transaction_id + 1,
             active_half: target_half,
             payload_len: payload.len() as u64,
             payload_digest: sha256(&payload),
@@ -284,12 +389,12 @@ impl ThinPool {
         sb.encode_into(&mut sb_block);
         self.meta.write_block(0, &sb_block)?;
         self.meta.flush()?;
-        state.transaction_id += 1;
-        state.active_half = target_half;
+        alloc.transaction_id += 1;
+        alloc.active_half = target_half;
         // Fold the open transaction into the committed bitmap.
-        let reserved: Vec<u64> = state.reserved.drain().collect();
+        let reserved: Vec<u64> = alloc.reserved.drain().collect();
         for b in reserved {
-            state.bitmap.set(b);
+            alloc.bitmap.set(b);
         }
         Ok(())
     }
@@ -305,17 +410,24 @@ impl ThinPool {
         id: VolumeId,
         virtual_blocks: u64,
     ) -> Result<ThinVolume, BlockDeviceError> {
-        let mut state = self.state.lock();
-        if state.volumes.len() as u32 >= self.config.max_volumes {
+        let mut directory = self.shared.directory.write();
+        if directory.len() as u32 >= self.config.max_volumes {
             return Err(BlockDeviceError::Unsupported {
                 what: format!("pool limited to {} volumes", self.config.max_volumes),
             });
         }
-        if state.volumes.contains_key(&id) {
+        if directory.contains_key(&id) {
             return Err(BlockDeviceError::Unsupported { what: format!("volume {id} exists") });
         }
-        state.volumes.insert(id, VolumeState { virtual_blocks, mappings: BTreeMap::new() });
-        drop(state);
+        directory.insert(
+            id,
+            Arc::new(Mutex::new(VolumeState {
+                virtual_blocks,
+                mappings: BTreeMap::new(),
+                deleted: false,
+            })),
+        );
+        drop(directory);
         Ok(self.volume_handle(id, virtual_blocks))
     }
 
@@ -325,13 +437,12 @@ impl ThinPool {
     ///
     /// Fails if the volume does not exist.
     pub fn open_volume(&self, id: VolumeId) -> Result<ThinVolume, BlockDeviceError> {
-        let state = self.state.lock();
-        let vol = state
-            .volumes
-            .get(&id)
-            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
-        let virtual_blocks = vol.virtual_blocks;
-        drop(state);
+        let handle = self.shared.volume(id)?;
+        let virtual_blocks = {
+            let vol = handle.lock();
+            vol.check_live_pool(id)?;
+            vol.virtual_blocks
+        };
         Ok(self.volume_handle(id, virtual_blocks))
     }
 
@@ -341,16 +452,24 @@ impl ThinPool {
     ///
     /// Fails if the volume does not exist.
     pub fn delete_volume(&self, id: VolumeId) -> Result<(), BlockDeviceError> {
-        let mut state = self.state.lock();
-        let vol = state
-            .volumes
+        let handle = self
+            .shared
+            .directory
+            .write()
             .remove(&id)
             .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
-        let blocks: Vec<u64> = vol.mappings.values().copied().collect();
+        // Tombstone + drain under the volume lock: a writer that cloned
+        // the handle before the directory removal either finished its
+        // mapping pass (its blocks are drained and released here) or will
+        // observe `deleted` and error before allocating.
+        let blocks: Vec<u64> = {
+            let mut vol = handle.lock();
+            vol.deleted = true;
+            std::mem::take(&mut vol.mappings).into_values().collect()
+        };
+        let mut alloc = self.shared.alloc.lock();
         for p in blocks {
-            if !state.reserved.remove(&p) {
-                state.bitmap.clear(p);
-            }
+            alloc.release(p);
         }
         Ok(())
     }
@@ -363,29 +482,19 @@ impl ThinPool {
     ///
     /// Fails if the volume does not exist.
     pub fn discard(&self, id: VolumeId, vblock: u64) -> Result<(), BlockDeviceError> {
-        let mut state = self.state.lock();
-        let vol = state
-            .volumes
-            .get_mut(&id)
-            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
-        if let Some(p) = vol.mappings.remove(&vblock) {
-            if !state.reserved.remove(&p) {
-                state.bitmap.clear(p);
-            }
-        }
-        Ok(())
+        self.discard_many(id, &[vblock])
     }
 
     /// Total physically allocated blocks (committed + open transaction).
     pub fn allocated_blocks(&self) -> u64 {
-        let state = self.state.lock();
-        state.bitmap.allocated() + state.reserved.len() as u64
+        let alloc = self.shared.alloc.lock();
+        alloc.bitmap.allocated() + alloc.reserved.len() as u64
     }
 
     /// Free physical blocks.
     pub fn free_blocks(&self) -> u64 {
-        let state = self.state.lock();
-        state.bitmap.free() - state.reserved.len() as u64
+        let alloc = self.shared.alloc.lock();
+        alloc.bitmap.free() - alloc.reserved.len() as u64
     }
 
     /// The pool's volume budget.
@@ -396,7 +505,7 @@ impl ThinPool {
     /// Charges `cost` on `clock` for every mapped volume read, modelling
     /// dm-thin's mapping-btree lookups on the read path.
     pub fn set_read_overhead(&self, clock: SimClock, cost: SimDuration) {
-        self.state.lock().read_overhead = Some((clock, cost));
+        *self.shared.read_overhead.write() = Some((clock, cost));
     }
 
     /// Data-device geometry: block size in bytes.
@@ -405,20 +514,24 @@ impl ThinPool {
     }
 
     /// The decoded metadata exactly as an adversary with device access would
-    /// recover it (current in-memory transaction).
+    /// recover it (current in-memory transaction). Takes the same
+    /// directory → volumes → allocator cut as [`ThinPool::commit`], so the
+    /// view is consistent even while other threads write.
     pub fn metadata_view(&self) -> MetadataView {
-        let state = self.state.lock();
+        let directory = self.shared.directory.read();
+        let volumes: Vec<(VolumeId, parking_lot::MutexGuard<'_, VolumeState>)> =
+            directory.iter().map(|(&id, handle)| (id, handle.lock())).collect();
+        let alloc = self.shared.alloc.lock();
         MetadataView {
-            transaction_id: state.transaction_id,
-            bitmap: state.live_bitmap(),
-            volumes: state
-                .volumes
+            transaction_id: alloc.transaction_id,
+            bitmap: alloc.live_bitmap(),
+            volumes: volumes
                 .iter()
-                .map(|(&id, v)| {
+                .map(|(id, v)| {
                     (
-                        id,
+                        *id,
                         VolumeMeta {
-                            id,
+                            id: *id,
                             virtual_blocks: v.virtual_blocks,
                             mappings: v.mappings.clone(),
                         },
@@ -430,12 +543,15 @@ impl ThinPool {
 
     /// Ids of existing volumes.
     pub fn volume_ids(&self) -> Vec<VolumeId> {
-        self.state.lock().volumes.keys().copied().collect()
+        self.shared.directory.read().keys().copied().collect()
     }
 
     /// Physical blocks mapped by volume `id` (0 if absent).
     pub fn volume_mapped_blocks(&self, id: VolumeId) -> u64 {
-        self.state.lock().volumes.get(&id).map(|v| v.mappings.len() as u64).unwrap_or(0)
+        match self.shared.directory.read().get(&id) {
+            Some(handle) => handle.lock().mappings.len() as u64,
+            None => 0,
+        }
     }
 
     /// Allocates a fresh physical block to `id` at its lowest unmapped
@@ -457,28 +573,28 @@ impl ThinPool {
                 expected: self.data.block_size(),
             });
         }
-        let mut state = self.state.lock();
-        let vol = state
-            .volumes
-            .get(&id)
-            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
-        // Lowest unmapped virtual index.
-        let mut vblock = 0u64;
-        for (&v, _) in vol.mappings.iter() {
-            if v == vblock {
-                vblock += 1;
-            } else {
-                break;
+        let handle = self.shared.volume(id)?;
+        let (vblock, p) = {
+            let mut vol = handle.lock();
+            vol.check_live_pool(id)?;
+            // Lowest unmapped virtual index.
+            let mut vblock = 0u64;
+            for (&v, _) in vol.mappings.iter() {
+                if v == vblock {
+                    vblock += 1;
+                } else {
+                    break;
+                }
             }
-        }
-        if vblock >= vol.virtual_blocks {
-            return Err(BlockDeviceError::NoSpace);
-        }
-        let p = Self::allocate_locked(&mut state)?;
-        state.volumes.get_mut(&id).expect("checked above").mappings.insert(vblock, p);
-        drop(state);
+            if vblock >= vol.virtual_blocks {
+                return Err(BlockDeviceError::NoSpace);
+            }
+            let p = Self::allocate_one(&self.shared)?;
+            vol.mappings.insert(vblock, p);
+            (vblock, p)
+        };
         if let Err(e) = self.data.write_block(p, data) {
-            Self::rollback_staged(&self.state, id, &[(vblock, p)]);
+            Self::rollback_staged(&self.shared, id, &[(vblock, p)]);
             return Err(e);
         }
         Ok(p)
@@ -488,13 +604,17 @@ impl ThinPool {
     /// in volume `id`: the smaller of the pool's free space and the
     /// volume's unmapped virtual space (0 if the volume does not exist).
     pub fn append_headroom(&self, id: VolumeId) -> u64 {
-        let state = self.state.lock();
-        let pool_free = state.bitmap.free() - state.reserved.len() as u64;
-        state
-            .volumes
-            .get(&id)
-            .map(|v| pool_free.min(v.virtual_blocks - v.mappings.len() as u64))
-            .unwrap_or(0)
+        let Ok(handle) = self.shared.volume(id) else {
+            return 0;
+        };
+        let vol = handle.lock();
+        if vol.deleted {
+            return 0;
+        }
+        let volume_free = vol.virtual_blocks - vol.mappings.len() as u64;
+        let alloc = self.shared.alloc.lock();
+        let pool_free = alloc.bitmap.free() - alloc.reserved.len() as u64;
+        pool_free.min(volume_free)
     }
 
     /// Vectored [`ThinPool::append_block`]: allocates up to `blocks.len()`
@@ -520,35 +640,32 @@ impl ThinPool {
         if let Some(bad) = blocks.iter().find(|b| b.len() != bs) {
             return Err(BlockDeviceError::WrongBufferSize { got: bad.len(), expected: bs });
         }
+        let handle = self.shared.volume(id)?;
         let mut writes: Vec<(BlockIndex, &[u8])> = Vec::with_capacity(blocks.len());
         let mut staged: Vec<(u64, u64)> = Vec::with_capacity(blocks.len()); // (vblock, p)
         {
-            let mut state = self.state.lock();
-            let vol = state
-                .volumes
-                .get(&id)
-                .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
+            let mut vol = handle.lock();
+            vol.check_live_pool(id)?;
             let virtual_blocks = vol.virtual_blocks;
             // Walk the lowest unmapped virtual indices, allocating as we go.
             let mut vblock = 0u64;
             for &data in blocks {
-                let vol = state.volumes.get(&id).expect("checked above");
                 while vol.mappings.contains_key(&vblock) {
                     vblock += 1;
                 }
                 if vblock >= virtual_blocks {
                     break; // volume virtual space exhausted: drop the rest
                 }
-                let Ok(p) = Self::allocate_locked(&mut state) else {
+                let Ok(p) = Self::allocate_one(&self.shared) else {
                     break; // pool exhausted: drop the rest
                 };
-                state.volumes.get_mut(&id).expect("checked above").mappings.insert(vblock, p);
+                vol.mappings.insert(vblock, p);
                 staged.push((vblock, p));
                 writes.push((p, data));
             }
         }
         if let Err(e) = self.data.write_blocks(&writes) {
-            Self::rollback_staged(&self.state, id, &staged);
+            Self::rollback_staged(&self.shared, id, &staged);
             return Err(e);
         }
         Ok(writes.len() as u64)
@@ -558,43 +675,59 @@ impl ThinPool {
     /// their (uncommitted) physical reservations. Without this, a mid-batch
     /// device failure would leave virtual blocks pointing at physical
     /// blocks whose data never landed — reads would then expose whatever
-    /// stale bytes sit there.
-    fn rollback_staged(state: &Arc<Mutex<PoolState>>, id: VolumeId, staged: &[(u64, u64)]) {
-        let mut state = state.lock();
-        for &(vblock, p) in staged {
-            if let Some(vol) = state.volumes.get_mut(&id) {
-                vol.mappings.remove(&vblock);
+    /// stale bytes sit there. (Volume lock first, allocator lock after —
+    /// the canonical order.)
+    ///
+    /// A physical block is released only if this call actually removed its
+    /// mapping: if a concurrent `delete_volume` already drained the volume
+    /// (handle gone or tombstoned), the delete released the block, and
+    /// releasing it again here could steal a reservation another volume
+    /// acquired in the meantime.
+    fn rollback_staged(shared: &Arc<PoolShared>, id: VolumeId, staged: &[(u64, u64)]) {
+        let mut unstaged: Vec<u64> = Vec::with_capacity(staged.len());
+        if let Ok(handle) = shared.volume(id) {
+            let mut vol = handle.lock();
+            for &(vblock, p) in staged {
+                if vol.mappings.get(&vblock) == Some(&p) {
+                    vol.mappings.remove(&vblock);
+                    unstaged.push(p);
+                }
             }
-            if !state.reserved.remove(&p) {
-                state.bitmap.clear(p);
-            }
+        }
+        let mut alloc = shared.alloc.lock();
+        for p in unstaged {
+            alloc.release(p);
         }
     }
 
     /// Vectored [`ThinPool::discard`]: releases the physical blocks backing
-    /// many virtual blocks of one volume under a single lock acquisition.
-    /// Unmapped entries are no-ops, exactly like the single-block form.
+    /// many virtual blocks of one volume under a single acquisition of that
+    /// volume's mapping lock. Unmapped entries are no-ops, exactly like the
+    /// single-block form.
     ///
     /// # Errors
     ///
     /// Fails if the volume does not exist.
     pub fn discard_many(&self, id: VolumeId, vblocks: &[u64]) -> Result<(), BlockDeviceError> {
-        let mut state = self.state.lock();
-        let vol = state
-            .volumes
-            .get_mut(&id)
-            .ok_or_else(|| BlockDeviceError::Unsupported { what: format!("no volume {id}") })?;
-        let freed: Vec<u64> = vblocks.iter().filter_map(|v| vol.mappings.remove(v)).collect();
+        let handle = self.shared.volume(id)?;
+        let freed: Vec<u64> = {
+            let mut vol = handle.lock();
+            vol.check_live_pool(id)?;
+            vblocks.iter().filter_map(|v| vol.mappings.remove(v)).collect()
+        };
+        let mut alloc = self.shared.alloc.lock();
         for p in freed {
-            if !state.reserved.remove(&p) {
-                state.bitmap.clear(p);
-            }
+            alloc.release(p);
         }
         Ok(())
     }
 
-    fn allocate_locked(state: &mut PoolState) -> Result<u64, BlockDeviceError> {
-        let PoolState { bitmap, allocator, reserved, .. } = state;
+    /// Allocates one fresh physical block under the allocator lock. The
+    /// caller holds the owning volume's lock, so two volumes allocating
+    /// concurrently contend only for the duration of this call.
+    fn allocate_one(shared: &PoolShared) -> Result<u64, BlockDeviceError> {
+        let mut alloc = shared.alloc.lock();
+        let AllocState { bitmap, allocator, reserved, .. } = &mut *alloc;
         let block = allocator.allocate(bitmap, reserved).ok_or(BlockDeviceError::NoSpace)?;
         debug_assert!(!bitmap.get(block), "allocator returned a committed block");
         let newly = reserved.insert(block);
@@ -603,20 +736,20 @@ impl ThinPool {
     }
 
     fn volume_handle(&self, id: VolumeId, virtual_blocks: u64) -> ThinVolume {
-        ThinVolume {
-            pool_state: Arc::clone(&self.state),
-            data: self.data.clone(),
-            id,
-            virtual_blocks,
-        }
+        ThinVolume { shared: Arc::clone(&self.shared), data: self.data.clone(), id, virtual_blocks }
     }
 }
 
 /// A thin volume: a [`BlockDevice`] whose physical blocks are allocated on
 /// first write from the pool's shared free space.
+///
+/// Each volume's mapping table sits behind its own lock, so clones of
+/// different volumes map batches concurrently; they meet only at the
+/// allocator (fresh blocks) and the data device (whose shard locks allow
+/// parallel copies).
 #[derive(Clone)]
 pub struct ThinVolume {
-    pool_state: Arc<Mutex<PoolState>>,
+    shared: Arc<PoolShared>,
     data: SharedDevice,
     id: VolumeId,
     virtual_blocks: u64,
@@ -637,22 +770,38 @@ impl ThinVolume {
         self.id
     }
 
+    /// This volume's mapping-lock handle, or the "deleted" error every
+    /// I/O path surfaces once the volume is gone.
+    fn handle(&self) -> Result<VolumeHandle, BlockDeviceError> {
+        self.shared.directory.read().get(&self.id).cloned().ok_or_else(|| {
+            BlockDeviceError::Unsupported { what: format!("volume {} deleted", self.id) }
+        })
+    }
+
     /// Physical blocks currently mapped.
     pub fn mapped_blocks(&self) -> u64 {
-        self.pool_state.lock().volumes.get(&self.id).map(|v| v.mappings.len() as u64).unwrap_or(0)
+        match self.handle() {
+            Ok(handle) => handle.lock().mappings.len() as u64,
+            Err(_) => 0,
+        }
     }
 
     /// The physical block backing `vblock`, if mapped.
     pub fn mapping(&self, vblock: u64) -> Option<u64> {
-        self.pool_state.lock().volumes.get(&self.id).and_then(|v| v.mappings.get(&vblock)).copied()
+        self.handle().ok().and_then(|h| h.lock().mappings.get(&vblock).copied())
     }
 
     /// Vectored [`ThinVolume::mapping`]: resolves many virtual blocks under
-    /// one lock acquisition. Out-of-range indices resolve to `None`.
+    /// one acquisition of the volume's mapping lock. Out-of-range indices
+    /// resolve to `None`.
     pub fn mappings_many(&self, vblocks: &[u64]) -> Vec<Option<u64>> {
-        let state = self.pool_state.lock();
-        let vol = state.volumes.get(&self.id);
-        vblocks.iter().map(|v| vol.and_then(|vol| vol.mappings.get(v)).copied()).collect()
+        match self.handle() {
+            Ok(handle) => {
+                let vol = handle.lock();
+                vblocks.iter().map(|v| vol.mappings.get(v).copied()).collect()
+            }
+            Err(_) => vec![None; vblocks.len()],
+        }
     }
 }
 
@@ -667,16 +816,13 @@ impl BlockDevice for ThinVolume {
 
     fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
         self.check_index(index)?;
+        let handle = self.handle()?;
         let mapping = {
-            let state = self.pool_state.lock();
-            let vol = state.volumes.get(&self.id).ok_or_else(|| BlockDeviceError::Unsupported {
-                what: format!("volume {} deleted", self.id),
-            })?;
-            if let Some((clock, cost)) = &state.read_overhead {
-                clock.advance(*cost);
-            }
+            let vol = handle.lock();
+            vol.check_live_volume(self.id)?;
             vol.mappings.get(&index).copied()
         };
+        self.shared.charge_read_overhead(1);
         match mapping {
             Some(p) => self.data.read_block(p),
             // Unmapped thin blocks read as zeros without touching the medium.
@@ -687,18 +833,15 @@ impl BlockDevice for ThinVolume {
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
         self.check_index(index)?;
         self.check_buffer(data)?;
+        let handle = self.handle()?;
         let (physical, fresh) = {
-            let mut state = self.pool_state.lock();
-            if !state.volumes.contains_key(&self.id) {
-                return Err(BlockDeviceError::Unsupported {
-                    what: format!("volume {} deleted", self.id),
-                });
-            }
-            match state.volumes.get(&self.id).expect("checked").mappings.get(&index).copied() {
+            let mut vol = handle.lock();
+            vol.check_live_volume(self.id)?;
+            match vol.mappings.get(&index).copied() {
                 Some(p) => (p, false),
                 None => {
-                    let p = ThinPool::allocate_locked(&mut state)?;
-                    state.volumes.get_mut(&self.id).expect("checked").mappings.insert(index, p);
+                    let p = ThinPool::allocate_one(&self.shared)?;
+                    vol.mappings.insert(index, p);
                     (p, true)
                 }
             }
@@ -707,32 +850,28 @@ impl BlockDevice for ThinVolume {
             // Never leave a fresh mapping pointing at storage whose data
             // did not land (reads would expose stale bytes).
             if fresh {
-                ThinPool::rollback_staged(&self.pool_state, self.id, &[(index, physical)]);
+                ThinPool::rollback_staged(&self.shared, self.id, &[(index, physical)]);
             }
             return Err(e);
         }
         Ok(())
     }
 
-    /// Batched read: resolves every mapping under **one** pool-lock
-    /// acquisition (charging the per-lookup read overhead exactly as the
-    /// single-block path does), then issues one vectored read on the data
-    /// device for the mapped blocks. Unmapped blocks read as zeros.
+    /// Batched read: resolves every mapping under **one** acquisition of
+    /// this volume's mapping lock (charging the per-lookup read overhead
+    /// exactly as the single-block path does), then issues one vectored
+    /// read on the data device for the mapped blocks. Unmapped blocks read
+    /// as zeros. Other volumes' batches resolve concurrently.
     fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
         let bad = indices.iter().position(|&i| i >= self.virtual_blocks);
         let valid = &indices[..bad.unwrap_or(indices.len())];
+        let handle = self.handle()?;
         let mappings: Vec<Option<u64>> = {
-            let state = self.pool_state.lock();
-            let vol = state.volumes.get(&self.id).ok_or_else(|| BlockDeviceError::Unsupported {
-                what: format!("volume {} deleted", self.id),
-            })?;
-            if let Some((clock, cost)) = &state.read_overhead {
-                for _ in valid {
-                    clock.advance(*cost);
-                }
-            }
+            let vol = handle.lock();
+            vol.check_live_volume(self.id)?;
             valid.iter().map(|index| vol.mappings.get(index).copied()).collect()
         };
+        self.shared.charge_read_overhead(valid.len());
         let physical: Vec<u64> = mappings.iter().filter_map(|m| *m).collect();
         let mut mapped_bufs = self.data.read_blocks(&physical)?.into_iter();
         if let Some(pos) = bad {
@@ -751,40 +890,33 @@ impl BlockDevice for ThinVolume {
     }
 
     /// Batched write: resolves or allocates every mapping under **one**
-    /// pool-lock acquisition (consuming the allocator stream in batch
-    /// order, exactly as the sequential loop would), then issues one
-    /// vectored write on the data device. On pool exhaustion mid-batch the
-    /// already-mapped prefix is written before the error surfaces,
-    /// preserving sequential fail-fast semantics; on a *device* error the
-    /// mappings freshly allocated by this call are rolled back so no
-    /// virtual block points at a physical block whose data never landed.
+    /// acquisition of this volume's mapping lock (consuming the allocator
+    /// stream in batch order, exactly as the sequential loop would), then
+    /// issues one vectored write on the data device. Two volumes run this
+    /// concurrently, interleaving only on the allocator lock. On pool
+    /// exhaustion mid-batch the already-mapped prefix is written before
+    /// the error surfaces, preserving sequential fail-fast semantics; on a
+    /// *device* error the mappings freshly allocated by this call are
+    /// rolled back so no virtual block points at a physical block whose
+    /// data never landed.
     fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
         let mut staged: Vec<(BlockIndex, &[u8])> = Vec::with_capacity(writes.len());
         let mut fresh: Vec<(u64, u64)> = Vec::new(); // (vblock, p) allocated here
         let mut first_error = None;
+        let handle = self.handle()?;
         {
-            let mut state = self.pool_state.lock();
-            if !state.volumes.contains_key(&self.id) {
-                return Err(BlockDeviceError::Unsupported {
-                    what: format!("volume {} deleted", self.id),
-                });
-            }
+            let mut vol = handle.lock();
+            vol.check_live_volume(self.id)?;
             for &(index, data) in writes {
                 if let Err(e) = self.check_index(index).and_then(|()| self.check_buffer(data)) {
                     first_error = Some(e);
                     break;
                 }
-                let vol = state.volumes.get(&self.id).expect("checked above");
                 let physical = match vol.mappings.get(&index).copied() {
                     Some(p) => p,
-                    None => match ThinPool::allocate_locked(&mut state) {
+                    None => match ThinPool::allocate_one(&self.shared) {
                         Ok(p) => {
-                            state
-                                .volumes
-                                .get_mut(&self.id)
-                                .expect("checked above")
-                                .mappings
-                                .insert(index, p);
+                            vol.mappings.insert(index, p);
                             fresh.push((index, p));
                             p
                         }
@@ -798,7 +930,7 @@ impl BlockDevice for ThinVolume {
             }
         }
         if let Err(e) = self.data.write_blocks(&staged) {
-            ThinPool::rollback_staged(&self.pool_state, self.id, &fresh);
+            ThinPool::rollback_staged(&self.shared, self.id, &fresh);
             return Err(e);
         }
         match first_error {
@@ -1069,6 +1201,146 @@ mod tests {
         assert_eq!(v.mapping(20), None, "single-block failure unmapped");
         assert_eq!(v.read_block(0).unwrap(), vec![0u8; 512]);
         assert_eq!(v.read_block(20).unwrap(), vec![0u8; 512]);
+    }
+
+    #[test]
+    fn two_volumes_map_batches_concurrently_without_aliasing() {
+        // The split locks: both volumes' mapping passes run from separate
+        // threads. Whatever the interleaving, the physical blocks stay
+        // disjoint, both volumes read back their own data, and the pool's
+        // accounting matches the per-volume sums.
+        let (data, meta) = devices(4096, 128);
+        let p = Arc::new(
+            ThinPool::create(data, meta, PoolConfig::new(8), AllocStrategy::Random).unwrap(),
+        );
+        let a = p.create_volume(1, 2048).unwrap();
+        let b = p.create_volume(2, 2048).unwrap();
+        std::thread::scope(|s| {
+            for (vol, fill) in [(a.clone(), 0xAAu8), (b.clone(), 0xBBu8)] {
+                s.spawn(move || {
+                    let data = vec![fill; 512];
+                    for round in 0..8u64 {
+                        let batch: Vec<(u64, &[u8])> =
+                            (0..32).map(|i| (round * 32 + i, data.as_slice())).collect();
+                        vol.write_blocks(&batch).unwrap();
+                    }
+                });
+            }
+        });
+        for i in 0..256u64 {
+            assert_eq!(a.read_block(i).unwrap(), vec![0xAA; 512], "a[{i}]");
+            assert_eq!(b.read_block(i).unwrap(), vec![0xBB; 512], "b[{i}]");
+        }
+        let view = p.metadata_view();
+        let pa: HashSet<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let pb: HashSet<u64> = view.volumes[&2].mappings.values().copied().collect();
+        assert_eq!(pa.len(), 256);
+        assert_eq!(pb.len(), 256);
+        assert!(pa.is_disjoint(&pb), "volumes must never share a physical block");
+        assert_eq!(p.allocated_blocks(), 512);
+        // A commit taken now persists exactly this cut.
+        p.commit().unwrap();
+        assert_eq!(p.metadata_view().bitmap.allocated(), 512);
+    }
+
+    #[test]
+    fn commit_races_with_batched_writers_consistently() {
+        // The commit barrier (all volume locks + allocator) must always
+        // persist a bitmap that covers every persisted mapping, no matter
+        // when it cuts into concurrent writers.
+        let (data, meta) = devices(4096, 128);
+        let p = Arc::new(
+            ThinPool::create(data, meta, PoolConfig::new(8), AllocStrategy::Random).unwrap(),
+        );
+        let v = p.create_volume(1, 2048).unwrap();
+        std::thread::scope(|s| {
+            let pool = Arc::clone(&p);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    pool.commit().unwrap();
+                }
+            });
+            let vol = v.clone();
+            s.spawn(move || {
+                let data = vec![0x5Cu8; 512];
+                for round in 0..16u64 {
+                    let batch: Vec<(u64, &[u8])> =
+                        (0..16).map(|i| (round * 16 + i, data.as_slice())).collect();
+                    vol.write_blocks(&batch).unwrap();
+                }
+            });
+        });
+        p.commit().unwrap();
+        let view = p.metadata_view();
+        for &phys in view.volumes[&1].mappings.values() {
+            assert!(view.bitmap.get(phys), "mapping at {phys} must be accounted allocated");
+        }
+    }
+
+    #[test]
+    fn delete_tombstone_blocks_stale_handles() {
+        // The race the tombstone closes: a writer resolved its volume
+        // handle from the directory *before* delete_volume landed. The
+        // deleted flag — set and drained under the volume's own lock —
+        // must stop it from allocating into the orphaned state (which
+        // would leak the block into the committed bitmap forever).
+        let p = pool(AllocStrategy::Sequential);
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(0, &vec![1u8; 512]).unwrap();
+        let stale = p.shared.volume(1).unwrap(); // the pre-delete handle
+        p.delete_volume(1).unwrap();
+        {
+            let vol = stale.lock();
+            assert!(vol.deleted, "tombstone set under the volume lock");
+            assert!(vol.mappings.is_empty(), "mappings drained by delete");
+            assert!(vol.check_live_pool(1).is_err());
+            assert!(vol.check_live_volume(1).is_err());
+        }
+        // Every public path errors and allocates nothing.
+        assert!(v.write_block(0, &vec![1u8; 512]).is_err());
+        assert!(v.write_blocks(&[(0, &vec![1u8; 512][..])]).is_err());
+        assert!(v.read_block(0).is_err());
+        assert!(p.append_block(1, &vec![1u8; 512]).is_err());
+        assert_eq!(p.append_headroom(1), 0);
+        assert_eq!(p.allocated_blocks(), 0, "nothing may leak past the tombstone");
+        p.commit().unwrap();
+        assert_eq!(p.metadata_view().bitmap.allocated(), 0);
+    }
+
+    #[test]
+    fn delete_racing_concurrent_writers_never_leaks() {
+        // Stress the same race end-to-end: writers hammer a volume while
+        // it is deleted. Whoever wins each interleaving, every allocated
+        // physical block must end up released — the pool accounting
+        // always returns to zero.
+        for round in 0..8u64 {
+            let (data, meta) = devices(512, 128);
+            let p = Arc::new(
+                ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential)
+                    .unwrap(),
+            );
+            let v = p.create_volume(1, 400).unwrap();
+            std::thread::scope(|s| {
+                for t in 0..2u64 {
+                    let vol = v.clone();
+                    s.spawn(move || {
+                        let buf = vec![1u8; 512];
+                        for i in 0..60u64 {
+                            // Errors ("volume deleted", NoSpace) are the
+                            // expected outcome once the delete lands.
+                            let _ = vol.write_block(t * 60 + i, &buf);
+                        }
+                    });
+                }
+                let pool = Arc::clone(&p);
+                s.spawn(move || {
+                    let _ = pool.delete_volume(1);
+                });
+            });
+            assert_eq!(p.allocated_blocks(), 0, "round {round}: leaked physical blocks");
+            p.commit().unwrap();
+            assert_eq!(p.metadata_view().bitmap.allocated(), 0, "round {round}: leak committed");
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub mod bonnie;
 pub mod dd;
 pub mod iozone;
+pub mod multi_tenant;
 pub mod report;
 pub mod stacks;
 pub mod table1;
@@ -24,6 +25,7 @@ pub mod table1;
 pub use bonnie::{BonnieResult, BonnieWorkload};
 pub use dd::{DdResult, DdWorkload};
 pub use iozone::{IozoneResult, IozoneWorkload};
+pub use multi_tenant::{MultiTenantResult, MultiTenantWorkload};
 pub use report::{render_table, Cell, Table};
 pub use stacks::{build_stack, StackConfig, StackHandle};
 pub use table1::{defy_row, hive_row, mobiceal_row, Table1Row};

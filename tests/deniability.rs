@@ -273,6 +273,75 @@ fn batch_amortization_opens_no_timing_channel() {
 }
 
 #[test]
+fn sharded_queue_depth_charging_is_world_independent() {
+    // PR 5's new machinery — shard locks and CQE queue-depth charging —
+    // must open no timing channel: identical batch shapes driven at an
+    // identical queue depth charge identical time and op mix whether the
+    // trace targets the public world or a hidden world. The depth floor
+    // pins the queue deterministically (the in-flight counter depends on
+    // scheduling, the charge rule does not); the trigger is quiesced with
+    // x = 1 exactly as in batch_amortization_opens_no_timing_channel.
+    use mobiceal::{MobiCeal, MobiCealConfig};
+    use mobiceal_blockdev::{DeviceStats, MemDisk, SharedDevice};
+    use mobiceal_sim::{EmmcCostModel, SimClock};
+    use std::sync::Arc;
+
+    let run_world = |hidden_world: bool, depth_floor: usize, seed: u64| -> (u64, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::with_cost_model(
+            8192,
+            4096,
+            clock.clone(),
+            Arc::new(EmmcCostModel::emmc51_cqe()),
+        ));
+        disk.set_queue_depth_floor(depth_floor);
+        let mc = MobiCeal::initialize(
+            disk.clone() as SharedDevice,
+            clock.clone(),
+            MobiCealConfig {
+                num_volumes: 6,
+                pbkdf2_iterations: 4,
+                metadata_blocks: 64,
+                x: 1, // quiesce the dummy trigger deterministically
+                ..Default::default()
+            },
+            "decoy",
+            &["hidden-a", "hidden-b"],
+            seed,
+        )
+        .unwrap();
+        let vol: Box<dyn mobiceal_blockdev::BlockDevice> = if hidden_world {
+            Box::new(mc.unlock_hidden("hidden-a").unwrap())
+        } else {
+            Box::new(mc.unlock_public("decoy").unwrap())
+        };
+        disk.reset_stats();
+        let elapsed = run_write_trace(vol.as_ref(), &clock);
+        (elapsed.as_nanos(), disk.stats())
+    };
+
+    for depth_floor in [1usize, 4, 32] {
+        for seed in [5u64, 41] {
+            let (public_time, public_stats) = run_world(false, depth_floor, seed);
+            let (hidden_time, hidden_stats) = run_world(true, depth_floor, seed);
+            assert_eq!(
+                public_time, hidden_time,
+                "identical shapes at depth {depth_floor} must charge identical time (seed {seed})"
+            );
+            assert_eq!(
+                public_stats, hidden_stats,
+                "identical shapes at depth {depth_floor} must leave identical op mixes"
+            );
+        }
+    }
+    // And the depth dimension itself only discounts — deeper queues never
+    // make a world's trace dearer (no inverse channel either).
+    let (shallow, _) = run_world(false, 1, 5);
+    let (deep, _) = run_world(false, 32, 5);
+    assert!(deep < shallow, "CQE overlap must discount the batched trace");
+}
+
+#[test]
 fn baseline_batch_shapes_are_world_independent() {
     // Batching must not open a *new* timing channel in the baselines: the
     // device-visible shape of a batched HIVE shuffle or DEFY append run —
