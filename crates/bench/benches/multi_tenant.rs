@@ -1,12 +1,16 @@
 //! Wall-clock benchmark of the `multi_tenant` workload: the same four
-//! tenant streams (public + hidden volumes + SimFs) executed by 1, 2 and 4
-//! worker threads through one MobiCeal device.
+//! tenant streams (public + hidden volumes + SimFs) executed two ways —
+//! thread-per-tenant (1, 2 and 4 worker threads) and engine-driven (one
+//! thread round-robining per-tenant `IoEngine` rings at queue depth 1, 4,
+//! 8 and 32).
 //!
 //! On a multi-core host the sharded MemDisk, the split thin-pool locks and
 //! the CQE queue-depth model let the N-worker runs beat the 1-worker run
-//! in wall clock (and, on the CQE medium, in simulated time). On a 1-vCPU
-//! container the wall-clock numbers show parity — see the labeled
-//! recordings in EXPERIMENTS.md and BENCH_fig4.json.
+//! in wall clock (and, on the CQE medium, in simulated time). The engine
+//! sweep shows the same simulated-time overlap from a single thread: ring
+//! occupancy, not thread count, is what the medium's command queue sees.
+//! On a 1-vCPU container the wall-clock numbers show parity — see the
+//! labeled recordings in EXPERIMENTS.md and BENCH_fig4.json.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mobiceal_workloads::MultiTenantWorkload;
@@ -25,6 +29,16 @@ fn bench_multi_tenant(c: &mut Criterion) {
             r.host_cpus
         );
     }
+    for qd in [1usize, 4, 8, 32] {
+        let r = workload.run_engine(qd).expect("multi-tenant engine run");
+        println!(
+            "multi_tenant/engine_qd={}: simulated {} for {} MiB ({} host CPUs, 1 thread)",
+            r.ring_depth,
+            r.simulated,
+            r.bytes_written >> 20,
+            r.host_cpus
+        );
+    }
 
     let mut group = c.benchmark_group("multi_tenant");
     let bytes = {
@@ -35,6 +49,11 @@ fn bench_multi_tenant(c: &mut Criterion) {
     for workers in [1usize, 2, 4] {
         group.bench_function(&format!("workers_{workers}"), |b| {
             b.iter(|| workload.run(workers).expect("multi-tenant run"))
+        });
+    }
+    for qd in [1usize, 4, 8, 32] {
+        group.bench_function(&format!("engine_qd_{qd}"), |b| {
+            b.iter(|| workload.run_engine(qd).expect("multi-tenant engine run"))
         });
     }
     group.finish();

@@ -176,6 +176,26 @@ pub trait BlockDevice: Send + Sync {
             Ok(())
         }
     }
+
+    /// Registers one queued-but-not-yet-executing command against the
+    /// device's host queue.
+    ///
+    /// This is the hook a submission/completion engine (see
+    /// `mobiceal_blockdev::engine`) uses to make queue-depth charging
+    /// reflect real ring occupancy: a command occupies a host queue slot
+    /// from submission until it executes, and while it is registered the
+    /// device charges commands that execute alongside it at the deeper
+    /// depth (`CostModel::batch_cost_at_depth`). Pure pass-through layers
+    /// forward the call to their backing device so the registration lands
+    /// on the medium that models the queue; the default is a no-op for
+    /// devices with no queue model. Every call must be balanced by exactly
+    /// one [`BlockDevice::host_queue_leave`].
+    fn host_queue_enter(&self) {}
+
+    /// Releases one [`BlockDevice::host_queue_enter`] registration — called
+    /// when the queued command starts executing (the device's own
+    /// in-flight accounting takes over) or is abandoned unexecuted.
+    fn host_queue_leave(&self) {}
 }
 
 /// Forwards a vectored read through an index-remapping layer (dm-linear,
@@ -256,6 +276,14 @@ impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
 
     fn flush(&self) -> Result<(), BlockDeviceError> {
         (**self).flush()
+    }
+
+    fn host_queue_enter(&self) {
+        (**self).host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        (**self).host_queue_leave();
     }
 }
 

@@ -13,6 +13,11 @@
 //! [`BlockDevice`], so any block-based file system can be deployed on any
 //! layer — the paper's "file system friendly" design principle.
 //!
+//! [`IoEngine`] adds an AHCI/io_uring-style bounded submission/completion
+//! ring over any device: one thread keeps up to `ring_depth` batches in
+//! flight, and queue-capable cost profiles charge the overlapped commands
+//! at the resulting genuine queue depth (see the [`engine`] module docs).
+//!
 //! # Example
 //!
 //! ```
@@ -27,6 +32,7 @@
 //! ```
 
 mod device;
+pub mod engine;
 mod memdisk;
 mod snapshot;
 mod stats;
@@ -35,6 +41,7 @@ pub use device::{
     read_blocks_remapped, write_blocks_remapped, BlockDevice, BlockDeviceError, BlockIndex,
     SharedDevice,
 };
+pub use engine::{Completion, EngineDevice, IoEngine, IoOutput, Ticket, WouldBlock};
 pub use memdisk::{FaultInjection, MemDisk};
 pub use snapshot::DiskSnapshot;
 pub use stats::{AtomicDeviceStats, DeviceStats, OpCounter};

@@ -25,9 +25,14 @@
 //! * **Queue depth** — an in-flight counter models the host keeping
 //!   several commands outstanding: a batch submitted while `k` others are
 //!   in flight charges [`CostModel::batch_cost_at_depth`] at depth `k+1`
-//!   (saturating at the profile's hardware queue depth). A lone command —
-//!   every single-threaded caller — observes depth 1 and charges the
-//!   pre-CQE cost bit for bit.
+//!   (saturating at the profile's hardware queue depth). The counter is
+//!   fed two ways: executing commands register themselves for the
+//!   duration of the call, and a submission/completion engine
+//!   (`mobiceal_blockdev::engine`) registers every queued-but-unexecuted
+//!   ring slot via [`BlockDevice::host_queue_enter`], so the depth a
+//!   command is charged at equals the genuine ring occupancy it overlaps
+//!   with. A lone command — every single-threaded caller without a ring —
+//!   observes depth 1 and charges the pre-CQE cost bit for bit.
 
 use crate::device::{BlockDevice, BlockDeviceError, BlockIndex};
 use crate::snapshot::DiskSnapshot;
@@ -71,12 +76,14 @@ struct DiskShared {
     shards: Box<[Mutex<Vec<u8>>]>,
     stats: AtomicDeviceStats,
     cmd: Mutex<CmdState>,
-    /// Commands currently being executed against the device, across all
-    /// threads — the simulated host controller's occupancy.
+    /// Commands currently executing or occupying a host queue slot
+    /// ([`BlockDevice::host_queue_enter`]), across all threads — the
+    /// simulated host controller's occupancy.
     in_flight: AtomicUsize,
-    /// Deterministic lower bound on the charged queue depth (default 1):
-    /// models a driver that keeps this many commands outstanding. Tests
-    /// use it to exercise queue-depth charging without racing threads.
+    /// Deterministic lower bound on the charged queue depth (default 1).
+    /// Test-only: real overlap (threads or the submission engine) drives
+    /// depth in production code.
+    #[cfg(any(test, feature = "test-hooks"))]
     depth_floor: AtomicUsize,
 }
 
@@ -185,6 +192,7 @@ impl MemDisk {
                     total_ops: 0,
                 }),
                 in_flight: AtomicUsize::new(0),
+                #[cfg(any(test, feature = "test-hooks"))]
                 depth_floor: AtomicUsize::new(1),
             }),
             num_blocks,
@@ -218,9 +226,14 @@ impl MemDisk {
     /// Pins the minimum queue depth every command is charged at, as if a
     /// driver always kept `floor` commands outstanding (clamped to at
     /// least 1; the cost model further saturates it at its hardware
-    /// queue depth, so the default profiles are unaffected). The
-    /// deterministic handle on CQE charging: unlike the in-flight counter
-    /// it does not depend on thread scheduling.
+    /// queue depth, so the default profiles are unaffected).
+    ///
+    /// **Test hook only** (`cfg(any(test, feature = "test-hooks"))`): it
+    /// exists so properties can pin the depth-`d` charge a command *would*
+    /// take and compare it against real overlap. Production depth comes
+    /// from genuine occupancy — concurrent callers and the submission
+    /// engine's ring slots (`mobiceal_blockdev::engine`).
+    #[cfg(any(test, feature = "test-hooks"))]
     pub fn set_queue_depth_floor(&self, floor: usize) {
         self.shared.depth_floor.store(floor.max(1), Ordering::SeqCst);
     }
@@ -296,11 +309,15 @@ impl MemDisk {
     }
 
     /// The queue depth this command is charged at: the controller's
-    /// current occupancy (including this command), at least the pinned
-    /// floor. Call after [`MemDisk::begin_command`].
+    /// current occupancy (including this command, plus any queued ring
+    /// slots registered via [`BlockDevice::host_queue_enter`]). Call after
+    /// [`MemDisk::begin_command`]. Test builds additionally respect the
+    /// pinned floor.
     fn observed_depth(&self) -> usize {
         let occupancy = self.shared.in_flight.load(Ordering::SeqCst);
-        occupancy.max(self.shared.depth_floor.load(Ordering::SeqCst)).max(1)
+        #[cfg(any(test, feature = "test-hooks"))]
+        let occupancy = occupancy.max(self.shared.depth_floor.load(Ordering::SeqCst));
+        occupancy.max(1)
     }
 
     /// Incremental coster for one batched call: the blocks of a
@@ -508,6 +525,17 @@ impl BlockDevice for MemDisk {
         self.clock.advance(t);
         self.shared.stats.record(OpKind::Flush, 0, t);
         Ok(())
+    }
+
+    /// A queued-but-unexecuted command (a submission-engine ring slot)
+    /// occupies the host controller exactly like an executing one: later
+    /// commands overlap it and are charged at the deeper queue depth.
+    fn host_queue_enter(&self) {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn host_queue_leave(&self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -767,6 +795,48 @@ mod tests {
             "a depth-1 medium ignores the queue"
         );
         assert_eq!(synchronous.stats(), control.stats());
+    }
+
+    #[test]
+    fn host_queue_registrations_drive_charged_depth() {
+        // Two queued (unexecuted) host-queue slots plus the executing
+        // command itself make occupancy 3, so the direct write charges
+        // exactly what a pinned depth floor of 3 charges.
+        let mk = || {
+            MemDisk::with_cost_model(
+                64,
+                4096,
+                SimClock::new(),
+                Arc::new(EmmcCostModel::emmc51_cqe()),
+            )
+        };
+        let data = vec![7u8; 4096];
+        let writes: Vec<(BlockIndex, &[u8])> =
+            (0..16u64).map(|b| (b * 2, data.as_slice())).collect();
+
+        let queued = mk();
+        queued.host_queue_enter();
+        queued.host_queue_enter();
+        queued.write_blocks(&writes).unwrap();
+        queued.host_queue_leave();
+        queued.host_queue_leave();
+
+        let floored = mk();
+        floored.set_queue_depth_floor(3);
+        floored.write_blocks(&writes).unwrap();
+        assert_eq!(queued.clock().now(), floored.clock().now());
+        assert_eq!(queued.stats(), floored.stats());
+
+        // A balanced enter/leave pair leaves no residue: charges return
+        // to the depth-1 baseline.
+        let baseline = mk();
+        baseline.write_blocks(&writes).unwrap();
+        let released = mk();
+        released.host_queue_enter();
+        released.host_queue_leave();
+        released.write_blocks(&writes).unwrap();
+        assert_eq!(released.clock().now(), baseline.clock().now());
+        assert_eq!(released.stats(), baseline.stats());
     }
 
     #[test]

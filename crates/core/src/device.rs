@@ -472,6 +472,14 @@ impl BlockDevice for UnlockedVolume {
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.inner.flush()
     }
+
+    fn host_queue_enter(&self) {
+        self.inner.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.inner.host_queue_leave();
+    }
 }
 
 /// Builds the encrypted header block proving knowledge of `password`

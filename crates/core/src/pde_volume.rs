@@ -163,6 +163,14 @@ impl BlockDevice for PdeVolume {
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.inner.flush()
     }
+
+    fn host_queue_enter(&self) {
+        self.inner.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.inner.host_queue_leave();
+    }
 }
 
 #[cfg(test)]

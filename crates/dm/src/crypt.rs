@@ -284,6 +284,14 @@ impl BlockDevice for DmCrypt {
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.backing.flush()
     }
+
+    fn host_queue_enter(&self) {
+        self.backing.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.backing.host_queue_leave();
+    }
 }
 
 #[cfg(test)]

@@ -94,6 +94,14 @@ pub trait CostModel: Send + Sync + std::fmt::Debug {
     /// [`CostModel::batch_cost`], so plain models and depth-1 media are
     /// bit-identical to the pre-CQE model.
     ///
+    /// In production the `depth` argument comes from genuine host-side
+    /// queueing: `mobiceal_blockdev::IoEngine` registers every occupied
+    /// ring slot with the device (`BlockDevice::host_queue_enter`), and
+    /// the device charges the executing command at the resulting slot
+    /// occupancy. Draining a ring of `k` batches therefore charges a
+    /// descending depth ladder `k, k-1, …, 1` — the shape pinned by the
+    /// `drain_ladder_is_bounded_and_monotone` property.
+    ///
     /// Implementations must keep (pinned by `crates/sim/tests/cost_props.rs`):
     ///
     /// 1. `batch_cost_at_depth(op, n, b, 1) == batch_cost(op, n, b)` —

@@ -157,4 +157,42 @@ proptest! {
             prop_assert!(at_depth.as_nanos() >= transfer);
         }
     }
+
+    /// Draining a submission ring of `k` equal batches charges the depth
+    /// ladder `k, k-1, …, 1` (each execution sees one fewer slot occupied —
+    /// the shape `mobiceal_blockdev::IoEngine` produces). The ladder total
+    /// is bracketed by the fully-overlapped and fully-sequential sums, and
+    /// the *average* per-batch charge is monotone non-increasing in `k`:
+    /// keeping a deeper ring full never makes a batch dearer.
+    #[test]
+    fn drain_ladder_is_bounded_and_monotone(
+        k in 1usize..48,
+        blocks in 1usize..32,
+        bs_sel in 0usize..2,
+        op_idx in 0usize..4,
+    ) {
+        let op = transfer_ops()[op_idx];
+        let block_size = [512usize, 4096][bs_sel];
+        let bytes = blocks * block_size;
+        for m in profiles() {
+            let ladder: Vec<u64> = (1..=k + 1)
+                .rev()
+                .map(|d| m.batch_cost_at_depth(op, blocks, bytes, d).as_nanos())
+                .collect();
+            let total_k: u64 = ladder[1..].iter().sum();
+            let total_k1: u64 = ladder.iter().sum();
+            let sequential = m.batch_cost(op, blocks, bytes).as_nanos() * k as u64;
+            let hw = CostModel::queue_depth(&m);
+            let saturated =
+                m.batch_cost_at_depth(op, blocks, bytes, hw).as_nanos() * k as u64;
+            prop_assert!(total_k <= sequential, "ladder never beats sequential upward");
+            prop_assert!(total_k >= saturated, "ladder never beats full overlap downward");
+            // avg(k+1) <= avg(k), compared exactly via cross-multiplication.
+            prop_assert!(
+                total_k1 * k as u64 <= total_k * (k as u64 + 1),
+                "average per-batch charge must not rise with ring depth: {:?} {:?} k={}",
+                m, op, k
+            );
+        }
+    }
 }

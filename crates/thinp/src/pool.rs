@@ -942,6 +942,14 @@ impl BlockDevice for ThinVolume {
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.data.flush()
     }
+
+    fn host_queue_enter(&self) {
+        self.data.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.data.host_queue_leave();
+    }
 }
 
 #[cfg(test)]

@@ -342,6 +342,91 @@ fn sharded_queue_depth_charging_is_world_independent() {
 }
 
 #[test]
+fn engine_completion_and_reordering_are_world_independent() {
+    // The submission/completion engine adds new timing machinery — slot
+    // occupancy drives the charged queue depth, and execution is deferred
+    // until completions are reaped. None of it may depend on which world a
+    // ring serves: identical batch shapes pushed through identically sized
+    // rings charge identical simulated time and leave identical op mixes
+    // whether the volume is public or hidden, at every ring depth. The
+    // trigger is quiesced with x = 1 exactly as in
+    // batch_amortization_opens_no_timing_channel.
+    use mobiceal::{MobiCeal, MobiCealConfig};
+    use mobiceal_blockdev::{DeviceStats, IoEngine, MemDisk, SharedDevice};
+    use mobiceal_sim::{EmmcCostModel, SimClock};
+    use std::sync::Arc;
+
+    let run_world = |hidden_world: bool, ring_depth: usize, seed: u64| -> (u64, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::with_cost_model(
+            8192,
+            4096,
+            clock.clone(),
+            Arc::new(EmmcCostModel::emmc51_cqe()),
+        ));
+        let mc = MobiCeal::initialize(
+            disk.clone() as SharedDevice,
+            clock.clone(),
+            MobiCealConfig {
+                num_volumes: 6,
+                pbkdf2_iterations: 4,
+                metadata_blocks: 64,
+                x: 1, // quiesce the dummy trigger deterministically
+                ..Default::default()
+            },
+            "decoy",
+            &["hidden-a", "hidden-b"],
+            seed,
+        )
+        .unwrap();
+        let vol = if hidden_world {
+            mc.unlock_hidden("hidden-a").unwrap()
+        } else {
+            mc.unlock_public("decoy").unwrap()
+        };
+        disk.reset_stats();
+        let engine = IoEngine::new(vol, ring_depth);
+        let data = vec![0xC3u8; 4096];
+        let t0 = clock.now();
+        // Submit the whole trace before reaping anything: the ring holds
+        // up to `ring_depth` batches in flight (a full ring self-serves
+        // the oldest slot), then `drain` retires the rest out of order
+        // with respect to the submissions still queued.
+        let mut base = 0u64;
+        for &shape in &TRACE_SHAPES {
+            let batch: Vec<(u64, &[u8])> =
+                (0..shape as u64).map(|i| (base + i, data.as_slice())).collect();
+            engine.submit_write_blocks(&batch);
+            base += shape as u64;
+        }
+        for (_, result) in engine.drain() {
+            result.unwrap();
+        }
+        ((clock.now() - t0).as_nanos(), disk.stats())
+    };
+
+    for ring_depth in [1usize, 8, 32] {
+        for seed in [5u64, 41] {
+            let (public_time, public_stats) = run_world(false, ring_depth, seed);
+            let (hidden_time, hidden_stats) = run_world(true, ring_depth, seed);
+            assert_eq!(
+                public_time, hidden_time,
+                "identical shapes through a depth-{ring_depth} ring must charge identical time (seed {seed})"
+            );
+            assert_eq!(
+                public_stats, hidden_stats,
+                "identical shapes through a depth-{ring_depth} ring must leave identical op mixes"
+            );
+        }
+    }
+    // Ring occupancy is genuine queueing: the deep ring discounts the
+    // trace relative to the synchronous ring, in both worlds equally.
+    let (shallow, _) = run_world(false, 1, 5);
+    let (deep, _) = run_world(false, 32, 5);
+    assert!(deep < shallow, "ring overlap must discount the batched trace");
+}
+
+#[test]
 fn baseline_batch_shapes_are_world_independent() {
     // Batching must not open a *new* timing channel in the baselines: the
     // device-visible shape of a batched HIVE shuffle or DEFY append run —
