@@ -362,7 +362,10 @@ mod tests {
             data.extend_from_slice(b1);
             let snapshot = DiskSnapshot::new(256, 2, data);
             let mut volumes = BTreeMap::new();
-            volumes.insert(1, VolumeMeta { id: 1, virtual_blocks: 4, mappings: BTreeMap::new() });
+            volumes.insert(
+                1,
+                VolumeMeta { id: 1, virtual_blocks: 4, mappings: mobiceal_thinp::ExtentMap::new() },
+            );
             Observation {
                 snapshot,
                 metadata: Some(MetadataView { transaction_id: 0, bitmap: Bitmap::new(2), volumes }),

@@ -42,7 +42,7 @@ impl Observation {
         self.metadata
             .as_ref()
             .and_then(|m| m.volumes.get(&id))
-            .map(|v| v.mappings.values().copied().collect())
+            .map(|v| v.mappings.values().collect())
             .unwrap_or_default()
     }
 
@@ -86,7 +86,7 @@ mod tests {
     #[test]
     fn metadata_accessors() {
         let mut volumes = BTreeMap::new();
-        let mut mappings = BTreeMap::new();
+        let mut mappings = mobiceal_thinp::ExtentMap::new();
         mappings.insert(0u64, 5u64);
         mappings.insert(1u64, 9u64);
         volumes.insert(2, VolumeMeta { id: 2, virtual_blocks: 16, mappings });

@@ -23,10 +23,17 @@
 //! only after an extent has landed, so a mid-batch device error never
 //! advances the head past what is on the medium.
 
+use crate::persist::{map_to_ops, StateJournal};
 use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use mobiceal_crypto::{sha256, Aes256, CbcEssiv, SectorCipher};
 use mobiceal_sim::{CpuCostModel, SimClock};
+use mobiceal_thinp::DeltaOp;
 use parking_lot::Mutex;
+
+/// State-journal register ids (see [`DefyLite::commit`]).
+const REG_HEAD: u32 = 0;
+const REG_EPOCH: u32 = 1;
+const REG_CLEANINGS: u32 = 2;
 
 struct DefyState {
     /// logical → log position of the current version.
@@ -161,6 +168,103 @@ impl DefyLite {
         state.head = live.len() as u64;
         state.cleanings += 1;
         self.dev.flush()
+    }
+
+    /// Persists the store's committed state into `journal` as one
+    /// [`StateJournal`] transaction: the log head, epoch and cleaning
+    /// counters ride [`DeltaOp::Register`]s and the position map rides
+    /// run-length [`DeltaOp::SetMapping`] extents. Returns the committed
+    /// transaction id.
+    ///
+    /// The log itself is flushed first, so the journaled state never names
+    /// log positions that are not on the medium.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the flush or the journal commit.
+    pub fn commit(&self, journal: &StateJournal) -> Result<u64, BlockDeviceError> {
+        self.dev.flush()?;
+        let state = self.state.lock();
+        let mut ops = vec![
+            DeltaOp::Register { key: REG_HEAD, value: state.head },
+            DeltaOp::Register { key: REG_EPOCH, value: state.epoch },
+            DeltaOp::Register { key: REG_CLEANINGS, value: state.cleanings },
+        ];
+        map_to_ops(&state.map, &mut ops);
+        journal.commit(ops)
+    }
+
+    /// Remounts a store from the state last committed to `journal`. A fresh
+    /// journal (nothing ever committed) yields an empty store, like
+    /// [`DefyLite::new`].
+    ///
+    /// Key-chain rederivation is charged per epoch: recovery replays the
+    /// same hash chain regardless of what the log contains, so remount cost
+    /// depends only on the committed counters.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::CorruptMetadata`] if the journaled state is
+    /// internally inconsistent (missing registers, out-of-range or
+    /// double-mapped log positions, mappings beyond the head).
+    pub fn open(
+        dev: SharedDevice,
+        journal: &StateJournal,
+        clock: SimClock,
+        n_logical: u64,
+        root_key: [u8; 32],
+    ) -> Result<Self, BlockDeviceError> {
+        let store = Self::new(dev, clock, n_logical, root_key)?;
+        let Some((_txid, ops)) = journal.load()? else {
+            return Ok(store);
+        };
+        let corrupt = |detail: String| BlockDeviceError::CorruptMetadata { detail };
+        let mut state = store.state.lock();
+        let mut regs: [Option<u64>; 3] = [None; 3];
+        for op in ops {
+            match op {
+                DeltaOp::Register { key, value } if (key as usize) < regs.len() => {
+                    regs[key as usize] = Some(value);
+                }
+                DeltaOp::SetMapping { id: 0, extent } => {
+                    let virt_end = extent.virt_begin.checked_add(extent.len);
+                    let data_end = extent.data_begin.checked_add(extent.len);
+                    if virt_end.is_none_or(|e| e > n_logical)
+                        || data_end.is_none_or(|e| e > store.log_blocks)
+                    {
+                        return Err(corrupt("defy mapping extent out of range".into()));
+                    }
+                    for i in 0..extent.len {
+                        let logical = (extent.virt_begin + i) as usize;
+                        let pos = extent.data_begin + i;
+                        if state.inverse[pos as usize].is_some() || state.map[logical].is_some() {
+                            return Err(corrupt(format!("defy log position {pos} mapped twice")));
+                        }
+                        state.map[logical] = Some(pos);
+                        state.inverse[pos as usize] = Some(logical as u64);
+                    }
+                }
+                other => return Err(corrupt(format!("unexpected defy journal op {other:?}"))),
+            }
+        }
+        let (Some(head), Some(epoch), Some(cleanings)) = (regs[0], regs[1], regs[2]) else {
+            return Err(corrupt("defy journal missing a register".into()));
+        };
+        if head > store.log_blocks {
+            return Err(corrupt("defy log head out of range".into()));
+        }
+        if state.inverse[head as usize..].iter().any(|slot| slot.is_some()) {
+            return Err(corrupt("defy mapping beyond the log head".into()));
+        }
+        state.head = head;
+        state.epoch = epoch;
+        state.cleanings = cleanings;
+        for _ in 0..epoch {
+            state.epoch_key = sha256(&state.epoch_key);
+            store.clock.advance(store.cpu.hash_cost());
+        }
+        drop(state);
+        Ok(store)
     }
 
     /// Encrypts and lands `run` as one contiguous extent at the current
@@ -436,6 +540,77 @@ mod tests {
         let clock = SimClock::new();
         let disk: SharedDevice = Arc::new(MemDisk::new(100, 4096, clock.clone()));
         assert!(DefyLite::new(disk, clock, 64, [0u8; 32]).is_err());
+    }
+
+    fn state_journal(clock: &SimClock) -> (Arc<MemDisk>, StateJournal) {
+        let meta = Arc::new(MemDisk::with_cost_model(
+            64,
+            4096,
+            clock.clone(),
+            Arc::new(EmmcCostModel::nandsim_ramdisk()),
+        ));
+        let journal = StateJournal::new(meta.clone() as SharedDevice).unwrap();
+        (meta, journal)
+    }
+
+    #[test]
+    fn commit_and_open_roundtrip_survives_cleaning_epochs() {
+        let (disk, defy, clock) = store(256, 64);
+        let (_meta, journal) = state_journal(&clock);
+        for round in 0..6u64 {
+            for l in 0..64u64 {
+                defy.write_block(l, &vec![(round * 64 + l) as u8; 4096]).unwrap();
+            }
+        }
+        assert!(defy.cleanings() >= 1, "epoch key must have rotated");
+        let txid = defy.commit(&journal).unwrap();
+        assert_eq!(txid, 1);
+
+        // Remount from the journal alone: mapping, head AND the chained
+        // epoch key must come back, or reads decrypt garbage.
+        let reopened =
+            DefyLite::open(disk.clone(), &journal, clock.clone(), 64, [5u8; 32]).unwrap();
+        assert_eq!(reopened.cleanings(), defy.cleanings());
+        for l in 0..64u64 {
+            assert_eq!(
+                reopened.read_block(l).unwrap(),
+                vec![(5 * 64 + l) as u8; 4096],
+                "block {l}"
+            );
+        }
+        // And the log keeps appending from the committed head.
+        reopened.write_block(9, &vec![0xEE; 4096]).unwrap();
+        assert_eq!(reopened.read_block(9).unwrap(), vec![0xEE; 4096]);
+    }
+
+    #[test]
+    fn open_on_fresh_journal_is_an_empty_store() {
+        let (disk, _defy, clock) = store(256, 64);
+        let (_meta, journal) = state_journal(&clock);
+        let reopened =
+            DefyLite::open(disk.clone(), &journal, clock.clone(), 64, [5u8; 32]).unwrap();
+        assert_eq!(reopened.read_block(0).unwrap(), vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn open_rejects_mapping_beyond_the_committed_head() {
+        let (disk, defy, clock) = store(256, 64);
+        let (_meta, journal) = state_journal(&clock);
+        defy.write_block(0, &vec![1u8; 4096]).unwrap();
+        defy.commit(&journal).unwrap();
+        // Forge a state whose map points past its own head.
+        let ops = vec![
+            DeltaOp::Register { key: REG_HEAD, value: 1 },
+            DeltaOp::Register { key: REG_EPOCH, value: 0 },
+            DeltaOp::Register { key: REG_CLEANINGS, value: 0 },
+            DeltaOp::SetMapping {
+                id: 0,
+                extent: mobiceal_thinp::Extent { virt_begin: 0, data_begin: 5, len: 1 },
+            },
+        ];
+        journal.commit(ops).unwrap();
+        let err = DefyLite::open(disk, &journal, clock, 64, [5u8; 32]).unwrap_err();
+        assert!(matches!(err, BlockDeviceError::CorruptMetadata { .. }), "{err:?}");
     }
 
     #[test]

@@ -145,6 +145,158 @@ impl HiveWoOram {
         self.map_region_blocks
     }
 
+    /// Remounts a WoORAM from the position map persisted in its on-device
+    /// map region.
+    ///
+    /// HIVE does not ride the baseline [`crate::StateJournal`]: its map is
+    /// already written through (and synced) as part of every shuffle pass,
+    /// so the map region *is* the durable metadata. A remount is one
+    /// vectored read of that region plus validation; a fresh (all-zero)
+    /// device yields an empty store. The in-RAM stash is volatile by
+    /// design — call [`HiveWoOram::commit`] before unmount to drain it.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::CorruptMetadata`] if an entry points outside the
+    /// data area or two logical blocks claim the same physical slot.
+    pub fn open(
+        dev: SharedDevice,
+        clock: SimClock,
+        n_logical: u64,
+        key: [u8; 64],
+        seed: u64,
+    ) -> Result<Self, BlockDeviceError> {
+        let oram = Self::new(dev, clock, n_logical, key, seed)?;
+        let entries_per_block = oram.dev.block_size() / 8;
+        let blocks: Vec<u64> =
+            (0..oram.map_region_blocks).map(|i| oram.map_region_start + i).collect();
+        let bufs = oram.dev.read_blocks(&blocks)?;
+        let corrupt = |detail: String| BlockDeviceError::CorruptMetadata { detail };
+        let mut state = oram.state.lock();
+        for (bi, buf) in bufs.iter().enumerate() {
+            for i in 0..entries_per_block {
+                let logical = bi * entries_per_block + i;
+                if logical as u64 >= n_logical {
+                    break;
+                }
+                let value = u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().unwrap());
+                if value == 0 {
+                    continue;
+                }
+                let p = value - 1;
+                if p >= oram.n_physical {
+                    return Err(corrupt(format!("hive map entry {logical} -> {p} out of range")));
+                }
+                if state.inverse[p as usize].is_some() {
+                    return Err(corrupt(format!("hive physical slot {p} mapped twice")));
+                }
+                state.position[logical] = Some(p);
+                state.inverse[p as usize] = Some(logical as u64);
+            }
+        }
+        drop(state);
+        Ok(oram)
+    }
+
+    /// Drains the stash onto the device: every pending write is placed in a
+    /// uniformly random free slot, the touched map blocks are written
+    /// through (coalesced), and the device is synced. After a successful
+    /// commit the persisted map region fully describes the store, so
+    /// [`HiveWoOram::open`] recovers every write.
+    ///
+    /// One vectored write carries all placements plus the map blocks; the
+    /// in-memory state absorbs the placements only after the batch lands,
+    /// so a mid-batch device error leaves the stash (and the committed map)
+    /// untouched and the commit can be retried.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockDeviceError::NoSpace`] if no free slot exists for a pending
+    /// write (impossible under 2× over-provisioning unless the device was
+    /// corrupted); device errors otherwise.
+    pub fn commit(&self) -> Result<(), BlockDeviceError> {
+        fn planned_live(
+            inverse: &[Option<u64>],
+            position: &[Option<u64>],
+            inv_delta: &HashMap<u64, Option<u64>>,
+            pos_delta: &HashMap<u64, Option<u64>>,
+            p: u64,
+        ) -> bool {
+            inv_delta
+                .get(&p)
+                .copied()
+                .unwrap_or(inverse[p as usize])
+                .filter(|&l| pos_delta.get(&l).copied().unwrap_or(position[l as usize]) == Some(p))
+                .is_some()
+        }
+
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        if state.stash.is_empty() {
+            return self.dev.flush();
+        }
+        let entries_per_block = self.dev.block_size() / 8;
+        let mut pos_delta: HashMap<u64, Option<u64>> = HashMap::new();
+        let mut inv_delta: HashMap<u64, Option<u64>> = HashMap::new();
+        let mut placements: Vec<(u64, Vec<u8>)> = Vec::with_capacity(state.stash.len());
+        let mut touched: Vec<u64> = Vec::new();
+        let mut cpu = SimDuration::ZERO;
+        for (logical, data) in state.stash.iter() {
+            // Uniformly random free slot: rejection-sample, falling back to
+            // a scan if the RNG is persistently unlucky.
+            let mut slot = None;
+            for _ in 0..128 {
+                let p = state.rng.next_below(self.n_physical);
+                if !planned_live(&state.inverse, &state.position, &inv_delta, &pos_delta, p) {
+                    slot = Some(p);
+                    break;
+                }
+            }
+            let slot = match slot {
+                Some(p) => p,
+                None => (0..self.n_physical)
+                    .find(|&p| {
+                        !planned_live(&state.inverse, &state.position, &inv_delta, &pos_delta, p)
+                    })
+                    .ok_or(BlockDeviceError::NoSpace)?,
+            };
+            cpu += self.cpu.aes_cost(data.len());
+            if let Some(old) =
+                pos_delta.get(logical).copied().unwrap_or(state.position[*logical as usize])
+            {
+                inv_delta.insert(old, None);
+            }
+            pos_delta.insert(*logical, Some(slot));
+            inv_delta.insert(slot, Some(*logical));
+            let mut ct = data.clone();
+            self.cipher.encrypt_sector_in_place(slot, &mut ct);
+            placements.push((slot, ct));
+            touched.push(*logical);
+        }
+        let mut map_blocks: Vec<u64> =
+            touched.iter().map(|&l| self.map_region_start + l / entries_per_block as u64).collect();
+        map_blocks.sort_unstable();
+        map_blocks.dedup();
+        let mut payloads = placements;
+        for &mb in &map_blocks {
+            let logical = (mb - self.map_region_start) * entries_per_block as u64;
+            payloads.push((mb, self.map_block_payload(&state.position, &pos_delta, logical)));
+        }
+        self.clock.advance(cpu);
+        let batch: Vec<(u64, &[u8])> = payloads.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        // Commit-after-land: on a mid-batch error the landed prefix is
+        // unreferenced ciphertext and the stash still holds everything.
+        self.dev.write_blocks(&batch)?;
+        for (l, v) in pos_delta {
+            state.position[l as usize] = v;
+        }
+        for (p, v) in inv_delta {
+            state.inverse[p as usize] = v;
+        }
+        state.stash.clear();
+        self.dev.flush()
+    }
+
     /// Serializes the map block holding `logical`'s entry: committed
     /// `position` entries overridden by this pass's planned `delta`.
     fn map_block_payload(
@@ -546,6 +698,55 @@ mod tests {
         let clock = SimClock::new();
         let disk: SharedDevice = Arc::new(MemDisk::new(100, 4096, clock.clone()));
         assert!(HiveWoOram::new(disk, clock, 256, [0u8; 64], 0).is_err());
+    }
+
+    #[test]
+    fn commit_drains_stash_and_open_recovers_every_write() {
+        let (disk, oram, clock) = oram(7);
+        for i in 0..80u64 {
+            oram.write_block(i % 32, &vec![i as u8; 4096]).unwrap();
+        }
+        for l in 0..32u64 {
+            oram.write_block(l, &vec![0xC0 + l as u8; 4096]).unwrap();
+        }
+        oram.commit().unwrap();
+        assert_eq!(oram.stash_len(), 0, "commit must drain the stash");
+        // Reads still serve the committed copies.
+        for l in 0..32u64 {
+            assert_eq!(oram.read_block(l).unwrap(), vec![0xC0 + l as u8; 4096], "block {l}");
+        }
+        // Remount from the persisted map region alone (different seed: the
+        // RNG stream is not part of the durable state).
+        let reopened = HiveWoOram::open(disk.clone(), clock.clone(), 256, [9u8; 64], 99).unwrap();
+        for l in 0..32u64 {
+            assert_eq!(reopened.read_block(l).unwrap(), vec![0xC0 + l as u8; 4096], "block {l}");
+        }
+        assert_eq!(reopened.read_block(200).unwrap(), vec![0u8; 4096]);
+        // And the remounted store keeps working.
+        reopened.write_block(5, &vec![0xDD; 4096]).unwrap();
+        assert_eq!(reopened.read_block(5).unwrap(), vec![0xDD; 4096]);
+    }
+
+    #[test]
+    fn open_on_fresh_device_is_empty() {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(600, 4096, clock.clone()));
+        let oram = HiveWoOram::open(disk, clock, 256, [9u8; 64], 1).unwrap();
+        assert_eq!(oram.read_block(0).unwrap(), vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn open_rejects_double_mapped_physical_slot() {
+        let (disk, oram, clock) = oram(8);
+        oram.write_block(0, &vec![1u8; 4096]).unwrap();
+        oram.commit().unwrap();
+        // Forge a map block claiming slot 3 for two logical blocks.
+        let mut map = vec![0u8; 4096];
+        map[0..8].copy_from_slice(&4u64.to_le_bytes()); // logical 0 -> slot 3
+        map[8..16].copy_from_slice(&4u64.to_le_bytes()); // logical 1 -> slot 3
+        disk.write_block(512, &map).unwrap();
+        let err = HiveWoOram::open(disk, clock, 256, [9u8; 64], 1).unwrap_err();
+        assert!(matches!(err, BlockDeviceError::CorruptMetadata { .. }), "{err:?}");
     }
 
     #[test]

@@ -27,9 +27,11 @@ mod defy;
 mod fde;
 mod hive;
 mod mobipluto;
+mod persist;
 pub mod worlds;
 
 pub use defy::DefyLite;
 pub use fde::AndroidFde;
 pub use hive::HiveWoOram;
 pub use mobipluto::MobiPluto;
+pub use persist::StateJournal;

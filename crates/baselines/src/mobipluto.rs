@@ -22,6 +22,11 @@ use mobiceal_thinp::{AllocStrategy, MetadataView, PoolConfig, ThinPool};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Magic prefix of the hidden-region cursor record (slot 0 of the hidden
+/// region, encrypted under the hidden key — ciphertext at a password-derived
+/// offset, indistinguishable from the initialization randomness).
+const CURSOR_MAGIC: &[u8; 8] = b"MPHCUR01";
+
 /// The legacy hidden-volume baseline. See the module docs.
 pub struct MobiPluto {
     disk: SharedDevice,
@@ -214,7 +219,9 @@ impl MobiPluto {
         let mut cursor = self.hidden_cursor.lock();
         let mut payloads: Vec<(u64, Vec<u8>)> = Vec::with_capacity(blocks.len());
         for (i, data) in blocks.iter().enumerate() {
-            let sector = self.hidden_offset + *cursor + i as u64;
+            // Slot 0 of the hidden region holds the cursor record; data
+            // starts one past the derived offset.
+            let sector = self.hidden_offset + 1 + *cursor + i as u64;
             let mut ct = data.to_vec();
             cipher.encrypt_sector_in_place(sector, &mut ct);
             payloads.push((self.metadata_blocks + sector, ct));
@@ -250,6 +257,125 @@ impl MobiPluto {
     /// Metadata I/O errors.
     pub fn commit(&self) -> Result<(), MobiCealError> {
         Ok(self.pool.commit()?)
+    }
+
+    /// Persists the hidden log head: an encrypted cursor record in the
+    /// hidden region's first slot, then a sync. The record is ciphertext
+    /// at the password-derived offset — to an adversary without the hidden
+    /// password it is indistinguishable from the initialization randomness,
+    /// so the single-snapshot deniability argument is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no hidden password was configured, or on device errors.
+    pub fn hidden_commit(&self) -> Result<(), MobiCealError> {
+        let cipher = self.hidden_cipher.as_ref().ok_or(MobiCealError::BadPassword)?;
+        let cursor = self.hidden_cursor.lock();
+        let mut record = vec![0u8; self.disk.block_size()];
+        record[..8].copy_from_slice(CURSOR_MAGIC);
+        record[8..16].copy_from_slice(&cursor.to_le_bytes());
+        let digest = mobiceal_crypto::sha256(&record[..16]);
+        record[16..48].copy_from_slice(&digest);
+        cipher.encrypt_sector_in_place(self.hidden_offset, &mut record);
+        self.clock.advance(self.cpu.aes_cost(record.len()));
+        self.disk.write_block(self.metadata_blocks + self.hidden_offset, &record)?;
+        self.disk.flush()?;
+        Ok(())
+    }
+
+    /// Remounts an initialized device: parses the footer, replays the thin
+    /// pool's committed metadata journal for the public volume, rederives
+    /// the hidden offset/cipher from `hidden_password`, and resumes the
+    /// hidden log head from the cursor record if one was ever
+    /// [`MobiPluto::hidden_commit`]ted (a slot still holding initialization
+    /// randomness fails the record's digest and yields head 0). The decoy
+    /// password is verified against the public volume header.
+    ///
+    /// # Errors
+    ///
+    /// [`MobiCealError::NotInitialized`] if no footer is present,
+    /// [`MobiCealError::BadPassword`] on a wrong decoy password, metadata
+    /// corruption or device errors otherwise.
+    pub fn open(
+        disk: SharedDevice,
+        clock: SimClock,
+        decoy_password: &str,
+        hidden_password: Option<&str>,
+        seed: u64,
+    ) -> Result<Self, MobiCealError> {
+        let metadata_blocks = 64u64;
+        let bs = disk.block_size();
+        let footer_blocks = (FOOTER_BYTES as u64).div_ceil(bs as u64);
+        if disk.num_blocks() < metadata_blocks + footer_blocks + 64 {
+            return Err(MobiCealError::DiskTooSmall {
+                required: metadata_blocks + footer_blocks + 64,
+                available: disk.num_blocks(),
+            });
+        }
+        let data_blocks = disk.num_blocks() - metadata_blocks - footer_blocks;
+
+        let footer_indices: Vec<u64> =
+            (0..footer_blocks).map(|i| metadata_blocks + data_blocks + i).collect();
+        let mut footer_bytes: Vec<u8> = disk.read_blocks(&footer_indices)?.concat();
+        footer_bytes.truncate(FOOTER_BYTES);
+        let footer = EncryptionFooter::from_bytes(&footer_bytes)?;
+
+        let data_dev: SharedDevice =
+            Arc::new(DmLinear::new(disk.clone(), metadata_blocks, data_blocks)?);
+        let meta_dev: SharedDevice = Arc::new(DmLinear::new(disk.clone(), 0, metadata_blocks)?);
+        let pool = Arc::new(ThinPool::open(
+            data_dev,
+            meta_dev,
+            PoolConfig::new(1),
+            AllocStrategy::Sequential,
+            seed,
+        )?);
+        pool.set_read_overhead(clock.clone(), mobiceal::THIN_READ_LOOKUP);
+
+        let cpu = CpuCostModel::nexus4();
+        let (hidden_cipher, hidden_offset) = match hidden_password {
+            Some(pwd) => {
+                let key = footer.derive_key(pwd);
+                clock.advance(cpu.pbkdf2_cost());
+                let back_half = data_blocks / 2;
+                let span = data_blocks - back_half - 8;
+                let mut digest = [0u8; 8];
+                mobiceal_crypto::pbkdf2_hmac_sha256(pwd.as_bytes(), &footer.salt, 64, &mut digest);
+                let offset = back_half + (u64::from_le_bytes(digest) % span.max(1));
+                let cipher =
+                    CbcEssiv::with_essiv_key(Aes256::new(&key), &mobiceal_crypto::sha256(&key));
+                (Some(cipher), offset)
+            }
+            None => (None, 0),
+        };
+
+        let mp = MobiPluto {
+            disk,
+            clock,
+            pool,
+            footer,
+            cpu,
+            metadata_blocks,
+            data_blocks,
+            hidden_cipher,
+            hidden_offset,
+            hidden_cursor: Mutex::new(0),
+        };
+
+        if let Some(cipher) = &mp.hidden_cipher {
+            let mut buf = mp.disk.read_block(mp.metadata_blocks + mp.hidden_offset)?;
+            mp.clock.advance(mp.cpu.aes_cost(buf.len()));
+            cipher.decrypt_sector_in_place(mp.hidden_offset, &mut buf);
+            if buf.len() >= 48
+                && &buf[..8] == CURSOR_MAGIC
+                && mobiceal_crypto::sha256(&buf[..16])[..] == buf[16..48]
+            {
+                *mp.hidden_cursor.lock() = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            }
+        }
+
+        mp.unlock_public(decoy_password)?;
+        Ok(mp)
     }
 }
 
@@ -372,6 +498,83 @@ mod tests {
     }
 
     #[test]
+    fn open_replays_pool_journal_and_resumes_hidden_cursor() {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+        let mp = MobiPluto::initialize(disk.clone(), clock.clone(), "decoy", Some("hidden"), 11)
+            .unwrap();
+        let vol = mp.unlock_public("decoy").unwrap();
+        vol.write_block(5, &vec![0x12; 4096]).unwrap();
+        mp.commit().unwrap();
+
+        let snap0 = disk.snapshot();
+        for i in 0..5u8 {
+            mp.hidden_write(&vec![i; 4096]).unwrap();
+        }
+        mp.hidden_commit().unwrap();
+        let snap1 = disk.snapshot();
+        let first: std::collections::HashSet<u64> =
+            snap0.changed_blocks(&snap1).into_iter().collect();
+        assert_eq!(first.len(), 6, "5 hidden blocks plus the cursor record");
+        drop(vol);
+        drop(mp);
+
+        // Remount from the medium alone (fresh seed: the pool RNG stream is
+        // not durable state).
+        let mp2 =
+            MobiPluto::open(disk.clone(), clock.clone(), "decoy", Some("hidden"), 77).unwrap();
+        let vol2 = mp2.unlock_public("decoy").unwrap();
+        assert_eq!(vol2.read_block(5).unwrap(), vec![0x12; 4096], "public data survives remount");
+
+        // The hidden log head resumed past the committed writes: new hidden
+        // data must not overwrite them.
+        for _ in 0..3 {
+            mp2.hidden_write(&vec![0xEE; 4096]).unwrap();
+        }
+        let snap2 = disk.snapshot();
+        let second = snap1.changed_blocks(&snap2);
+        assert_eq!(second.len(), 3);
+        assert!(
+            second.iter().all(|b| !first.contains(b)),
+            "resumed cursor overwrote committed hidden data"
+        );
+    }
+
+    #[test]
+    fn open_without_hidden_commit_restarts_the_hidden_head() {
+        // The cursor slot still holds initialization randomness, which
+        // fails the record digest: the head restarts at 0 (exactly the
+        // data-loss semantics of a volume never cleanly unmounted).
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+        let mp = MobiPluto::initialize(disk.clone(), clock.clone(), "decoy", Some("hidden"), 12)
+            .unwrap();
+        let snap0 = disk.snapshot();
+        mp.hidden_write(&vec![0xAA; 4096]).unwrap();
+        drop(mp);
+        let mp2 =
+            MobiPluto::open(disk.clone(), clock.clone(), "decoy", Some("hidden"), 13).unwrap();
+        mp2.hidden_write(&vec![0xBB; 4096]).unwrap();
+        let changed = snap0.changed_blocks(&disk.snapshot());
+        assert_eq!(changed.len(), 1, "both writes land on the same (restarted) slot");
+    }
+
+    #[test]
+    fn open_rejects_wrong_decoy_and_uninitialized_disk() {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(2048, 4096, clock.clone()));
+        assert!(matches!(
+            MobiPluto::open(disk.clone() as SharedDevice, clock.clone(), "decoy", None, 1),
+            Err(MobiCealError::NotInitialized { .. })
+        ));
+        MobiPluto::initialize(disk.clone(), clock.clone(), "decoy", None, 1).unwrap();
+        assert!(matches!(
+            MobiPluto::open(disk as SharedDevice, clock, "wrong", None, 1),
+            Err(MobiCealError::BadPassword)
+        ));
+    }
+
+    #[test]
     fn public_allocation_is_sequential() {
         let (_disk, mp) = device(5, true);
         let vol = mp.unlock_public("decoy").unwrap();
@@ -379,7 +582,7 @@ mod tests {
             vol.write_block(i, &vec![1u8; 4096]).unwrap();
         }
         let view = mp.metadata_view();
-        let phys: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let phys: Vec<u64> = view.volumes[&1].mappings.values().collect();
         let mut sorted = phys.clone();
         sorted.sort_unstable();
         assert_eq!(phys, sorted, "stock thin allocation is front-to-back");

@@ -31,17 +31,19 @@
 //! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
 //! ```
 
+mod crash;
 mod device;
 pub mod engine;
 mod memdisk;
 mod snapshot;
 mod stats;
 
+pub use crash::CrashDisk;
 pub use device::{
     read_blocks_remapped, write_blocks_remapped, BlockDevice, BlockDeviceError, BlockIndex,
     SharedDevice,
 };
 pub use engine::{Completion, EngineDevice, IoEngine, IoOutput, Ticket, WouldBlock};
-pub use memdisk::{FaultInjection, MemDisk};
+pub use memdisk::{FaultInjection, MemDisk, TornWrite};
 pub use snapshot::DiskSnapshot;
 pub use stats::{AtomicDeviceStats, DeviceStats, OpCounter};

@@ -56,6 +56,24 @@ pub struct FaultInjection {
     /// Fail every operation after this many total ops (simulates device
     /// death). `None` disables.
     pub die_after_ops: Option<u64>,
+    /// Tear one write mid-block and kill the device (simulates a power cut
+    /// inside a program operation). `None` disables.
+    pub torn_write: Option<TornWrite>,
+}
+
+/// A power cut in the middle of one block program operation: write number
+/// `after_writes + 1` (counting every block of every write since
+/// [`MemDisk::set_faults`]) persists only its first `keep_bytes` bytes,
+/// the operation reports failure, and every subsequent operation fails —
+/// the device is dead until the next `set_faults` resets it. The torn
+/// write charges no simulated time (the device lost power mid-program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWrite {
+    /// How many block writes complete untouched before the tear fires.
+    pub after_writes: u64,
+    /// Bytes of the torn block that reach the medium (clamped to the
+    /// block size).
+    pub keep_bytes: usize,
 }
 
 /// The serial "command engine" state: what a real device's single command
@@ -66,6 +84,19 @@ struct CmdState {
     last_block: Option<BlockIndex>,
     faults: FaultInjection,
     total_ops: u64,
+    /// Block writes seen since the faults were installed (drives
+    /// [`TornWrite::after_writes`]).
+    writes_seen: u64,
+    /// Set when a torn write fires: the device lost power and every
+    /// subsequent operation fails until new faults are installed.
+    dead: bool,
+}
+
+/// How one planned block failed: an ordinary injected error, or a torn
+/// write whose partial bytes must still reach the medium.
+enum PlannedFault {
+    Fail(BlockDeviceError),
+    Tear { keep_bytes: usize },
 }
 
 /// State shared by every clone of a [`MemDisk`].
@@ -190,6 +221,8 @@ impl MemDisk {
                     last_block: None,
                     faults: FaultInjection::default(),
                     total_ops: 0,
+                    writes_seen: 0,
+                    dead: false,
                 }),
                 in_flight: AtomicUsize::new(0),
                 #[cfg(any(test, feature = "test-hooks"))]
@@ -218,9 +251,32 @@ impl MemDisk {
         self.shared.stats.reset();
     }
 
-    /// Installs a fault-injection configuration.
+    /// Installs a fault-injection configuration, restarting the torn-write
+    /// counter and reviving a device a previous tear killed.
     pub fn set_faults(&self, faults: FaultInjection) {
-        self.shared.cmd.lock().faults = faults;
+        let mut cmd = self.shared.cmd.lock();
+        cmd.faults = faults;
+        cmd.writes_seen = 0;
+        cmd.dead = false;
+    }
+
+    /// Replaces the entire medium with `image` without charging simulated
+    /// time or touching statistics — the crash harness's "reboot from a
+    /// captured power-cut image" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's geometry differs from the device's.
+    pub fn load_image(&self, image: &DiskSnapshot) {
+        assert_eq!(image.block_size(), self.block_size, "image block size mismatch");
+        assert_eq!(image.num_blocks(), self.num_blocks, "image block count mismatch");
+        let mut guards: Vec<_> = self.shared.shards.iter().map(|s| s.lock()).collect();
+        let mut offset = 0usize;
+        for g in guards.iter_mut() {
+            let len = g.len();
+            g.copy_from_slice(&image.as_bytes()[offset..offset + len]);
+            offset += len;
+        }
     }
 
     /// Pins the minimum queue depth every command is charged at, as if a
@@ -355,23 +411,37 @@ impl MemDisk {
         cmd: &mut CmdState,
         index: BlockIndex,
         write: bool,
-    ) -> Result<(), BlockDeviceError> {
+    ) -> Result<(), PlannedFault> {
+        if cmd.dead {
+            return Err(PlannedFault::Fail(BlockDeviceError::Io {
+                reason: "device lost power (torn write)".into(),
+            }));
+        }
         cmd.total_ops += 1;
         if let Some(limit) = cmd.faults.die_after_ops {
             if cmd.total_ops > limit {
-                return Err(BlockDeviceError::Io {
+                return Err(PlannedFault::Fail(BlockDeviceError::Io {
                     reason: format!("device died after {limit} ops"),
-                });
+                }));
+            }
+        }
+        if write {
+            cmd.writes_seen += 1;
+            if let Some(tear) = cmd.faults.torn_write {
+                if cmd.writes_seen == tear.after_writes + 1 {
+                    cmd.dead = true;
+                    return Err(PlannedFault::Tear { keep_bytes: tear.keep_bytes });
+                }
             }
         }
         let failing = if write { &cmd.faults.failing_writes } else { &cmd.faults.failing_reads };
         if failing.contains(&index) {
-            return Err(BlockDeviceError::Io {
+            return Err(PlannedFault::Fail(BlockDeviceError::Io {
                 reason: format!(
                     "injected {} fault at block {index}",
                     if write { "write" } else { "read" }
                 ),
-            });
+            }));
         }
         Ok(())
     }
@@ -379,7 +449,9 @@ impl MemDisk {
     /// Plans one batch under the command lock: classifies, fault-checks
     /// and charges every block (at queue depth `depth`) until the first
     /// error, advancing the clock by the telescoped total. Returns the
-    /// planned prefix length and the first error, if any. The data copies
+    /// planned prefix length, the tear (if the batch hit a torn-write
+    /// fault: only `keep_bytes` of the block after the prefix reach the
+    /// medium, uncharged) and the first error, if any. The data copies
     /// happen *after* this, under the shard locks only; the caller holds
     /// its [`MemDisk::begin_command`] guard across both phases so the
     /// in-flight counter reflects commands whose data is still moving.
@@ -388,20 +460,32 @@ impl MemDisk {
         blocks: impl Iterator<Item = (BlockIndex, Option<&'a [u8]>)>,
         write: bool,
         depth: usize,
-    ) -> (usize, Option<BlockDeviceError>) {
+    ) -> (usize, Option<usize>, Option<BlockDeviceError>) {
         let mut cmd = self.shared.cmd.lock();
         let (mut seq, mut rand) = ((0, SimDuration::ZERO), (0, SimDuration::ZERO));
         let mut total = SimDuration::ZERO;
         let mut planned = 0usize;
+        let mut torn = None;
         let mut error = None;
         for (index, data) in blocks {
             let check = self
                 .check_index(index)
                 .and_then(|()| data.map_or(Ok(()), |d| self.check_buffer(d)))
+                .map_err(PlannedFault::Fail)
                 .and_then(|()| Self::check_faults(&mut cmd, index, write));
-            if let Err(e) = check {
-                error = Some(e);
-                break;
+            match check {
+                Err(PlannedFault::Fail(e)) => {
+                    error = Some(e);
+                    break;
+                }
+                Err(PlannedFault::Tear { keep_bytes }) => {
+                    torn = Some(keep_bytes);
+                    error = Some(BlockDeviceError::Io {
+                        reason: format!("power cut tore write at block {index}"),
+                    });
+                    break;
+                }
+                Ok(()) => {}
             }
             let op = Self::classify(cmd.last_block, index, write);
             cmd.last_block = Some(index);
@@ -415,7 +499,7 @@ impl MemDisk {
             planned += 1;
         }
         self.clock.advance(total);
-        (planned, error)
+        (planned, torn, error)
     }
 
     /// The shard holding `index` and the byte offset of the block inside
@@ -431,6 +515,15 @@ impl MemDisk {
         let (shard, offset) = self.locate(index);
         let mut g = self.shared.shards[shard].lock();
         g[offset..offset + self.block_size].copy_from_slice(data);
+    }
+
+    /// Torn-write splice: only the first `keep` bytes of `data` reach the
+    /// medium; the block's remaining bytes keep their prior content.
+    fn store_partial(&self, index: BlockIndex, data: &[u8], keep: usize) {
+        let keep = keep.min(self.block_size).min(data.len());
+        let (shard, offset) = self.locate(index);
+        let mut g = self.shared.shards[shard].lock();
+        g[offset..offset + keep].copy_from_slice(&data[..keep]);
     }
 
     /// Copies block `index` out under its shard lock.
@@ -453,7 +546,7 @@ impl BlockDevice for MemDisk {
     fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
         let _io = self.begin_command();
         let depth = self.observed_depth();
-        let (planned, error) = self.plan_batch(std::iter::once((index, None)), false, depth);
+        let (planned, _, error) = self.plan_batch(std::iter::once((index, None)), false, depth);
         match error {
             Some(e) => Err(e),
             None => {
@@ -466,7 +559,11 @@ impl BlockDevice for MemDisk {
     fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
         let _io = self.begin_command();
         let depth = self.observed_depth();
-        let (planned, error) = self.plan_batch(std::iter::once((index, Some(data))), true, depth);
+        let (planned, torn, error) =
+            self.plan_batch(std::iter::once((index, Some(data))), true, depth);
+        if let Some(keep) = torn {
+            self.store_partial(index, data, keep);
+        }
         match error {
             Some(e) => Err(e),
             None => {
@@ -491,7 +588,7 @@ impl BlockDevice for MemDisk {
     fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
         let _io = self.begin_command();
         let depth = self.observed_depth();
-        let (planned, error) =
+        let (planned, _, error) =
             self.plan_batch(indices.iter().map(|&index| (index, None)), false, depth);
         let out = indices[..planned].iter().map(|&index| self.load_block(index)).collect();
         match error {
@@ -508,10 +605,14 @@ impl BlockDevice for MemDisk {
     fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
         let _io = self.begin_command();
         let depth = self.observed_depth();
-        let (planned, error) =
+        let (planned, torn, error) =
             self.plan_batch(writes.iter().map(|&(index, data)| (index, Some(data))), true, depth);
         for &(index, data) in &writes[..planned] {
             self.store_block(index, data);
+        }
+        if let Some(keep) = torn {
+            let (index, data) = writes[planned];
+            self.store_partial(index, data, keep);
         }
         match error {
             Some(e) => Err(e),
@@ -520,6 +621,9 @@ impl BlockDevice for MemDisk {
     }
 
     fn flush(&self) -> Result<(), BlockDeviceError> {
+        if self.shared.cmd.lock().dead {
+            return Err(BlockDeviceError::Io { reason: "device lost power (torn write)".into() });
+        }
         let _io = self.begin_command();
         let t = self.cost.cost(OpKind::Flush, 0);
         self.clock.advance(t);
@@ -914,6 +1018,73 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_bytes_and_kills_the_device() {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(8, 512, clock.clone());
+        disk.write_block(3, &vec![0xAA; 512]).unwrap();
+        let before = clock.now();
+        disk.set_faults(FaultInjection {
+            torn_write: Some(TornWrite { after_writes: 0, keep_bytes: 100 }),
+            ..Default::default()
+        });
+        assert!(disk.write_block(3, &vec![0xBB; 512]).is_err());
+        assert_eq!(clock.now(), before, "the torn write charges no time");
+        let snap = disk.snapshot();
+        assert_eq!(&snap.block(3)[..100], &[0xBB; 100][..], "kept prefix landed");
+        assert_eq!(&snap.block(3)[100..], &[0xAA; 412][..], "tail keeps prior content");
+        // The device is dead: reads, writes and flushes all fail.
+        assert!(disk.read_block(0).is_err());
+        assert!(disk.write_block(0, &vec![0u8; 512]).is_err());
+        assert!(disk.flush().is_err());
+        // Installing fresh faults revives it.
+        disk.set_faults(FaultInjection::default());
+        assert!(disk.read_block(0).is_ok());
+    }
+
+    #[test]
+    fn torn_write_fires_mid_batch_after_counted_writes() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        disk.set_faults(FaultInjection {
+            torn_write: Some(TornWrite { after_writes: 2, keep_bytes: 1 }),
+            ..Default::default()
+        });
+        let d = |v: u8| vec![v; 512];
+        let bufs = [d(1), d(2), d(3), d(4)];
+        let writes: Vec<(BlockIndex, &[u8])> =
+            bufs.iter().enumerate().map(|(i, b)| (i as u64, b.as_slice())).collect();
+        assert!(disk.write_blocks(&writes).is_err());
+        let snap = disk.snapshot();
+        assert_eq!(snap.block(0), &d(1)[..], "writes before the tear persist whole");
+        assert_eq!(snap.block(1), &d(2)[..]);
+        assert_eq!(snap.block(2)[0], 3, "torn block keeps only one byte");
+        assert!(snap.block(2)[1..].iter().all(|&b| b == 0));
+        assert!(snap.is_zero_block(3), "writes after the tear never reach the medium");
+    }
+
+    #[test]
+    fn load_image_replaces_contents_without_charging_time() {
+        let clock = SimClock::new();
+        let disk = MemDisk::new(8, 512, clock.clone());
+        disk.write_block(2, &vec![9u8; 512]).unwrap();
+        let image = disk.snapshot();
+        disk.write_block(2, &vec![1u8; 512]).unwrap();
+        let t = clock.now();
+        let stats = disk.stats();
+        disk.load_image(&image);
+        assert_eq!(clock.now(), t, "load_image is free");
+        assert_eq!(disk.stats(), stats);
+        assert_eq!(disk.read_block(2).unwrap(), vec![9u8; 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn load_image_rejects_wrong_geometry() {
+        let disk = MemDisk::with_default_timing(8, 512);
+        let other = MemDisk::with_default_timing(4, 512);
+        disk.load_image(&other.snapshot());
     }
 
     #[test]

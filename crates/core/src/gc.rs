@@ -74,7 +74,7 @@ impl MobiCeal {
             report.dummy_volumes += 1;
             // Keep vblock 0 (the init-time noise header) so the uniform
             // one-block footprint of §IV-C is preserved.
-            let candidates: Vec<u64> = vol.mappings.keys().copied().filter(|&v| v != 0).collect();
+            let candidates: Vec<u64> = vol.mappings.keys().filter(|&v| v != 0).collect();
             report.blocks_before += candidates.len() as u64;
             let reclaim_count = (candidates.len() as f64 * fraction).floor() as usize;
             // Reclaim a uniformly random subset of that size.

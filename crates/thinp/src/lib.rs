@@ -43,10 +43,14 @@
 
 mod allocator;
 mod bitmap;
+mod extent;
+mod journal;
 mod meta;
 mod pool;
 
 pub use allocator::{AllocStrategy, Allocator, RandomAllocator, SequentialAllocator};
 pub use bitmap::Bitmap;
-pub use meta::{MetadataView, VolumeMeta};
+pub use extent::{Extent, ExtentMap};
+pub use journal::{DeltaOp, JournalConfig, JournalRecord, TransactionManager};
+pub use meta::{MetadataView, Superblock, VolumeMeta};
 pub use pool::{PoolConfig, ThinPool, ThinVolume, VolumeId};

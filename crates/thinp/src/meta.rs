@@ -8,20 +8,28 @@
 //! depend on hiding this structure — only on the hidden volume's metadata
 //! being indistinguishable from a dummy volume's.
 //!
-//! Commits are crash-consistent via A/B shadow areas: the payload is written
-//! to the inactive half, then the superblock (which names the active half
-//! and transaction id, and carries a SHA-256 of the payload) is written
-//! last. A torn commit leaves the previous transaction intact.
+//! Checkpoints are crash-consistent via A/B shadow areas: the payload is
+//! written to the inactive half, then the superblock (which names the
+//! active half and transaction id, and carries a SHA-256 of the payload)
+//! is written last. Between checkpoints, commits append checksummed delta
+//! records to the journal region (`crate::journal`); the superblock names
+//! the committed journal extent, so a torn commit — journal blocks that
+//! landed without their superblock — rolls back to the previous
+//! transaction on replay. Mappings are serialized as run-length extents
+//! (`virt_begin, data_begin, len`), so sequential traffic costs a handful
+//! of triples instead of an entry per block.
 
 use crate::bitmap::Bitmap;
+use crate::extent::{Extent, ExtentMap};
 use mobiceal_blockdev::BlockDeviceError;
 use std::collections::BTreeMap;
 
 /// Magic identifying a MobiCeal-thin superblock.
-pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"MCTHNP01";
+pub const SUPERBLOCK_MAGIC: &[u8; 8] = b"MCTHNP02";
 
-/// On-disk version understood by this implementation.
-pub const FORMAT_VERSION: u32 = 1;
+/// On-disk version understood by this implementation (2: extent-based
+/// mappings, journal region between superblock and shadow halves).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Per-volume metadata as persisted and as visible to the adversary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,8 +38,8 @@ pub struct VolumeMeta {
     pub id: u32,
     /// Provisioned (virtual) size in blocks.
     pub virtual_blocks: u64,
-    /// virtual block → physical block.
-    pub mappings: BTreeMap<u64, u64>,
+    /// virtual block → physical block, stored as run-length extents.
+    pub mappings: ExtentMap,
 }
 
 /// Everything stored in the metadata area, decoded.
@@ -53,7 +61,8 @@ impl MetadataView {
         self.volumes.get(&id).map(|v| v.mappings.len() as u64).unwrap_or(0)
     }
 
-    /// Serializes to the on-disk payload format.
+    /// Serializes to the on-disk payload format (extent triples per
+    /// volume).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.transaction_id.to_le_bytes());
@@ -64,10 +73,11 @@ impl MetadataView {
         for vol in self.volumes.values() {
             out.extend_from_slice(&vol.id.to_le_bytes());
             out.extend_from_slice(&vol.virtual_blocks.to_le_bytes());
-            out.extend_from_slice(&(vol.mappings.len() as u64).to_le_bytes());
-            for (&v, &p) in &vol.mappings {
-                out.extend_from_slice(&v.to_le_bytes());
-                out.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&(vol.mappings.extent_count() as u64).to_le_bytes());
+            for e in vol.mappings.extents() {
+                out.extend_from_slice(&e.virt_begin.to_le_bytes());
+                out.extend_from_slice(&e.data_begin.to_le_bytes());
+                out.extend_from_slice(&e.len.to_le_bytes());
             }
         }
         out
@@ -98,20 +108,33 @@ impl MetadataView {
         for _ in 0..vol_count {
             let id = u32::from_le_bytes(take(4)?.try_into().unwrap());
             let virtual_blocks = u64::from_le_bytes(take(8)?.try_into().unwrap());
-            let map_count = u64::from_le_bytes(take(8)?.try_into().unwrap());
-            let mut mappings = BTreeMap::new();
-            for _ in 0..map_count {
-                let v = u64::from_le_bytes(take(8)?.try_into().unwrap());
-                let p = u64::from_le_bytes(take(8)?.try_into().unwrap());
-                if v >= virtual_blocks {
+            let extent_count = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let mut mappings = ExtentMap::new();
+            let mut total = 0u64;
+            for _ in 0..extent_count {
+                let virt_begin = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let data_begin = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                if len == 0 {
+                    return Err(corrupt("zero-length extent"));
+                }
+                let virt_end = virt_begin
+                    .checked_add(len)
+                    .ok_or_else(|| corrupt("extent virtual range overflows"))?;
+                let data_end = data_begin
+                    .checked_add(len)
+                    .ok_or_else(|| corrupt("extent data range overflows"))?;
+                if virt_end > virtual_blocks {
                     return Err(corrupt("mapping beyond virtual size"));
                 }
-                if p >= bitmap.len() {
+                if data_end > bitmap.len() {
                     return Err(corrupt("mapping beyond data device"));
                 }
-                if mappings.insert(v, p).is_some() {
-                    return Err(corrupt("duplicate virtual block mapping"));
-                }
+                mappings.insert_run(Extent { virt_begin, data_begin, len });
+                total += len;
+            }
+            if mappings.len() as u64 != total {
+                return Err(corrupt("duplicate virtual block mapping"));
             }
             if volumes.insert(id, VolumeMeta { id, virtual_blocks, mappings }).is_some() {
                 return Err(corrupt("duplicate volume id"));
@@ -124,24 +147,31 @@ impl MetadataView {
 /// Superblock contents (always block 0 of the metadata device).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Superblock {
-    /// Monotonic commit counter.
+    /// Monotonic commit counter (checkpoint + replayed journal records).
     pub transaction_id: u64,
-    /// Which shadow half (0 or 1) holds the payload for this transaction.
+    /// Which shadow half (0 or 1) holds the checkpoint payload.
     pub active_half: u8,
-    /// Byte length of the payload in the active half.
+    /// Byte length of the checkpoint payload in the active half.
     pub payload_len: u64,
-    /// SHA-256 of the payload.
+    /// SHA-256 of the checkpoint payload.
     pub payload_digest: [u8; 32],
+    /// Transaction id the checkpoint payload itself reflects. Journal
+    /// records carry seqs `checkpoint_txid + 1 ..= transaction_id`.
+    pub checkpoint_txid: u64,
+    /// Committed journal extent in blocks (from the start of the journal
+    /// region). Blocks beyond this are uncommitted appends — a torn
+    /// commit — and are ignored on replay.
+    pub journal_blocks: u64,
 }
 
 impl Superblock {
-    /// Encodes into a metadata block (must be at least 61 bytes).
+    /// Encodes into a metadata block (must be at least 77 bytes).
     ///
     /// # Panics
     ///
     /// Panics if `block` is too small.
     pub fn encode_into(&self, block: &mut [u8]) {
-        assert!(block.len() >= 61, "superblock needs at least 61 bytes");
+        assert!(block.len() >= 77, "superblock needs at least 77 bytes");
         block.fill(0);
         block[..8].copy_from_slice(SUPERBLOCK_MAGIC);
         block[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -149,6 +179,8 @@ impl Superblock {
         block[20] = self.active_half;
         block[21..29].copy_from_slice(&self.payload_len.to_le_bytes());
         block[29..61].copy_from_slice(&self.payload_digest);
+        block[61..69].copy_from_slice(&self.checkpoint_txid.to_le_bytes());
+        block[69..77].copy_from_slice(&self.journal_blocks.to_le_bytes());
     }
 
     /// Decodes from a metadata block.
@@ -159,7 +191,7 @@ impl Superblock {
     /// is wrong.
     pub fn decode(block: &[u8]) -> Result<Self, BlockDeviceError> {
         let corrupt = |detail: &str| BlockDeviceError::CorruptMetadata { detail: detail.into() };
-        if block.len() < 61 {
+        if block.len() < 77 {
             return Err(corrupt("superblock block too small"));
         }
         if &block[..8] != SUPERBLOCK_MAGIC {
@@ -177,7 +209,19 @@ impl Superblock {
         let payload_len = u64::from_le_bytes(block[21..29].try_into().unwrap());
         let mut payload_digest = [0u8; 32];
         payload_digest.copy_from_slice(&block[29..61]);
-        Ok(Superblock { transaction_id, active_half, payload_len, payload_digest })
+        let checkpoint_txid = u64::from_le_bytes(block[61..69].try_into().unwrap());
+        let journal_blocks = u64::from_le_bytes(block[69..77].try_into().unwrap());
+        if checkpoint_txid > transaction_id {
+            return Err(corrupt("checkpoint ahead of transaction id"));
+        }
+        Ok(Superblock {
+            transaction_id,
+            active_half,
+            payload_len,
+            payload_digest,
+            checkpoint_txid,
+            journal_blocks,
+        })
     }
 }
 
@@ -190,10 +234,10 @@ mod tests {
         bitmap.set(3);
         bitmap.set(77);
         let mut volumes = BTreeMap::new();
-        let mut m1 = BTreeMap::new();
+        let mut m1 = ExtentMap::new();
         m1.insert(0u64, 3u64);
         volumes.insert(1, VolumeMeta { id: 1, virtual_blocks: 64, mappings: m1 });
-        let mut m2 = BTreeMap::new();
+        let mut m2 = ExtentMap::new();
         m2.insert(9u64, 77u64);
         volumes.insert(2, VolumeMeta { id: 2, virtual_blocks: 64, mappings: m2 });
         MetadataView { transaction_id: 5, bitmap, volumes }
@@ -234,12 +278,34 @@ mod tests {
     }
 
     #[test]
+    fn sequential_mappings_serialize_as_one_extent() {
+        let mut bitmap = Bitmap::new(4096);
+        for p in 100..100 + 64 {
+            bitmap.set(p);
+        }
+        let mappings: ExtentMap = (0..64u64).map(|i| (i, 100 + i)).collect();
+        let mut volumes = BTreeMap::new();
+        volumes.insert(1, VolumeMeta { id: 1, virtual_blocks: 4096, mappings });
+        let view = MetadataView { transaction_id: 1, bitmap, volumes };
+        let bytes = view.to_bytes();
+        let back = MetadataView::from_bytes(&bytes).unwrap();
+        assert_eq!(back, view);
+        assert_eq!(back.volumes[&1].mappings.extent_count(), 1);
+        // One 24-byte triple instead of 64 16-byte pairs.
+        let per_volume = 4 + 8 + 8 + 24;
+        let bm = view.bitmap.to_bytes().len();
+        assert_eq!(bytes.len(), 8 + 8 + bm + 4 + per_volume);
+    }
+
+    #[test]
     fn superblock_roundtrip() {
         let sb = Superblock {
             transaction_id: 42,
             active_half: 1,
             payload_len: 1234,
             payload_digest: [7u8; 32],
+            checkpoint_txid: 40,
+            journal_blocks: 3,
         };
         let mut block = vec![0u8; 512];
         sb.encode_into(&mut block);
@@ -253,6 +319,8 @@ mod tests {
             active_half: 0,
             payload_len: 10,
             payload_digest: [0u8; 32],
+            checkpoint_txid: 1,
+            journal_blocks: 0,
         };
         let mut block = vec![0u8; 512];
         sb.encode_into(&mut block);
@@ -268,6 +336,10 @@ mod tests {
         let mut bad_half = block.clone();
         bad_half[20] = 2;
         assert!(Superblock::decode(&bad_half).is_err());
+
+        let mut ahead = block.clone();
+        ahead[61] = 9; // checkpoint_txid 9 > transaction_id 1
+        assert!(Superblock::decode(&ahead).is_err());
 
         assert!(Superblock::decode(&block[..10]).is_err());
     }

@@ -2,11 +2,13 @@
 
 use crate::allocator::{AllocStrategy, Allocator, RandomAllocator, SequentialAllocator};
 use crate::bitmap::Bitmap;
+use crate::extent::{Extent, ExtentMap};
+use crate::journal::{DeltaOp, JournalConfig, JournalRecord, TransactionManager};
 use crate::meta::{MetadataView, Superblock, VolumeMeta};
 use mobiceal_blockdev::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use mobiceal_crypto::sha256;
 use mobiceal_sim::{SimClock, SimDuration};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -27,10 +29,25 @@ impl PoolConfig {
     }
 }
 
+/// One uncommitted mapping change, in the order it happened. The commit
+/// path coalesces consecutive contiguous deltas into extent ops for the
+/// journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapDelta {
+    /// `vblock` now maps to `physical`.
+    Insert(u64, u64),
+    /// `vblock` is no longer mapped.
+    Remove(u64),
+}
+
 #[derive(Debug)]
 struct VolumeState {
     virtual_blocks: u64,
-    mappings: BTreeMap<u64, u64>,
+    mappings: ExtentMap,
+    /// Mapping changes since the last commit, in application order.
+    /// Cleared only after a commit has durably landed, so a failed commit
+    /// retries the same delta.
+    dirty: Vec<MapDelta>,
     /// Tombstone set by [`ThinPool::delete_volume`] under this state's
     /// lock. A caller that cloned the handle out of the directory *before*
     /// the delete must observe it after locking: without the flag, a
@@ -61,6 +78,21 @@ impl VolumeState {
             Ok(())
         }
     }
+
+    /// Maps `vblock` to `physical` and records the delta for the journal.
+    fn map(&mut self, vblock: u64, physical: u64) {
+        self.mappings.insert(vblock, physical);
+        self.dirty.push(MapDelta::Insert(vblock, physical));
+    }
+
+    /// Unmaps `vblock`, recording the delta if anything was mapped.
+    fn unmap(&mut self, vblock: u64) -> Option<u64> {
+        let prev = self.mappings.remove(&vblock);
+        if prev.is_some() {
+            self.dirty.push(MapDelta::Remove(vblock));
+        }
+        prev
+    }
 }
 
 /// One volume's mapping state behind its own lock: two volumes map batches
@@ -78,10 +110,26 @@ struct AllocState {
     allocator: Box<dyn Allocator>,
     /// Blocks allocated since the last commit (the open transaction). The
     /// allocator must not hand these out again (§V-A's transaction fix),
-    /// and a crash before commit releases them.
+    /// and a crash before commit releases them. At commit these become the
+    /// record's `Alloc` ops.
     reserved: HashSet<u64>,
     transaction_id: u64,
     active_half: u8,
+    /// Volume creates/deletes since the last commit, in order.
+    meta_ops: Vec<DeltaOp>,
+    /// Committed blocks freed since the last commit (the record's `Free`
+    /// ops). Blocks that were only reserved need no op: they were never
+    /// journaled as allocated.
+    journal_free: Vec<u64>,
+    /// Committed journal extent in blocks (mirrors the superblock).
+    journal_used: u64,
+    /// Transaction id of the checkpoint the journal is relative to.
+    checkpoint_txid: u64,
+    /// Checkpoint payload length, re-recorded by every journaled
+    /// superblock write.
+    checkpoint_payload_len: u64,
+    /// Checkpoint payload digest, likewise.
+    checkpoint_digest: [u8; 32],
 }
 
 impl AllocState {
@@ -96,10 +144,13 @@ impl AllocState {
     }
 
     /// Releases one physical block, whether it was committed or still in
-    /// the open transaction.
+    /// the open transaction. Freeing a *committed* block is a journalable
+    /// event; dropping an open-transaction reservation is not (it was
+    /// never persisted as allocated).
     fn release(&mut self, p: u64) {
         if !self.reserved.remove(&p) {
             self.bitmap.clear(p);
+            self.journal_free.push(p);
         }
     }
 }
@@ -168,6 +219,14 @@ impl std::fmt::Debug for ThinPool {
     }
 }
 
+/// Metadata-device layout: superblock at block 0, journal region next,
+/// then the two checkpoint shadow halves.
+struct MetaGeometry {
+    journal: JournalConfig,
+    half_first: u64,
+    half_len: u64,
+}
+
 fn make_allocator(strategy: AllocStrategy, seed: u64) -> Box<dyn Allocator> {
     match strategy {
         AllocStrategy::Sequential => Box::new(SequentialAllocator::new()),
@@ -209,7 +268,13 @@ impl ThinPool {
                     allocator: make_allocator(strategy, seed),
                     reserved: HashSet::new(),
                     transaction_id: 0,
-                    active_half: 1, // first commit goes to half 0
+                    active_half: 1, // first checkpoint goes to half 0
+                    meta_ops: Vec::new(),
+                    journal_free: Vec::new(),
+                    journal_used: 0,
+                    checkpoint_txid: 0,
+                    checkpoint_payload_len: 0,
+                    checkpoint_digest: [0u8; 32],
                 }),
                 read_overhead: RwLock::new(None),
             }),
@@ -217,18 +282,24 @@ impl ThinPool {
             meta,
             config,
         };
-        pool.commit()?;
+        // Format = the initial checkpoint; there is nothing to journal
+        // against yet.
+        pool.checkpoint()?;
         Ok(pool)
     }
 
     /// Opens an existing pool from its metadata device (e.g. after a reboot
-    /// or crash). Uncommitted state from a previous run is — by design —
-    /// absent.
+    /// or crash): decodes the superblock, reads the checkpoint payload from
+    /// the active shadow half, then replays the committed journal extent on
+    /// top of it. Uncommitted state from a previous run — journal appends
+    /// beyond the committed extent included — is, by design, absent.
     ///
     /// # Errors
     ///
     /// [`BlockDeviceError::CorruptMetadata`] if no valid superblock/payload
-    /// is found, or layer I/O errors.
+    /// is found, the journal fails its digests/sequence checks, or the
+    /// recovered state violates bitmap ⊇ mappings; layer I/O errors
+    /// otherwise.
     pub fn open(
         data: SharedDevice,
         meta: SharedDevice,
@@ -237,7 +308,12 @@ impl ThinPool {
         seed: u64,
     ) -> Result<Self, BlockDeviceError> {
         let sb = Superblock::decode(&meta.read_block(0)?)?;
-        let view = Self::read_payload(&meta, &sb)?;
+        let mut view = Self::read_payload(&meta, &sb)?;
+        if view.transaction_id != sb.checkpoint_txid {
+            return Err(BlockDeviceError::CorruptMetadata {
+                detail: "checkpoint payload transaction mismatch".into(),
+            });
+        }
         if view.bitmap.len() != data.num_blocks() {
             return Err(BlockDeviceError::CorruptMetadata {
                 detail: format!(
@@ -246,6 +322,23 @@ impl ThinPool {
                     data.num_blocks()
                 ),
             });
+        }
+        // Replay the committed journal extent on top of the checkpoint.
+        let tm = TransactionManager::new(meta.clone(), Self::geometry(&meta).journal);
+        let records = tm.replay(sb.journal_blocks, sb.checkpoint_txid + 1, sb.transaction_id)?;
+        for record in &records {
+            Self::apply_record(&mut view, record)?;
+        }
+        view.transaction_id = sb.transaction_id;
+        // Recovery invariant: every mapping references an allocated block.
+        for vol in view.volumes.values() {
+            for (_, p) in vol.mappings.iter() {
+                if !view.bitmap.get(p) {
+                    return Err(BlockDeviceError::CorruptMetadata {
+                        detail: format!("recovered mapping at {p} not covered by bitmap"),
+                    });
+                }
+            }
         }
         let volumes = view
             .volumes
@@ -256,6 +349,7 @@ impl ThinPool {
                     Arc::new(Mutex::new(VolumeState {
                         virtual_blocks: v.virtual_blocks,
                         mappings: v.mappings,
+                        dirty: Vec::new(),
                         deleted: false,
                     })),
                 )
@@ -270,6 +364,12 @@ impl ThinPool {
                     reserved: HashSet::new(),
                     transaction_id: sb.transaction_id,
                     active_half: sb.active_half,
+                    meta_ops: Vec::new(),
+                    journal_free: Vec::new(),
+                    journal_used: sb.journal_blocks,
+                    checkpoint_txid: sb.checkpoint_txid,
+                    checkpoint_payload_len: sb.payload_len,
+                    checkpoint_digest: sb.payload_digest,
                 }),
                 read_overhead: RwLock::new(None),
             }),
@@ -279,20 +379,88 @@ impl ThinPool {
         })
     }
 
-    fn half_geometry(meta: &SharedDevice) -> (u64, u64) {
-        // Block 0 is the superblock; the rest is split into two halves.
-        let usable = meta.num_blocks() - 1;
-        let half_len = usable / 2;
-        (1, half_len)
+    /// Applies one replayed journal record to a decoded view. Every op is
+    /// idempotent on mapping/bitmap state; volume lifecycle ops are
+    /// validated so a mis-sequenced journal surfaces as corruption instead
+    /// of silently diverging.
+    fn apply_record(
+        view: &mut MetadataView,
+        record: &JournalRecord,
+    ) -> Result<(), BlockDeviceError> {
+        let corrupt = |detail: String| BlockDeviceError::CorruptMetadata { detail };
+        for op in &record.ops {
+            match *op {
+                DeltaOp::CreateVolume { id, virtual_blocks } => {
+                    let fresh = VolumeMeta { id, virtual_blocks, mappings: ExtentMap::new() };
+                    if view.volumes.insert(id, fresh).is_some() {
+                        return Err(corrupt(format!("journal re-creates volume {id}")));
+                    }
+                }
+                DeltaOp::DeleteVolume { id } => {
+                    if view.volumes.remove(&id).is_none() {
+                        return Err(corrupt(format!("journal deletes unknown volume {id}")));
+                    }
+                }
+                DeltaOp::SetMapping { id, extent } => {
+                    let device_blocks = view.bitmap.len();
+                    let vol = view
+                        .volumes
+                        .get_mut(&id)
+                        .ok_or_else(|| corrupt(format!("journal maps unknown volume {id}")))?;
+                    if extent.virt_begin + extent.len > vol.virtual_blocks
+                        || extent.data_begin + extent.len > device_blocks
+                    {
+                        return Err(corrupt(format!("journal extent out of range for {id}")));
+                    }
+                    vol.mappings.insert_run(extent);
+                }
+                DeltaOp::RemoveMapping { id, virt_begin, len } => {
+                    let vol = view
+                        .volumes
+                        .get_mut(&id)
+                        .ok_or_else(|| corrupt(format!("journal unmaps unknown volume {id}")))?;
+                    vol.mappings.remove_run(virt_begin, len);
+                }
+                DeltaOp::Alloc { block } => {
+                    if block >= view.bitmap.len() {
+                        return Err(corrupt(format!("journal allocates out-of-range {block}")));
+                    }
+                    view.bitmap.set(block);
+                }
+                DeltaOp::Free { block } => {
+                    if block >= view.bitmap.len() {
+                        return Err(corrupt(format!("journal frees out-of-range {block}")));
+                    }
+                    view.bitmap.clear(block);
+                }
+                DeltaOp::Register { key, .. } => {
+                    return Err(corrupt(format!("pool journal carries register op {key}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Metadata-device layout: block 0 is the superblock, then the journal
+    /// region, then the two checkpoint shadow halves.
+    fn geometry(meta: &SharedDevice) -> MetaGeometry {
+        let usable = meta.num_blocks().saturating_sub(1);
+        let journal_blocks = (usable / 8).max(1);
+        let half_len = usable.saturating_sub(journal_blocks) / 2;
+        MetaGeometry {
+            journal: JournalConfig { first_block: 1, blocks: journal_blocks },
+            half_first: 1 + journal_blocks,
+            half_len,
+        }
     }
 
     fn read_payload(
         meta: &SharedDevice,
         sb: &Superblock,
     ) -> Result<MetadataView, BlockDeviceError> {
-        let (first, half_len) = Self::half_geometry(meta);
+        let MetaGeometry { half_first, half_len, .. } = Self::geometry(meta);
         let bs = meta.block_size();
-        let start = first + sb.active_half as u64 * half_len;
+        let start = half_first + sb.active_half as u64 * half_len;
         let need_blocks = (sb.payload_len as usize).div_ceil(bs) as u64;
         if need_blocks > half_len {
             return Err(BlockDeviceError::CorruptMetadata {
@@ -314,8 +482,7 @@ impl ThinPool {
         MetadataView::from_bytes(&payload)
     }
 
-    /// Persists all metadata crash-consistently and closes the open
-    /// transaction.
+    /// Persists the open transaction crash-consistently and closes it.
     ///
     /// Holds the directory, every volume lock (in ascending id order) and
     /// the allocator lock for the duration: a commit is a global barrier,
@@ -323,17 +490,94 @@ impl ThinPool {
     /// a mapping never references a physical block the persisted bitmap
     /// does not account for.
     ///
+    /// The fast path appends one checksummed [`JournalRecord`] carrying the
+    /// transaction's delta (coalesced mapping extents + bitmap changes) and
+    /// rewrites the superblock — I/O proportional to the transaction, not
+    /// to the pool. When the record would overflow the journal region, the
+    /// commit folds everything into a fresh checkpoint instead (full view
+    /// to the inactive shadow half, journal reset).
+    ///
     /// # Errors
     ///
     /// I/O errors from the metadata device; on failure the previous
-    /// transaction remains intact.
+    /// transaction remains intact and the delta is retained for retry.
     pub fn commit(&self) -> Result<(), BlockDeviceError> {
         let directory = self.shared.directory.read();
         // BTreeMap iteration is ascending by id — the canonical volume
         // lock order.
-        let volumes: Vec<(VolumeId, parking_lot::MutexGuard<'_, VolumeState>)> =
+        let mut volumes: Vec<(VolumeId, MutexGuard<'_, VolumeState>)> =
             directory.iter().map(|(&id, handle)| (id, handle.lock())).collect();
         let mut alloc = self.shared.alloc.lock();
+        let mut ops: Vec<DeltaOp> = alloc.meta_ops.clone();
+        for (id, vol) in volumes.iter() {
+            Self::coalesce_deltas(*id, &vol.dirty, &mut ops);
+        }
+        // Frees before allocs: a block freed and re-allocated in one
+        // transaction must replay as allocated.
+        for &b in &alloc.journal_free {
+            ops.push(DeltaOp::Free { block: b });
+        }
+        let mut fresh: Vec<u64> = alloc.reserved.iter().copied().collect();
+        fresh.sort_unstable();
+        for b in fresh {
+            ops.push(DeltaOp::Alloc { block: b });
+        }
+        let record = JournalRecord { seq: alloc.transaction_id + 1, ops };
+        let tm = TransactionManager::new(self.meta.clone(), Self::geometry(&self.meta).journal);
+        match tm.append(alloc.journal_used, &record) {
+            Ok(new_used) => {
+                // Superblock write is the commit point: it extends the
+                // committed journal extent while re-recording the existing
+                // checkpoint reference.
+                let sb = Superblock {
+                    transaction_id: alloc.transaction_id + 1,
+                    active_half: alloc.active_half,
+                    payload_len: alloc.checkpoint_payload_len,
+                    payload_digest: alloc.checkpoint_digest,
+                    checkpoint_txid: alloc.checkpoint_txid,
+                    journal_blocks: new_used,
+                };
+                self.write_superblock(&sb)?;
+                alloc.journal_used = new_used;
+            }
+            // Journal full (or record larger than the region): fold the
+            // whole state into a fresh checkpoint and reset the journal.
+            Err(BlockDeviceError::NoSpace) => {
+                self.checkpoint_locked(&volumes, &mut alloc)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Self::finish_commit(&mut volumes, &mut alloc);
+        Ok(())
+    }
+
+    /// Forces a full-cut commit: serializes the entire metadata view to the
+    /// inactive shadow half, flips the superblock to it and resets the
+    /// journal. `commit()` falls back to this automatically when the
+    /// journal region fills; it is public so callers (and benchmarks) can
+    /// compare the full-cut cost against the journaled fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThinPool::commit`].
+    pub fn checkpoint(&self) -> Result<(), BlockDeviceError> {
+        let directory = self.shared.directory.read();
+        let mut volumes: Vec<(VolumeId, MutexGuard<'_, VolumeState>)> =
+            directory.iter().map(|(&id, handle)| (id, handle.lock())).collect();
+        let mut alloc = self.shared.alloc.lock();
+        self.checkpoint_locked(&volumes, &mut alloc)?;
+        Self::finish_commit(&mut volumes, &mut alloc);
+        Ok(())
+    }
+
+    /// The full-cut path, under the commit barrier's locks. On success the
+    /// superblock names the new half with an empty journal; the caller
+    /// still runs [`ThinPool::finish_commit`].
+    fn checkpoint_locked(
+        &self,
+        volumes: &[(VolumeId, MutexGuard<'_, VolumeState>)],
+        alloc: &mut AllocState,
+    ) -> Result<(), BlockDeviceError> {
         let view = MetadataView {
             transaction_id: alloc.transaction_id + 1,
             bitmap: alloc.live_bitmap(),
@@ -352,10 +596,10 @@ impl ThinPool {
                 .collect(),
         };
         let payload = view.to_bytes();
-        let (first, half_len) = Self::half_geometry(&self.meta);
+        let MetaGeometry { half_first, half_len, .. } = Self::geometry(&self.meta);
         let bs = self.meta.block_size();
         let target_half = 1 - alloc.active_half;
-        let start = first + target_half as u64 * half_len;
+        let start = half_first + target_half as u64 * half_len;
         let need_blocks = payload.len().div_ceil(bs) as u64;
         if need_blocks > half_len {
             return Err(BlockDeviceError::NoSpace);
@@ -379,24 +623,89 @@ impl ThinPool {
         self.meta.write_blocks(&writes)?;
         self.meta.flush()?;
         // Superblock last: this is the commit point.
+        let digest = sha256(&payload);
         let sb = Superblock {
             transaction_id: alloc.transaction_id + 1,
             active_half: target_half,
             payload_len: payload.len() as u64,
-            payload_digest: sha256(&payload),
+            payload_digest: digest,
+            checkpoint_txid: alloc.transaction_id + 1,
+            journal_blocks: 0,
         };
-        let mut sb_block = vec![0u8; bs];
+        self.write_superblock(&sb)?;
+        alloc.active_half = target_half;
+        alloc.checkpoint_txid = alloc.transaction_id + 1;
+        alloc.checkpoint_payload_len = payload.len() as u64;
+        alloc.checkpoint_digest = digest;
+        alloc.journal_used = 0;
+        Ok(())
+    }
+
+    /// Encodes and writes the superblock, flushing after.
+    fn write_superblock(&self, sb: &Superblock) -> Result<(), BlockDeviceError> {
+        let mut sb_block = vec![0u8; self.meta.block_size()];
         sb.encode_into(&mut sb_block);
         self.meta.write_block(0, &sb_block)?;
-        self.meta.flush()?;
+        self.meta.flush()
+    }
+
+    /// Closes the open transaction after a durable commit: advances the
+    /// transaction id, drops the recorded deltas and folds reservations
+    /// into the committed bitmap. Only called after the superblock write
+    /// succeeded — a failed commit keeps every delta for retry.
+    fn finish_commit(
+        volumes: &mut [(VolumeId, MutexGuard<'_, VolumeState>)],
+        alloc: &mut AllocState,
+    ) {
         alloc.transaction_id += 1;
-        alloc.active_half = target_half;
-        // Fold the open transaction into the committed bitmap.
+        for (_, vol) in volumes.iter_mut() {
+            vol.dirty.clear();
+        }
+        alloc.meta_ops.clear();
+        alloc.journal_free.clear();
         let reserved: Vec<u64> = alloc.reserved.drain().collect();
         for b in reserved {
             alloc.bitmap.set(b);
         }
-        Ok(())
+    }
+
+    /// Coalesces one volume's ordered mapping deltas into extent ops:
+    /// consecutive contiguous inserts become one `SetMapping`, consecutive
+    /// removes one `RemoveMapping`. Order is preserved, so replaying the
+    /// ops reproduces the in-memory mapping table exactly.
+    fn coalesce_deltas(id: VolumeId, dirty: &[MapDelta], ops: &mut Vec<DeltaOp>) {
+        let mut i = 0usize;
+        while i < dirty.len() {
+            match dirty[i] {
+                MapDelta::Insert(v, p) => {
+                    let mut len = 1u64;
+                    while let Some(MapDelta::Insert(v2, p2)) = dirty.get(i + len as usize) {
+                        if *v2 == v + len && *p2 == p + len {
+                            len += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    ops.push(DeltaOp::SetMapping {
+                        id,
+                        extent: Extent { virt_begin: v, data_begin: p, len },
+                    });
+                    i += len as usize;
+                }
+                MapDelta::Remove(v) => {
+                    let mut len = 1u64;
+                    while let Some(MapDelta::Remove(v2)) = dirty.get(i + len as usize) {
+                        if *v2 == v + len {
+                            len += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    ops.push(DeltaOp::RemoveMapping { id, virt_begin: v, len });
+                    i += len as usize;
+                }
+            }
+        }
     }
 
     /// Creates a thin volume of `virtual_blocks` provisioned size.
@@ -423,10 +732,14 @@ impl ThinPool {
             id,
             Arc::new(Mutex::new(VolumeState {
                 virtual_blocks,
-                mappings: BTreeMap::new(),
+                mappings: ExtentMap::new(),
+                dirty: Vec::new(),
                 deleted: false,
             })),
         );
+        // Record the lifecycle event for the journal (directory write lock
+        // → alloc is the canonical order).
+        self.shared.alloc.lock().meta_ops.push(DeltaOp::CreateVolume { id, virtual_blocks });
         drop(directory);
         Ok(self.volume_handle(id, virtual_blocks))
     }
@@ -465,9 +778,14 @@ impl ThinPool {
         let blocks: Vec<u64> = {
             let mut vol = handle.lock();
             vol.deleted = true;
-            std::mem::take(&mut vol.mappings).into_values().collect()
+            // The volume's pending deltas die with it: the journaled
+            // DeleteVolume removes the whole volume on replay, and only
+            // *committed* blocks produce Free ops (via `release`).
+            vol.dirty.clear();
+            std::mem::take(&mut vol.mappings).values().collect()
         };
         let mut alloc = self.shared.alloc.lock();
+        alloc.meta_ops.push(DeltaOp::DeleteVolume { id });
         for p in blocks {
             alloc.release(p);
         }
@@ -579,7 +897,7 @@ impl ThinPool {
             vol.check_live_pool(id)?;
             // Lowest unmapped virtual index.
             let mut vblock = 0u64;
-            for (&v, _) in vol.mappings.iter() {
+            for (v, _) in vol.mappings.iter() {
                 if v == vblock {
                     vblock += 1;
                 } else {
@@ -590,7 +908,7 @@ impl ThinPool {
                 return Err(BlockDeviceError::NoSpace);
             }
             let p = Self::allocate_one(&self.shared)?;
-            vol.mappings.insert(vblock, p);
+            vol.map(vblock, p);
             (vblock, p)
         };
         if let Err(e) = self.data.write_block(p, data) {
@@ -659,7 +977,7 @@ impl ThinPool {
                 let Ok(p) = Self::allocate_one(&self.shared) else {
                     break; // pool exhausted: drop the rest
                 };
-                vol.mappings.insert(vblock, p);
+                vol.map(vblock, p);
                 staged.push((vblock, p));
                 writes.push((p, data));
             }
@@ -688,8 +1006,8 @@ impl ThinPool {
         if let Ok(handle) = shared.volume(id) {
             let mut vol = handle.lock();
             for &(vblock, p) in staged {
-                if vol.mappings.get(&vblock) == Some(&p) {
-                    vol.mappings.remove(&vblock);
+                if vol.mappings.get(&vblock) == Some(p) {
+                    vol.unmap(vblock);
                     unstaged.push(p);
                 }
             }
@@ -713,7 +1031,7 @@ impl ThinPool {
         let freed: Vec<u64> = {
             let mut vol = handle.lock();
             vol.check_live_pool(id)?;
-            vblocks.iter().filter_map(|v| vol.mappings.remove(v)).collect()
+            vblocks.iter().filter_map(|&v| vol.unmap(v)).collect()
         };
         let mut alloc = self.shared.alloc.lock();
         for p in freed {
@@ -788,7 +1106,7 @@ impl ThinVolume {
 
     /// The physical block backing `vblock`, if mapped.
     pub fn mapping(&self, vblock: u64) -> Option<u64> {
-        self.handle().ok().and_then(|h| h.lock().mappings.get(&vblock).copied())
+        self.handle().ok().and_then(|h| h.lock().mappings.get(&vblock))
     }
 
     /// Vectored [`ThinVolume::mapping`]: resolves many virtual blocks under
@@ -798,7 +1116,7 @@ impl ThinVolume {
         match self.handle() {
             Ok(handle) => {
                 let vol = handle.lock();
-                vblocks.iter().map(|v| vol.mappings.get(v).copied()).collect()
+                vblocks.iter().map(|v| vol.mappings.get(v)).collect()
             }
             Err(_) => vec![None; vblocks.len()],
         }
@@ -820,7 +1138,7 @@ impl BlockDevice for ThinVolume {
         let mapping = {
             let vol = handle.lock();
             vol.check_live_volume(self.id)?;
-            vol.mappings.get(&index).copied()
+            vol.mappings.get(&index)
         };
         self.shared.charge_read_overhead(1);
         match mapping {
@@ -837,11 +1155,11 @@ impl BlockDevice for ThinVolume {
         let (physical, fresh) = {
             let mut vol = handle.lock();
             vol.check_live_volume(self.id)?;
-            match vol.mappings.get(&index).copied() {
+            match vol.mappings.get(&index) {
                 Some(p) => (p, false),
                 None => {
                     let p = ThinPool::allocate_one(&self.shared)?;
-                    vol.mappings.insert(index, p);
+                    vol.map(index, p);
                     (p, true)
                 }
             }
@@ -869,7 +1187,7 @@ impl BlockDevice for ThinVolume {
         let mappings: Vec<Option<u64>> = {
             let vol = handle.lock();
             vol.check_live_volume(self.id)?;
-            valid.iter().map(|index| vol.mappings.get(index).copied()).collect()
+            valid.iter().map(|index| vol.mappings.get(index)).collect()
         };
         self.shared.charge_read_overhead(valid.len());
         let physical: Vec<u64> = mappings.iter().filter_map(|m| *m).collect();
@@ -912,11 +1230,11 @@ impl BlockDevice for ThinVolume {
                     first_error = Some(e);
                     break;
                 }
-                let physical = match vol.mappings.get(&index).copied() {
+                let physical = match vol.mappings.get(&index) {
                     Some(p) => p,
                     None => match ThinPool::allocate_one(&self.shared) {
                         Ok(p) => {
-                            vol.mappings.insert(index, p);
+                            vol.map(index, p);
                             fresh.push((index, p));
                             p
                         }
@@ -1002,8 +1320,8 @@ mod tests {
         }
         // Physical blocks must be disjoint.
         let view = p.metadata_view();
-        let pa: HashSet<u64> = view.volumes[&1].mappings.values().copied().collect();
-        let pb: HashSet<u64> = view.volumes[&2].mappings.values().copied().collect();
+        let pa: HashSet<u64> = view.volumes[&1].mappings.values().collect();
+        let pb: HashSet<u64> = view.volumes[&2].mappings.values().collect();
         assert!(pa.is_disjoint(&pb));
         for i in 0..50 {
             assert_eq!(a.read_block(i).unwrap(), vec![0xAA; 512]);
@@ -1037,7 +1355,7 @@ mod tests {
             v.write_block(i, &vec![1u8; 512]).unwrap();
         }
         let view = p.metadata_view();
-        let physical: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let physical: Vec<u64> = view.volumes[&1].mappings.values().collect();
         assert_eq!(physical, (0..20).collect::<Vec<u64>>());
     }
 
@@ -1049,7 +1367,7 @@ mod tests {
             v.write_block(i, &vec![1u8; 512]).unwrap();
         }
         let view = p.metadata_view();
-        let physical: Vec<u64> = view.volumes[&1].mappings.values().copied().collect();
+        let physical: Vec<u64> = view.volumes[&1].mappings.values().collect();
         assert_ne!(physical, (0..20).collect::<Vec<u64>>());
         assert!(physical.iter().any(|&b| b >= 64), "some blocks land beyond the front");
     }
@@ -1240,8 +1558,8 @@ mod tests {
             assert_eq!(b.read_block(i).unwrap(), vec![0xBB; 512], "b[{i}]");
         }
         let view = p.metadata_view();
-        let pa: HashSet<u64> = view.volumes[&1].mappings.values().copied().collect();
-        let pb: HashSet<u64> = view.volumes[&2].mappings.values().copied().collect();
+        let pa: HashSet<u64> = view.volumes[&1].mappings.values().collect();
+        let pb: HashSet<u64> = view.volumes[&2].mappings.values().collect();
         assert_eq!(pa.len(), 256);
         assert_eq!(pb.len(), 256);
         assert!(pa.is_disjoint(&pb), "volumes must never share a physical block");
@@ -1280,7 +1598,7 @@ mod tests {
         });
         p.commit().unwrap();
         let view = p.metadata_view();
-        for &phys in view.volumes[&1].mappings.values() {
+        for phys in view.volumes[&1].mappings.values() {
             assert!(view.bitmap.get(phys), "mapping at {phys} must be accounted allocated");
         }
     }
@@ -1423,5 +1741,148 @@ mod tests {
         assert!(
             ThinPool::open(data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0).is_err()
         );
+    }
+
+    #[test]
+    fn commit_io_proportional_to_transaction_size() {
+        // The seed full-cut bug: committing one mapping rewrote the whole
+        // metadata view. With the journal, a one-mapping commit must write
+        // a bounded number of metadata blocks regardless of pool history.
+        let data: SharedDevice = Arc::new(MemDisk::with_default_timing(4096, 512));
+        let meta_disk = Arc::new(MemDisk::with_default_timing(128, 512));
+        let p = ThinPool::create_seeded(
+            data,
+            meta_disk.clone() as SharedDevice,
+            PoolConfig::new(4),
+            AllocStrategy::Random, // fragmented: the full view is large
+            7,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 2048).unwrap();
+        let buf = vec![0x11u8; 512];
+        for i in 0..512u64 {
+            v.write_block(i, &buf).unwrap();
+        }
+        p.commit().unwrap();
+
+        // One-mapping transaction: journal record + superblock only.
+        v.write_block(1500, &buf).unwrap();
+        let before = meta_disk.stats();
+        p.commit().unwrap();
+        let journaled = meta_disk.stats().delta_since(&before);
+        assert!(
+            journaled.bytes_written() <= 2 * 512,
+            "one-mapping commit wrote {} bytes (expected ≤ 2 blocks)",
+            journaled.bytes_written()
+        );
+
+        // The full cut of the same pool is an order of magnitude bigger.
+        let before = meta_disk.stats();
+        p.checkpoint().unwrap();
+        let full_cut = meta_disk.stats().delta_since(&before);
+        assert!(
+            full_cut.bytes_written() >= 8 * journaled.bytes_written(),
+            "full cut {} vs journaled {} bytes",
+            full_cut.bytes_written(),
+            journaled.bytes_written()
+        );
+    }
+
+    #[test]
+    fn journal_overflow_falls_back_to_checkpoint() {
+        // Keep committing until the journal region fills: commit() must
+        // fold into a checkpoint (journal reset) and every state survives
+        // reopen at every step.
+        let (data, meta) = devices(256, 64); // journal region: 7 blocks
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(4),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 200).unwrap();
+        let buf = vec![0x42u8; 512];
+        for i in 0..24u64 {
+            v.write_block(i, &buf).unwrap();
+            p.commit().unwrap();
+            let p2 = ThinPool::open(
+                data.clone(),
+                meta.clone(),
+                PoolConfig::new(4),
+                AllocStrategy::Sequential,
+                0,
+            )
+            .unwrap();
+            assert_eq!(
+                p2.volume_mapped_blocks(1),
+                i + 1,
+                "reopen after commit {i} must see every committed mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn journaled_volume_lifecycle_survives_reopen() {
+        // Create/delete/re-create inside journaled transactions: replay
+        // must reproduce the exact lifecycle, including freed blocks.
+        let (data, meta) = devices(256, 128);
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let a = p.create_volume(1, 100).unwrap();
+        a.write_block(0, &vec![0xAA; 512]).unwrap();
+        a.write_block(1, &vec![0xAB; 512]).unwrap();
+        p.commit().unwrap();
+        // Delete the committed volume and re-create the id, all in one
+        // transaction.
+        p.delete_volume(1).unwrap();
+        let b = p.create_volume(1, 50).unwrap();
+        b.write_block(5, &vec![0xBB; 512]).unwrap();
+        p.commit().unwrap();
+        drop((p, a, b));
+
+        let p2 = ThinPool::open(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(8),
+            AllocStrategy::Sequential,
+            0,
+        )
+        .unwrap();
+        let v = p2.open_volume(1).unwrap();
+        assert_eq!(v.num_blocks(), 50, "replay must surface the re-created volume");
+        assert_eq!(v.read_block(5).unwrap(), vec![0xBB; 512]);
+        assert_eq!(v.read_block(0).unwrap(), vec![0u8; 512], "old volume's data unmapped");
+        assert_eq!(p2.allocated_blocks(), 1, "old volume's blocks freed by replay");
+    }
+
+    #[test]
+    fn discard_of_committed_mapping_replays_as_free() {
+        let (data, meta) = devices(256, 128);
+        let p = ThinPool::create(
+            data.clone(),
+            meta.clone(),
+            PoolConfig::new(4),
+            AllocStrategy::Sequential,
+        )
+        .unwrap();
+        let v = p.create_volume(1, 100).unwrap();
+        v.write_block(3, &vec![1u8; 512]).unwrap();
+        v.write_block(4, &vec![2u8; 512]).unwrap();
+        p.commit().unwrap();
+        p.discard(1, 3).unwrap();
+        p.commit().unwrap();
+        drop((p, v));
+        let p2 =
+            ThinPool::open(data, meta, PoolConfig::new(4), AllocStrategy::Sequential, 0).unwrap();
+        let v2 = p2.open_volume(1).unwrap();
+        assert_eq!(v2.read_block(3).unwrap(), vec![0u8; 512], "discard journaled");
+        assert_eq!(v2.read_block(4).unwrap(), vec![2u8; 512]);
+        assert_eq!(p2.allocated_blocks(), 1);
     }
 }

@@ -106,7 +106,7 @@ proptest! {
             let view = pool.metadata_view();
             let mut seen = HashSet::new();
             for vol in view.volumes.values() {
-                for &p in vol.mappings.values() {
+                for p in vol.mappings.values() {
                     prop_assert!(seen.insert(p), "physical block {} double-mapped", p);
                     prop_assert!(view.bitmap.get(p), "mapped block {} not marked allocated", p);
                 }

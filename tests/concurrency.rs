@@ -68,7 +68,7 @@ fn parallel_public_and_hidden_writers() {
     let view = mc.metadata_view();
     let mut seen = std::collections::HashSet::new();
     for vol in view.volumes.values() {
-        for &p in vol.mappings.values() {
+        for p in vol.mappings.values() {
             assert!(seen.insert(p), "physical block {p} double-mapped");
         }
     }
@@ -177,7 +177,7 @@ fn parallel_batched_volumes_match_sequential_execution() {
     let view = mc.metadata_view();
     let mut seen = std::collections::HashSet::new();
     for vol in view.volumes.values() {
-        for &p in vol.mappings.values() {
+        for p in vol.mappings.values() {
             assert!(seen.insert(p), "physical block {p} double-mapped");
         }
     }

@@ -109,7 +109,7 @@ fn hidden_volume_headers_and_dummy_headers_are_indistinguishable_noise() {
         if id == 1 {
             continue;
         }
-        let phys = vol.mappings[&0] + offset;
+        let phys = vol.mappings.get(&0).unwrap() + offset;
         let entropy = obs.snapshot.block_entropy(phys);
         assert!(entropy > 7.0, "volume {id} header entropy {entropy}");
         let block = obs.snapshot.block(phys);
@@ -527,6 +527,82 @@ fn hive_map_block_granularity_is_the_documented_residual_leak() {
         across_a_boundary.as_nanos(),
         inside_one_map_block.as_nanos()
     );
+}
+
+#[test]
+fn journal_replay_is_world_independent() {
+    // PR 7's journaled metadata adds a recovery path, and recovery runs
+    // while the adversary may be watching (a coerced reboot): replaying
+    // the metadata journal must not reveal which world produced it. Two
+    // worlds whose traces have identical batch shapes and block counts —
+    // one writing the public volume, one a hidden volume — leave journals
+    // of identical shape (volume ids differ only in value, never in
+    // encoded size), so remounting must charge identical simulated time
+    // and an identical device op mix. The dummy trigger is quiesced with
+    // x = 1 exactly as in batch_amortization_opens_no_timing_channel.
+    use mobiceal::{MobiCeal, MobiCealConfig};
+    use mobiceal_blockdev::{BlockDevice, DeviceStats, MemDisk, SharedDevice};
+    use mobiceal_sim::SimClock;
+    use std::sync::Arc;
+
+    let config = || MobiCealConfig {
+        num_volumes: 6,
+        pbkdf2_iterations: 4,
+        metadata_blocks: 64,
+        x: 1,
+        ..Default::default()
+    };
+    let run_world = |hidden_world: bool, seed: u64| -> (u64, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(8192, 4096, clock.clone()));
+        let mc = MobiCeal::initialize(
+            disk.clone() as SharedDevice,
+            clock.clone(),
+            config(),
+            "decoy",
+            &["hidden-a", "hidden-b"],
+            seed,
+        )
+        .unwrap();
+        let vol: Box<dyn BlockDevice> = if hidden_world {
+            Box::new(mc.unlock_hidden("hidden-a").unwrap())
+        } else {
+            Box::new(mc.unlock_public("decoy").unwrap())
+        };
+        // Two committed transactions so the remount replays a multi-record
+        // journal, not just the checkpoint.
+        run_write_trace(vol.as_ref(), &clock);
+        mc.commit().unwrap();
+        let data = vec![0x5A; 4096];
+        let batch: Vec<(u64, &[u8])> = (64..80u64).map(|i| (i, data.as_slice())).collect();
+        vol.write_blocks(&batch).unwrap();
+        mc.commit().unwrap();
+        drop((vol, mc));
+
+        // The measured window is the remount itself: superblock read,
+        // checkpoint load, journal replay.
+        disk.reset_stats();
+        let t0 = clock.now();
+        let reopened =
+            MobiCeal::open(disk.clone() as SharedDevice, clock.clone(), config(), seed + 1)
+                .unwrap();
+        let elapsed = (clock.now() - t0).as_nanos();
+        drop(reopened);
+        (elapsed, disk.stats())
+    };
+
+    for seed in [13u64, 77] {
+        let (public_time, public_stats) = run_world(false, seed);
+        let (hidden_time, hidden_stats) = run_world(true, seed);
+        assert_eq!(
+            public_time, hidden_time,
+            "journal replay must charge world-independent time (seed {seed})"
+        );
+        assert_eq!(
+            public_stats, hidden_stats,
+            "journal replay must leave a world-independent op mix (seed {seed})"
+        );
+    }
 }
 
 #[test]
