@@ -611,6 +611,14 @@ impl BlockDevice for HiveWoOram {
     fn flush(&self) -> Result<(), BlockDeviceError> {
         self.dev.flush()
     }
+
+    fn host_queue_enter(&self) {
+        self.dev.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.dev.host_queue_leave();
+    }
 }
 
 #[cfg(test)]

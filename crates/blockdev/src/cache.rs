@@ -1,0 +1,543 @@
+//! [`WriteBackCache`]: a sharded write-back block cache over any
+//! [`BlockDevice`].
+//!
+//! The cache sits between a file system (or the PDE layer) and the thin
+//! pool, absorbing foreground writes into memory and landing them on the
+//! backing device later as *batched vectored write-back* — the dm-cache /
+//! bcache split that takes read-modify-write latency off the foreground
+//! path. Layout mirrors the MemDisk shard locks of the concurrency
+//! architecture: entries are striped across [`CacheConfig::shards`]
+//! independently locked shards, each with its own hash index and
+//! [`Lru`](crate::lru::Lru) recency list, so concurrent readers/writers on
+//! different stripes never contend.
+//!
+//! Two contracts carry the design (see DESIGN.md §"Write-back cache &
+//! background copier"):
+//!
+//! * **Flush ordering.** [`WriteBackCache::flush`] writes every dirty
+//!   entry back through the backing device's `write_blocks` in ascending
+//!   block order and only then forwards the flush. Callers that commit
+//!   metadata referencing cached data (the thin pool's journal commit)
+//!   flush the cache *first*, so dirty data blocks — and the thin mappings
+//!   their write-back allocates — always land before the metadata commit
+//!   that references them. The crash-recovery sweep pins this through the
+//!   full cached stack.
+//! * **World-independence.** Hit/miss, eviction and write-back decisions
+//!   depend only on the sequence of block indices and operation kinds —
+//!   never on block contents or which volume the cache serves. Identical
+//!   traces leave identical [`CacheStats`] and identical backing-device op
+//!   mixes (pinned in `tests/deniability.rs`).
+//!
+//! A capacity of 0 blocks is an exact pass-through: every call forwards
+//! directly to the backing device and the cached stack is bit-identical to
+//! the direct path (the analogue of the depth-1 ring reassembling the
+//! direct path in the engine).
+
+use crate::device::{BlockDevice, BlockDeviceError, BlockIndex};
+use crate::lru::Lru;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning for a [`WriteBackCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total cache capacity in blocks across all shards. 0 disables the
+    /// cache entirely (exact pass-through).
+    pub capacity_blocks: usize,
+    /// Number of independently locked shards the index is striped over.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity_blocks: 0, shards: 8 }
+    }
+}
+
+impl CacheConfig {
+    /// A pass-through configuration (capacity 0).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A cache of `capacity_blocks` with the default shard count.
+    pub fn with_capacity(capacity_blocks: usize) -> Self {
+        CacheConfig { capacity_blocks, ..Self::default() }
+    }
+}
+
+/// Monotonic cache counters. Hits and misses telescope: their sum equals
+/// the number of block lookups the cache served, and every dirty block is
+/// accounted for exactly once as a `writeback` (by eviction or flush).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block reads served from the cache.
+    pub read_hits: u64,
+    /// Block reads that went to the backing device.
+    pub read_misses: u64,
+    /// Block writes absorbed by an existing entry.
+    pub write_hits: u64,
+    /// Block writes that created a new entry.
+    pub write_misses: u64,
+    /// Entries evicted to make room (clean or dirty).
+    pub evictions: u64,
+    /// Dirty blocks written back to the backing device.
+    pub writebacks: u64,
+    /// Flush calls that reached the backing device.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Total block lookups (reads + writes) the cache has served.
+    pub fn lookups(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+}
+
+#[derive(Default)]
+struct AtomicCacheStats {
+    read_hits: AtomicU64,
+    read_misses: AtomicU64,
+    write_hits: AtomicU64,
+    write_misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            read_misses: self.read_misses.load(Ordering::Relaxed),
+            write_hits: self.write_hits.load(Ordering::Relaxed),
+            write_misses: self.write_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Entry {
+    data: Vec<u8>,
+    dirty: bool,
+    /// This entry's slot in the shard's recency list.
+    slot: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// block index → cached entry.
+    index: HashMap<BlockIndex, Entry>,
+    lru: Lru,
+}
+
+/// A sharded write-back LRU block cache wrapping any [`BlockDevice`].
+///
+/// See the module docs for the contracts; construction is cheap and the
+/// cache is safe to share across threads (each shard has its own lock).
+pub struct WriteBackCache<D: BlockDevice> {
+    inner: D,
+    config: CacheConfig,
+    /// Per-shard capacity: ceil(capacity / shards), so the striped total is
+    /// at least the configured capacity.
+    shard_capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    stats: AtomicCacheStats,
+}
+
+impl<D: BlockDevice> WriteBackCache<D> {
+    /// Wraps `inner` with a cache shaped by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is 0 while the cache is enabled.
+    pub fn new(inner: D, config: CacheConfig) -> Self {
+        assert!(
+            config.capacity_blocks == 0 || config.shards > 0,
+            "an enabled cache needs at least one shard"
+        );
+        let shards = config.shards.max(1);
+        let shard_capacity = config.capacity_blocks.div_ceil(shards);
+        WriteBackCache {
+            inner,
+            config,
+            shard_capacity,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            stats: AtomicCacheStats::default(),
+        }
+    }
+
+    /// The backing device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Whether the cache is a pass-through (capacity 0).
+    pub fn is_passthrough(&self) -> bool {
+        self.config.capacity_blocks == 0
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Blocks currently cached (dirty + clean).
+    pub fn cached_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().lru.len()).sum()
+    }
+
+    /// Blocks currently dirty (absorbed but not yet written back).
+    pub fn dirty_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().index.values().filter(|e| e.dirty).count()).sum()
+    }
+
+    fn shard_of(&self, index: BlockIndex) -> usize {
+        (index % self.shards.len() as u64) as usize
+    }
+
+    /// Evicts cold entries from `shard` until it is within capacity,
+    /// collecting dirty victims. Returns the dirty `(index, data)` pairs in
+    /// eviction order for the caller to write back *after* dropping the
+    /// shard lock (lock order: shard → device, never device → shard).
+    fn evict_overflow(&self, shard: &mut Shard) -> Vec<(BlockIndex, Vec<u8>)> {
+        let mut dirty = Vec::new();
+        while shard.index.len() > self.shard_capacity {
+            let Some((_, key)) = shard.lru.pop_coldest() else { break };
+            let entry = shard.index.remove(&key).expect("LRU key must be indexed");
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if entry.dirty {
+                dirty.push((key, entry.data));
+            }
+        }
+        dirty
+    }
+
+    /// Writes evicted dirty blocks back as one vectored batch, in ascending
+    /// block order (deterministic regardless of hash-map iteration). On a
+    /// device fault every block of the batch goes back into its shard as
+    /// dirty — the error names no landed prefix, and re-writing an
+    /// already-landed block is idempotent — so a failed write-back never
+    /// loses data; the next eviction or flush retries it.
+    fn write_back(&self, mut blocks: Vec<(BlockIndex, Vec<u8>)>) -> Result<(), BlockDeviceError> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        blocks.sort_unstable_by_key(|&(b, _)| b);
+        let writes: Vec<(BlockIndex, &[u8])> =
+            blocks.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+        match self.inner.write_blocks(&writes) {
+            Ok(()) => {
+                self.stats.writebacks.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                for (b, data) in blocks {
+                    let mut shard = self.shards[self.shard_of(b)].lock();
+                    if shard.index.contains_key(&b) {
+                        // A racing write re-populated the block with newer
+                        // data; the evicted value is stale — keep theirs.
+                        continue;
+                    }
+                    // Deliberately no eviction here: the shard may sit one
+                    // entry over capacity until the next operation, which
+                    // beats recursing into another failing write-back.
+                    let slot = shard.lru.insert(b);
+                    shard.index.insert(b, Entry { data, dirty: true, slot });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Removes the dirty flag from flushed entries. Called only after the
+    /// write-back batch succeeded; an entry re-dirtied with *different*
+    /// data while the batch was in flight stays dirty.
+    fn mark_clean(&self, blocks: &[(BlockIndex, Vec<u8>)]) {
+        for (b, written) in blocks {
+            let mut shard = self.shards[self.shard_of(*b)].lock();
+            if let Some(entry) = shard.index.get_mut(b) {
+                if entry.data == *written {
+                    entry.dirty = false;
+                }
+            }
+        }
+    }
+}
+
+impl<D: BlockDevice> std::fmt::Debug for WriteBackCache<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteBackCache")
+            .field("config", &self.config)
+            .field("cached_blocks", &self.cached_blocks())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for WriteBackCache<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, index: BlockIndex) -> Result<Vec<u8>, BlockDeviceError> {
+        if self.is_passthrough() {
+            return self.inner.read_block(index);
+        }
+        self.check_index(index)?;
+        {
+            let mut shard = self.shards[self.shard_of(index)].lock();
+            if let Some(entry) = shard.index.get(&index) {
+                let slot = entry.slot;
+                let data = entry.data.clone();
+                shard.lru.touch(slot);
+                self.stats.read_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(data);
+            }
+        }
+        // Miss: fetch outside the shard lock, then populate.
+        self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.read_block(index)?;
+        let evicted = {
+            let mut shard = self.shards[self.shard_of(index)].lock();
+            // A racing populate may have landed; recency still advances.
+            if let Some(entry) = shard.index.get(&index) {
+                let slot = entry.slot;
+                shard.lru.touch(slot);
+                Vec::new()
+            } else {
+                let slot = shard.lru.insert(index);
+                shard.index.insert(index, Entry { data: data.clone(), dirty: false, slot });
+                self.evict_overflow(&mut shard)
+            }
+        };
+        self.write_back(evicted)?;
+        Ok(data)
+    }
+
+    fn write_block(&self, index: BlockIndex, data: &[u8]) -> Result<(), BlockDeviceError> {
+        self.write_blocks(&[(index, data)])
+    }
+
+    /// Batched read: hits are served from the shards, misses go down as one
+    /// vectored read of exactly the missing indices, and the result order
+    /// matches the request (fail-fast on the first bad index, like the
+    /// sequential loop).
+    fn read_blocks(&self, indices: &[BlockIndex]) -> Result<Vec<Vec<u8>>, BlockDeviceError> {
+        if self.is_passthrough() {
+            return self.inner.read_blocks(indices);
+        }
+        let mut out: Vec<Option<Vec<u8>>> = Vec::with_capacity(indices.len());
+        let mut misses: Vec<(usize, BlockIndex)> = Vec::new();
+        for (i, &index) in indices.iter().enumerate() {
+            self.check_index(index)?;
+            let mut shard = self.shards[self.shard_of(index)].lock();
+            if let Some(entry) = shard.index.get(&index) {
+                let slot = entry.slot;
+                let data = entry.data.clone();
+                shard.lru.touch(slot);
+                self.stats.read_hits.fetch_add(1, Ordering::Relaxed);
+                out.push(Some(data));
+            } else {
+                self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+                misses.push((i, index));
+                out.push(None);
+            }
+        }
+        if !misses.is_empty() {
+            let want: Vec<BlockIndex> = misses.iter().map(|&(_, b)| b).collect();
+            let bufs = self.inner.read_blocks(&want)?;
+            let mut evicted = Vec::new();
+            for (&(i, index), data) in misses.iter().zip(bufs) {
+                let mut shard = self.shards[self.shard_of(index)].lock();
+                if let Some(entry) = shard.index.get(&index) {
+                    let slot = entry.slot;
+                    shard.lru.touch(slot);
+                } else {
+                    let slot = shard.lru.insert(index);
+                    shard.index.insert(index, Entry { data: data.clone(), dirty: false, slot });
+                    evicted.extend(self.evict_overflow(&mut shard));
+                }
+                out[i] = Some(data);
+            }
+            self.write_back(evicted)?;
+        }
+        Ok(out.into_iter().map(|b| b.expect("every index resolved")).collect())
+    }
+
+    /// Batched write: the whole batch is absorbed into the shards (marking
+    /// entries dirty), then any capacity overflow is evicted and written
+    /// back as one vectored batch. Geometry errors fail fast before the
+    /// offending pair is absorbed, exactly like the sequential loop.
+    fn write_blocks(&self, writes: &[(BlockIndex, &[u8])]) -> Result<(), BlockDeviceError> {
+        if self.is_passthrough() {
+            return self.inner.write_blocks(writes);
+        }
+        let mut evicted = Vec::new();
+        for &(index, data) in writes {
+            self.check_index(index)?;
+            self.check_buffer(data)?;
+            let mut shard = self.shards[self.shard_of(index)].lock();
+            if let Some(entry) = shard.index.get_mut(&index) {
+                entry.data.clear();
+                entry.data.extend_from_slice(data);
+                entry.dirty = true;
+                let slot = entry.slot;
+                shard.lru.touch(slot);
+                self.stats.write_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let slot = shard.lru.insert(index);
+                shard.index.insert(index, Entry { data: data.to_vec(), dirty: true, slot });
+                self.stats.write_misses.fetch_add(1, Ordering::Relaxed);
+                evicted.extend(self.evict_overflow(&mut shard));
+            }
+        }
+        self.write_back(evicted)
+    }
+
+    /// Flush contract: every dirty entry is written back (one vectored
+    /// batch, ascending block order) *before* the flush is forwarded, so a
+    /// metadata commit issued after this call never references data still
+    /// sitting in the cache.
+    fn flush(&self) -> Result<(), BlockDeviceError> {
+        if !self.is_passthrough() {
+            let mut dirty: Vec<(BlockIndex, Vec<u8>)> = Vec::new();
+            for shard in &self.shards {
+                let shard = shard.lock();
+                if shard.lru.is_empty() {
+                    continue;
+                }
+                for (&b, entry) in &shard.index {
+                    if entry.dirty {
+                        dirty.push((b, entry.data.clone()));
+                    }
+                }
+            }
+            self.write_back(dirty.clone())?;
+            self.mark_clean(&dirty);
+            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.flush()
+    }
+
+    fn host_queue_enter(&self) {
+        self.inner.host_queue_enter();
+    }
+
+    fn host_queue_leave(&self) {
+        self.inner.host_queue_leave();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::MemDisk;
+
+    fn cached(capacity: usize) -> WriteBackCache<MemDisk> {
+        WriteBackCache::new(
+            MemDisk::with_default_timing(256, 512),
+            CacheConfig { capacity_blocks: capacity, shards: 4 },
+        )
+    }
+
+    #[test]
+    fn absorbs_writes_until_flush() {
+        let cache = cached(64);
+        cache.write_block(3, &vec![0xAA; 512]).unwrap();
+        assert_eq!(cache.dirty_blocks(), 1);
+        // The backing device has not seen the write yet.
+        assert!(cache.inner().snapshot().is_zero_block(3));
+        assert_eq!(cache.read_block(3).unwrap(), vec![0xAA; 512]);
+        cache.flush().unwrap();
+        assert_eq!(cache.dirty_blocks(), 0);
+        assert_eq!(cache.inner().read_block(3).unwrap(), vec![0xAA; 512]);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_victims_back() {
+        // Capacity 4 over 4 shards = 1 block per shard: the second write to
+        // a shard evicts the first.
+        let cache = cached(4);
+        cache.write_block(0, &vec![1u8; 512]).unwrap();
+        cache.write_block(4, &vec![2u8; 512]).unwrap(); // same shard as 0
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.writebacks, 1);
+        assert_eq!(cache.inner().read_block(0).unwrap(), vec![1u8; 512]);
+        // Block 4 is still only in the cache.
+        assert!(cache.inner().snapshot().is_zero_block(4));
+        assert_eq!(cache.read_block(4).unwrap(), vec![2u8; 512]);
+    }
+
+    #[test]
+    fn passthrough_is_bit_identical_and_stats_free() {
+        let direct = MemDisk::with_default_timing(256, 512);
+        let cache =
+            WriteBackCache::new(MemDisk::with_default_timing(256, 512), CacheConfig::disabled());
+        for b in 0..32u64 {
+            let data = vec![b as u8; 512];
+            direct.write_block(b, &data).unwrap();
+            cache.write_block(b, &data).unwrap();
+        }
+        direct.flush().unwrap();
+        cache.flush().unwrap();
+        assert_eq!(cache.inner().snapshot().as_bytes(), direct.snapshot().as_bytes());
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn stats_telescope() {
+        let cache = cached(8);
+        for b in 0..16u64 {
+            cache.write_block(b, &vec![b as u8; 512]).unwrap();
+        }
+        for b in 0..16u64 {
+            cache.read_block(b).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.lookups(), 32);
+        assert_eq!(s.read_hits + s.read_misses, 16);
+        assert_eq!(s.write_hits + s.write_misses, 16);
+    }
+
+    #[test]
+    fn batched_reads_mix_hits_and_misses() {
+        let cache = cached(64);
+        let backing = vec![7u8; 512];
+        cache.inner().write_block(9, &backing).unwrap();
+        cache.write_block(2, &vec![1u8; 512]).unwrap();
+        let bufs = cache.read_blocks(&[2, 9]).unwrap();
+        assert_eq!(bufs[0], vec![1u8; 512]);
+        assert_eq!(bufs[1], backing);
+        let s = cache.stats();
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_misses, 1);
+    }
+
+    #[test]
+    fn geometry_errors_fail_fast() {
+        let cache = cached(8);
+        assert!(matches!(
+            cache.read_block(999),
+            Err(BlockDeviceError::OutOfRange { index: 999, .. })
+        ));
+        assert!(matches!(
+            cache.write_block(0, &[0u8; 3]),
+            Err(BlockDeviceError::WrongBufferSize { got: 3, .. })
+        ));
+        assert_eq!(cache.dirty_blocks(), 0, "a failed write must not be absorbed");
+    }
+}

@@ -1,0 +1,244 @@
+//! An index-linked LRU list: the recency order behind each cache shard.
+//!
+//! The list is intrusive over a slab of nodes addressed by slot index, so
+//! promoting an entry to most-recently-used and evicting the coldest are
+//! both O(1) with no per-operation allocation — the layout dm-cache and
+//! bcache use for their per-shard queues. Slots are handed back to the
+//! caller on [`Lru::insert`] and identify the entry in every later call;
+//! freed slots are recycled through an internal free list.
+//!
+//! Recency depends only on the *order* of `insert`/`touch`/`remove` calls,
+//! never on any payload: a cache built on this list evicts along a
+//! world-independent schedule (see `tests/deniability.rs`).
+
+/// Sentinel for "no slot".
+const NIL: usize = usize::MAX;
+
+struct Node {
+    /// Toward more-recently-used.
+    prev: usize,
+    /// Toward less-recently-used.
+    next: usize,
+    /// The caller's key (a block index), kept so eviction can name it.
+    key: u64,
+    /// Whether the slot is live (false: on the free list).
+    live: bool,
+}
+
+/// A fixed-policy least-recently-used list over caller-held slots.
+pub struct Lru {
+    nodes: Vec<Node>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot.
+    tail: usize,
+    /// Head of the recycled-slot free list (chained through `next`).
+    free: usize,
+    len: usize,
+}
+
+impl Default for Lru {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lru {
+    /// An empty list.
+    pub fn new() -> Self {
+        Lru { nodes: Vec::new(), head: NIL, tail: NIL, free: NIL, len: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key` as the most-recently-used entry, returning its slot.
+    pub fn insert(&mut self, key: u64) -> usize {
+        let slot = if self.free != NIL {
+            let slot = self.free;
+            self.free = self.nodes[slot].next;
+            self.nodes[slot] = Node { prev: NIL, next: NIL, key, live: true };
+            slot
+        } else {
+            self.nodes.push(Node { prev: NIL, next: NIL, key, live: true });
+            self.nodes.len() - 1
+        };
+        self.push_front(slot);
+        self.len += 1;
+        slot
+    }
+
+    /// Promotes `slot` to most-recently-used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not live.
+    pub fn touch(&mut self, slot: usize) {
+        assert!(self.nodes[slot].live, "touch of a dead LRU slot");
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// Removes `slot` from the list, returning its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not live.
+    pub fn remove(&mut self, slot: usize) -> u64 {
+        assert!(self.nodes[slot].live, "remove of a dead LRU slot");
+        self.unlink(slot);
+        let key = self.nodes[slot].key;
+        self.nodes[slot].live = false;
+        self.nodes[slot].next = self.free;
+        self.free = slot;
+        self.len -= 1;
+        key
+    }
+
+    /// The least-recently-used entry as `(slot, key)`, if any.
+    pub fn coldest(&self) -> Option<(usize, u64)> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some((self.tail, self.nodes[self.tail].key))
+        }
+    }
+
+    /// Removes and returns the least-recently-used entry as `(slot, key)`.
+    pub fn pop_coldest(&mut self) -> Option<(usize, u64)> {
+        let (slot, key) = self.coldest()?;
+        self.remove(slot);
+        Some((slot, key))
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Node { prev, next, .. } = self.nodes[slot];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+}
+
+impl std::fmt::Debug for Lru {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lru").field("len", &self.len).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walks the list cold→hot, returning the keys.
+    fn order(lru: &Lru) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut slot = lru.tail;
+        while slot != NIL {
+            out.push(lru.nodes[slot].key);
+            slot = lru.nodes[slot].prev;
+        }
+        out
+    }
+
+    #[test]
+    fn insert_orders_by_recency() {
+        let mut lru = Lru::new();
+        for k in 0..4 {
+            lru.insert(k);
+        }
+        assert_eq!(lru.len(), 4);
+        assert_eq!(order(&lru), vec![0, 1, 2, 3]);
+        assert_eq!(lru.coldest().unwrap().1, 0);
+    }
+
+    #[test]
+    fn touch_promotes_to_hot_end() {
+        let mut lru = Lru::new();
+        let slots: Vec<usize> = (0..4).map(|k| lru.insert(k)).collect();
+        lru.touch(slots[0]);
+        assert_eq!(order(&lru), vec![1, 2, 3, 0]);
+        // Touching the head is a no-op.
+        lru.touch(slots[0]);
+        assert_eq!(order(&lru), vec![1, 2, 3, 0]);
+        lru.touch(slots[2]);
+        assert_eq!(order(&lru), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn pop_coldest_evicts_in_lru_order() {
+        let mut lru = Lru::new();
+        let slots: Vec<usize> = (0..3).map(|k| lru.insert(k)).collect();
+        lru.touch(slots[0]);
+        assert_eq!(lru.pop_coldest().unwrap().1, 1);
+        assert_eq!(lru.pop_coldest().unwrap().1, 2);
+        assert_eq!(lru.pop_coldest().unwrap().1, 0);
+        assert!(lru.pop_coldest().is_none());
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn removed_slots_are_recycled() {
+        let mut lru = Lru::new();
+        let a = lru.insert(10);
+        let b = lru.insert(20);
+        lru.remove(a);
+        let c = lru.insert(30);
+        assert_eq!(c, a, "freed slot must be reused before the slab grows");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(order(&lru), vec![20, 30]);
+        lru.remove(b);
+        lru.remove(c);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead LRU slot")]
+    fn touch_after_remove_panics() {
+        let mut lru = Lru::new();
+        let a = lru.insert(1);
+        lru.remove(a);
+        lru.touch(a);
+    }
+
+    #[test]
+    fn single_entry_edge_cases() {
+        let mut lru = Lru::new();
+        let a = lru.insert(7);
+        lru.touch(a);
+        assert_eq!(lru.coldest(), Some((a, 7)));
+        assert_eq!(lru.remove(a), 7);
+        assert!(lru.coldest().is_none());
+        // Reuse after full drain.
+        let b = lru.insert(8);
+        assert_eq!(lru.coldest(), Some((b, 8)));
+    }
+}

@@ -1,0 +1,246 @@
+//! Property tier for [`WriteBackCache`]: the cached stack must be
+//! observably equivalent to the direct path — identical bytes after a
+//! flush, identical read results along the way — for arbitrary operation
+//! sequences, across capacities and shard counts; faults must never cost a
+//! dirty block; and the stats must telescope (every lookup is a hit or a
+//! miss, and cache hits charge no simulated device time).
+
+use mobiceal_blockdev::{BlockDevice, CacheConfig, FaultInjection, MemDisk, WriteBackCache};
+use mobiceal_sim::SimClock;
+
+const BLOCKS: u64 = 128;
+const BS: usize = 512;
+
+/// Deterministic xorshift stream — enough structure for op sequences
+/// without pulling a crypto RNG into the device crate's dev-deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64, u8),
+    ReadBatch(Vec<u64>),
+    WriteBatch(Vec<(u64, u8)>),
+    Flush,
+}
+
+fn arbitrary_ops(seed: u64, count: usize) -> Vec<Op> {
+    let mut rng = Rng(seed | 1);
+    (0..count)
+        .map(|_| match rng.next() % 10 {
+            0..=2 => Op::Read(rng.next() % BLOCKS),
+            3..=5 => Op::Write(rng.next() % BLOCKS, rng.next() as u8),
+            6..=7 => {
+                let n = (rng.next() % 12 + 1) as usize;
+                Op::ReadBatch((0..n).map(|_| rng.next() % BLOCKS).collect())
+            }
+            8 => {
+                let n = (rng.next() % 12 + 1) as usize;
+                Op::WriteBatch((0..n).map(|_| (rng.next() % BLOCKS, rng.next() as u8)).collect())
+            }
+            _ => Op::Flush,
+        })
+        .collect()
+}
+
+/// Applies `ops` to a device, returning every read result in order.
+fn apply(dev: &dyn BlockDevice, ops: &[Op]) -> Vec<Vec<u8>> {
+    let mut reads = Vec::new();
+    for op in ops {
+        match op {
+            Op::Read(b) => reads.push(dev.read_block(*b).unwrap()),
+            Op::Write(b, v) => dev.write_block(*b, &vec![*v; BS]).unwrap(),
+            Op::ReadBatch(bs) => reads.extend(dev.read_blocks(bs).unwrap()),
+            Op::WriteBatch(ws) => {
+                let bufs: Vec<(u64, Vec<u8>)> = ws.iter().map(|&(b, v)| (b, vec![v; BS])).collect();
+                let batch: Vec<(u64, &[u8])> =
+                    bufs.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+                dev.write_blocks(&batch).unwrap();
+            }
+            Op::Flush => dev.flush().unwrap(),
+        }
+    }
+    reads
+}
+
+fn cached(capacity: usize, shards: usize) -> WriteBackCache<MemDisk> {
+    WriteBackCache::new(
+        MemDisk::with_default_timing(BLOCKS, BS),
+        CacheConfig { capacity_blocks: capacity, shards },
+    )
+}
+
+#[test]
+fn cached_equals_uncached_for_arbitrary_op_sequences() {
+    // Across seeds and cache shapes (tiny thrashing caches through
+    // bigger-than-device ones), every read observes the same bytes as the
+    // direct path and a final flush leaves the identical medium.
+    for seed in [1u64, 7, 42, 1999] {
+        let ops = arbitrary_ops(seed, 400);
+        let direct = MemDisk::with_default_timing(BLOCKS, BS);
+        let direct_reads = apply(&direct, &ops);
+        direct.flush().unwrap();
+        for (capacity, shards) in [(2, 1), (8, 4), (32, 8), (256, 8)] {
+            let cache = cached(capacity, shards);
+            let cached_reads = apply(&cache, &ops);
+            assert_eq!(cached_reads, direct_reads, "seed {seed} cap {capacity}x{shards}");
+            cache.flush().unwrap();
+            assert_eq!(
+                cache.inner().snapshot().as_bytes(),
+                direct.snapshot().as_bytes(),
+                "seed {seed} cap {capacity}x{shards}: media diverged after flush"
+            );
+            assert_eq!(cache.dirty_blocks(), 0);
+        }
+    }
+}
+
+#[test]
+fn size_zero_cache_is_bit_identical_including_stats_metadata() {
+    // The pass-through shape: not just equal bytes, but the identical
+    // backing-device op mix and simulated clock — the cache must be
+    // invisible, exactly as the depth-1 ring reassembles the direct path.
+    let ops = arbitrary_ops(77, 300);
+
+    let clock_direct = SimClock::new();
+    let direct = MemDisk::new(BLOCKS, BS, clock_direct.clone());
+    let direct_reads = apply(&direct, &ops);
+
+    let clock_cached = SimClock::new();
+    let cache = WriteBackCache::new(
+        MemDisk::new(BLOCKS, BS, clock_cached.clone()),
+        CacheConfig::disabled(),
+    );
+    let cached_reads = apply(&cache, &ops);
+
+    assert_eq!(cached_reads, direct_reads);
+    assert_eq!(cache.inner().snapshot().as_bytes(), direct.snapshot().as_bytes());
+    assert_eq!(cache.inner().stats(), direct.stats(), "op mix must be identical");
+    assert_eq!(clock_cached.now(), clock_direct.now(), "charged time must be identical");
+    assert_eq!(cache.stats().lookups(), 0, "a pass-through serves nothing itself");
+}
+
+#[test]
+fn eviction_never_loses_a_dirty_block_under_device_faults() {
+    // Every write-back target fails at first: evictions and flushes error,
+    // but the dirty data must stay in the cache. Once the faults clear, a
+    // flush lands everything and the medium matches a fault-free run.
+    let cache = cached(4, 2); // tiny: constant dirty eviction pressure
+    let mut faults = FaultInjection::default();
+    for b in 0..BLOCKS {
+        faults.failing_writes.insert(b);
+    }
+    cache.inner().set_faults(faults);
+
+    let mut expected: Vec<(u64, u8)> = Vec::new();
+    let mut errors = 0;
+    for i in 0..48u64 {
+        let b = (i * 5) % BLOCKS;
+        let v = 0x30 + (i % 64) as u8;
+        if cache.write_block(b, &vec![v; BS]).is_err() {
+            errors += 1;
+        }
+        expected.retain(|&(eb, _)| eb != b);
+        expected.push((b, v));
+    }
+    assert!(errors > 0, "the fault injection must actually have fired");
+    assert!(cache.flush().is_err(), "flush must surface the device fault");
+    // Nothing lost: every write is still present, in cache or on disk.
+    for &(b, v) in &expected {
+        assert_eq!(cache.read_block(b).unwrap(), vec![v; BS], "block {b} lost under faults");
+    }
+
+    cache.inner().set_faults(FaultInjection::default());
+    cache.flush().unwrap();
+    assert_eq!(cache.dirty_blocks(), 0);
+    for &(b, v) in &expected {
+        assert_eq!(cache.inner().read_block(b).unwrap(), vec![v; BS], "block {b} not flushed");
+    }
+}
+
+#[test]
+fn stats_telescope_to_the_clock() {
+    // Telescoping identities: hits + misses == lookups, and only misses /
+    // write-backs charge the simulated clock — a cache hit is free.
+    let clock = SimClock::new();
+    let cache = WriteBackCache::new(
+        MemDisk::new(BLOCKS, BS, clock.clone()),
+        CacheConfig { capacity_blocks: 64, shards: 4 },
+    );
+    for b in 0..32u64 {
+        cache.write_block(b, &vec![b as u8; BS]).unwrap();
+    }
+    let t_after_writes = clock.now();
+    assert_eq!(t_after_writes, SimClock::new().now(), "absorbed writes charge nothing");
+
+    // Hits: all 32 blocks are resident.
+    for b in 0..32u64 {
+        cache.read_block(b).unwrap();
+    }
+    assert_eq!(clock.now(), t_after_writes, "cache hits must charge no device time");
+
+    // Misses go to the device and charge time.
+    for b in 64..80u64 {
+        cache.read_block(b).unwrap();
+    }
+    let t_after_misses = clock.now();
+    assert!(t_after_misses > t_after_writes, "misses must charge device time");
+
+    cache.flush().unwrap();
+    assert!(clock.now() > t_after_misses, "write-back must charge device time");
+
+    let s = cache.stats();
+    assert_eq!(s.read_hits, 32);
+    assert_eq!(s.read_misses, 16);
+    assert_eq!(s.write_misses, 32);
+    assert_eq!(s.write_hits, 0);
+    assert_eq!(s.lookups(), s.read_hits + s.read_misses + s.write_hits + s.write_misses);
+    assert_eq!(s.writebacks, 32, "every dirty block written back exactly once");
+    // The device's own stats agree with the cache's accounting: reads =
+    // misses, writes = writebacks.
+    let dev = cache.inner().stats();
+    assert_eq!(dev.total_reads(), s.read_misses);
+    assert_eq!(dev.total_writes(), s.writebacks);
+}
+
+#[test]
+fn depth_one_copier_is_the_inline_path() {
+    // The copier analogue of size-0 bit-identity: at depth 1 every job
+    // runs at submit, so the device history is identical to calling the
+    // closures directly.
+    use mobiceal_blockdev::{copy_job, Copier};
+    use std::sync::Arc;
+
+    let direct: Arc<MemDisk> = Arc::new(MemDisk::with_default_timing(BLOCKS, BS));
+    let piped: Arc<MemDisk> = Arc::new(MemDisk::with_default_timing(BLOCKS, BS));
+    for b in 0..8u64 {
+        let data = vec![b as u8 + 1; BS];
+        direct.write_block(b, &data).unwrap();
+        piped.write_block(b, &data).unwrap();
+    }
+    // Direct: run the relocations by hand.
+    for b in 0..8u64 {
+        let data = direct.read_block(b).unwrap();
+        direct.write_block(b + 64, &data).unwrap();
+    }
+    // Copier at depth 1: identical ops, same order, at submit time.
+    let copier = Copier::new(1);
+    for b in 0..8u64 {
+        copier.submit(copy_job(piped.clone(), vec![(b, b + 64)]));
+        assert_eq!(copier.pending(), 0, "depth-1 must never defer");
+    }
+    copier.drain().unwrap();
+    assert_eq!(piped.snapshot().as_bytes(), direct.snapshot().as_bytes());
+    assert_eq!(copier.stats().blocks_moved, 8);
+}

@@ -78,5 +78,5 @@ pub use device::{DeviceLayout, MobiCeal, UnlockedVolume, VolumeRole, THIN_READ_L
 pub use dummy::{DummyStats, DummyWriter};
 pub use error::MobiCealError;
 pub use footer::{EncryptionFooter, FOOTER_BYTES};
-pub use gc::GcReport;
+pub use gc::{GcReport, GcSession};
 pub use pde_volume::PdeVolume;

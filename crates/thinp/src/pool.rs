@@ -121,6 +121,13 @@ struct AllocState {
     /// ops). Blocks that were only reserved need no op: they were never
     /// journaled as allocated.
     journal_free: Vec<u64>,
+    /// Committed blocks freed in the open transaction, held out of the
+    /// allocator until the free durably commits. Without this hold-out a
+    /// freed block could be reallocated and overwritten *before* the
+    /// commit that records the free — a crash in that window would replay
+    /// the old mapping against clobbered data (dm-thin defers frees to the
+    /// commit boundary for the same reason).
+    pending_free: HashSet<u64>,
     /// Committed journal extent in blocks (mirrors the superblock).
     journal_used: u64,
     /// Transaction id of the checkpoint the journal is relative to.
@@ -151,6 +158,10 @@ impl AllocState {
         if !self.reserved.remove(&p) {
             self.bitmap.clear(p);
             self.journal_free.push(p);
+            // Keep the block unavailable until the free commits: handing it
+            // out now would let new data land where a crash-replay still
+            // expects the old mapping's contents.
+            self.pending_free.insert(p);
         }
     }
 }
@@ -271,6 +282,7 @@ impl ThinPool {
                     active_half: 1, // first checkpoint goes to half 0
                     meta_ops: Vec::new(),
                     journal_free: Vec::new(),
+                    pending_free: HashSet::new(),
                     journal_used: 0,
                     checkpoint_txid: 0,
                     checkpoint_payload_len: 0,
@@ -366,6 +378,7 @@ impl ThinPool {
                     active_half: sb.active_half,
                     meta_ops: Vec::new(),
                     journal_free: Vec::new(),
+                    pending_free: HashSet::new(),
                     journal_used: sb.journal_blocks,
                     checkpoint_txid: sb.checkpoint_txid,
                     checkpoint_payload_len: sb.payload_len,
@@ -663,6 +676,9 @@ impl ThinPool {
         }
         alloc.meta_ops.clear();
         alloc.journal_free.clear();
+        // The frees just became durable: the held-out blocks are now safe
+        // to hand out again.
+        alloc.pending_free.clear();
         let reserved: Vec<u64> = alloc.reserved.drain().collect();
         for b in reserved {
             alloc.bitmap.set(b);
@@ -1045,9 +1061,22 @@ impl ThinPool {
     /// concurrently contend only for the duration of this call.
     fn allocate_one(shared: &PoolShared) -> Result<u64, BlockDeviceError> {
         let mut alloc = shared.alloc.lock();
-        let AllocState { bitmap, allocator, reserved, .. } = &mut *alloc;
-        let block = allocator.allocate(bitmap, reserved).ok_or(BlockDeviceError::NoSpace)?;
+        let AllocState { bitmap, allocator, reserved, pending_free, .. } = &mut *alloc;
+        // Blocks freed in the open transaction stay off-limits alongside
+        // the open reservations until their free commits (see
+        // `AllocState::pending_free`). The common path — no uncommitted
+        // frees — passes `reserved` through untouched, so allocation
+        // streams (and the calibrated rows built on them) are unchanged.
+        let block = if pending_free.is_empty() {
+            allocator.allocate(bitmap, reserved)
+        } else {
+            let mut unavailable = reserved.clone();
+            unavailable.extend(pending_free.iter().copied());
+            allocator.allocate(bitmap, &unavailable)
+        }
+        .ok_or(BlockDeviceError::NoSpace)?;
         debug_assert!(!bitmap.get(block), "allocator returned a committed block");
+        debug_assert!(!pending_free.contains(&block), "allocator returned a pending free");
         let newly = reserved.insert(block);
         debug_assert!(newly, "allocator returned a reserved block");
         Ok(block)
@@ -1345,6 +1374,27 @@ mod tests {
         }
         assert_eq!(p.free_blocks(), 0);
         assert!(matches!(a.write_block(9, &vec![1u8; 512]), Err(BlockDeviceError::NoSpace)));
+    }
+
+    #[test]
+    fn freed_blocks_stay_unavailable_until_the_free_commits() {
+        let (data, meta) = devices(16, 64);
+        let p =
+            ThinPool::create(data, meta, PoolConfig::new(4), AllocStrategy::Sequential).unwrap();
+        let v = p.create_volume(1, 32).unwrap();
+        for i in 0..16 {
+            v.write_block(i, &vec![1u8; 512]).unwrap();
+        }
+        p.commit().unwrap();
+        // Free one committed block; the free is not yet durable.
+        p.discard_many(1, &[3]).unwrap();
+        // Handing the block out now would let new data land where a
+        // crash-replay still expects vblock 3's contents — the allocator
+        // must treat the pool as full until the free commits.
+        assert!(matches!(v.write_block(20, &vec![2u8; 512]), Err(BlockDeviceError::NoSpace)));
+        p.commit().unwrap();
+        v.write_block(20, &vec![2u8; 512]).unwrap();
+        assert_eq!(v.read_block(20).unwrap(), vec![2u8; 512]);
     }
 
     #[test]

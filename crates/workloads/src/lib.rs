@@ -16,6 +16,7 @@
 
 pub mod bonnie;
 pub mod dd;
+pub mod gc_tail;
 pub mod iozone;
 pub mod multi_tenant;
 pub mod report;
@@ -24,6 +25,7 @@ pub mod table1;
 
 pub use bonnie::{BonnieResult, BonnieWorkload};
 pub use dd::{DdResult, DdWorkload};
+pub use gc_tail::{GcTailResult, GcTailWorkload};
 pub use iozone::{IozoneResult, IozoneWorkload};
 pub use multi_tenant::{MultiTenantResult, MultiTenantWorkload};
 pub use report::{render_table, Cell, Table};

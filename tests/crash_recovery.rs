@@ -162,12 +162,248 @@ fn torn_write_at_every_boundary_recovers_or_detects_never_invents() {
     }
 }
 
+/// Like [`crashable_workload`], but with enough single-write transactions
+/// that the journal region (7 blocks at this geometry) overflows and
+/// `commit()` falls back to the checkpoint path — shadow-half payload
+/// writes plus the superblock flip — several times mid-stream.
+fn overflowing_workload(seed: u64) -> (Arc<CrashDisk>, Vec<(usize, MetadataView)>) {
+    let clock = SimClock::new();
+    let data = Arc::new(MemDisk::new(DATA_BLOCKS, BS, clock.clone()));
+    let meta = Arc::new(CrashDisk::new(MemDisk::new(META_BLOCKS, BS, clock.clone())));
+    let pool = ThinPool::create_seeded(
+        data.clone() as SharedDevice,
+        meta.clone() as SharedDevice,
+        PoolConfig::new(2),
+        AllocStrategy::Sequential,
+        seed,
+    )
+    .unwrap();
+    let mut commits = vec![(meta.write_points(), pool.metadata_view())];
+
+    pool.create_volume(1, 128).unwrap();
+    pool.commit().unwrap();
+    commits.push((meta.write_points(), pool.metadata_view()));
+
+    let v1 = pool.open_volume(1).unwrap();
+    // 30 one-op transactions: journal appends with periodic discards, so
+    // the overflow fallback captures Free ops mid-flight too.
+    for i in 0..30u64 {
+        if i % 7 == 6 {
+            pool.discard(1, i - 3).unwrap();
+        } else {
+            v1.write_block(i, &vec![i as u8; BS]).unwrap();
+        }
+        pool.commit().unwrap();
+        commits.push((meta.write_points(), pool.metadata_view()));
+    }
+    (meta, commits)
+}
+
+/// First block of the checkpoint shadow halves for the sweep geometry
+/// (block 0 superblock, 7 journal blocks, then the halves).
+const HALF_FIRST: u64 = 8;
+
+#[test]
+fn journal_overflow_checkpoint_survives_crash_at_every_boundary() {
+    let (meta, commits) = overflowing_workload(23);
+    let total = meta.write_points();
+    // The fallback must actually have fired: after the format, only a
+    // checkpoint writes into the shadow halves.
+    let format_end = commits[0].0;
+    assert!(
+        (format_end..total).any(|k| meta.write_target(k) >= HALF_FIRST),
+        "workload never overflowed into the checkpoint fallback"
+    );
+    for k in 0..=total {
+        let image = meta.image_at(k);
+        match expected_after(&commits, k) {
+            None => assert!(reopen_from(&image, 70).is_err(), "k={k}"),
+            Some(view) => {
+                let recovered = reopen_from(&image, 70)
+                    .unwrap_or_else(|e| panic!("open at overflow boundary {k}: {e:?}"));
+                assert_eq!(
+                    &recovered, view,
+                    "crash after {k} writes must recover txid {}",
+                    view.transaction_id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn journal_overflow_checkpoint_survives_torn_write_at_every_boundary() {
+    let (meta, commits) = overflowing_workload(24);
+    let total = meta.write_points();
+    for k in 0..total {
+        let image = meta.image_at_torn(k, BS / 2);
+        let result = reopen_from(&image, 80);
+        if meta.write_target(k) == 0 {
+            // Torn superblock (journaled commit or checkpoint flip):
+            // previous transaction, next transaction, or a clean error.
+            if let Ok(recovered) = result {
+                let prev = expected_after(&commits, k);
+                let next = expected_after(&commits, k + 1);
+                assert!(
+                    prev.is_some_and(|v| v == &recovered) || next.is_some_and(|v| v == &recovered),
+                    "torn superblock at k={k} recovered txid {}",
+                    recovered.transaction_id
+                );
+            }
+        } else {
+            // Torn journal append or shadow-half payload write: the old
+            // superblock never references it (the payload digest guards
+            // the half), so recovery lands exactly on the last commit.
+            match expected_after(&commits, k) {
+                None => assert!(result.is_err(), "k={k}"),
+                Some(view) => {
+                    let recovered =
+                        result.unwrap_or_else(|e| panic!("torn non-superblock write k={k}: {e:?}"));
+                    assert_eq!(&recovered, view, "k={k}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn freed_blocks_are_not_reused_before_the_free_commits() {
+    // The crash-window bug the sweep work surfaced: `discard` cleared the
+    // committed bitmap immediately, so the allocator could hand the freed
+    // physical block to a new write before the free was durable. A crash
+    // then replayed the old mapping against clobbered data. The freed
+    // block must stay held out until the commit.
+    let clock = SimClock::new();
+    let data = Arc::new(MemDisk::new(32, BS, clock.clone()));
+    let meta = Arc::new(MemDisk::new(META_BLOCKS, BS, clock.clone()));
+    let pool = ThinPool::create_seeded(
+        data.clone() as SharedDevice,
+        meta.clone() as SharedDevice,
+        PoolConfig::new(2),
+        AllocStrategy::Sequential,
+        25,
+    )
+    .unwrap();
+    pool.create_volume(1, 64).unwrap();
+    let v1 = pool.open_volume(1).unwrap();
+    // Fill the whole data device with committed, distinct plaintext.
+    for b in 0..32u64 {
+        v1.write_block(b, &vec![b as u8 + 1; BS]).unwrap();
+    }
+    pool.commit().unwrap();
+
+    // Free a few committed blocks, then try to write fresh vblocks. The
+    // pool is otherwise full, so any successful write could only come
+    // from reusing a not-yet-durably-freed block.
+    pool.discard(1, 5).unwrap();
+    pool.discard(1, 11).unwrap();
+    pool.discard(1, 23).unwrap();
+    for (i, v) in (40u64..48).enumerate() {
+        let r = v1.write_block(v, &vec![0xEE + i as u8; BS]);
+        assert!(
+            matches!(r, Err(BlockDeviceError::NoSpace)),
+            "write to vblock {v} must not steal an uncommitted free"
+        );
+    }
+
+    // Crash before the discard commits; reopen on the same media.
+    drop((v1, pool));
+    let pool = ThinPool::open(
+        data as SharedDevice,
+        meta as SharedDevice,
+        PoolConfig::new(2),
+        AllocStrategy::Sequential,
+        26,
+    )
+    .unwrap();
+    let v1 = pool.open_volume(1).unwrap();
+    for b in 0..32u64 {
+        assert_eq!(
+            v1.read_block(b).unwrap(),
+            vec![b as u8 + 1; BS],
+            "committed vblock {b} must replay with its committed contents"
+        );
+    }
+}
+
 fn fast_config() -> MobiCealConfig {
     MobiCealConfig {
         num_volumes: 5,
         pbkdf2_iterations: 4,
         metadata_blocks: 64,
         ..Default::default()
+    }
+}
+
+#[test]
+fn cached_stack_recovers_committed_data_at_every_crash_boundary() {
+    // The flush-ordering contract through the write-back cache: dirty data
+    // blocks (and the thin mappings their write-back allocates) land
+    // before the metadata commit that references them. Sweep a power cut
+    // across every write boundary of the WHOLE disk — data, journal,
+    // checkpoint and superblock writes alike — and require that every
+    // vblock committed by then reads back its committed plaintext.
+    let clock = SimClock::new();
+    let crash = Arc::new(CrashDisk::new(MemDisk::new(1024, 4096, clock.clone())));
+    let config =
+        MobiCealConfig { cache_blocks: 128, cache_shards: 4, copier_depth: 4, ..fast_config() };
+    let mc = MobiCeal::initialize(
+        crash.clone() as SharedDevice,
+        clock.clone(),
+        config.clone(),
+        "decoy",
+        &["hidden"],
+        31,
+    )
+    .unwrap();
+    let public = mc.unlock_public("decoy").unwrap();
+
+    // (boundary, committed vblock contents) per commit. Fresh vblocks
+    // only: thin overwrites are in place, so only never-rewritten blocks
+    // have a single committed value to check.
+    let mut committed: Vec<(u64, u8)> = Vec::new();
+    let mut commits: Vec<(usize, Vec<(u64, u8)>)> = vec![(crash.write_points(), committed.clone())];
+    let mut pat = 1u8;
+    for round in 0..3u64 {
+        for i in 0..16u64 {
+            let v = round * 16 + i;
+            public.write_block(v, &vec![pat; 4096]).unwrap();
+            committed.push((v, pat));
+            pat = pat.wrapping_add(3);
+        }
+        assert!(public.cache_dirty_blocks() > 0, "writes must be absorbed, not forwarded");
+        mc.commit().unwrap();
+        commits.push((crash.write_points(), committed.clone()));
+    }
+
+    let total = crash.write_points();
+    for k in 0..=total {
+        let disk = Arc::new(MemDisk::new(1024, 4096, clock.clone()));
+        disk.load_image(&crash.image_at(k));
+        let expected = commits.iter().rev().find(|(b, _)| *b <= k).map(|(_, d)| d);
+        match MobiCeal::open(disk as SharedDevice, clock.clone(), config.clone(), 32) {
+            Err(_) => {
+                assert!(
+                    expected.is_none(),
+                    "open failed at k={k} after the device was initialized"
+                );
+            }
+            Ok(rec) => {
+                let Some(expected) = expected else {
+                    // Mid-initialization image that happens to open; it
+                    // carries no committed user data to check.
+                    continue;
+                };
+                let vol = rec.unlock_public("decoy").unwrap();
+                for &(v, p) in expected {
+                    assert_eq!(
+                        vol.read_block(v).unwrap(),
+                        vec![p; 4096],
+                        "crash after {k} writes lost committed vblock {v}"
+                    );
+                }
+            }
+        }
     }
 }
 
