@@ -22,6 +22,8 @@
 //!   identical public patterns, on-event snapshots, and an advantage
 //!   estimate with a Wilson confidence interval.
 
+#![forbid(unsafe_code)]
+
 mod distinguisher;
 mod game;
 mod observation;

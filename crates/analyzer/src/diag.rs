@@ -1,0 +1,110 @@
+//! Findings and their rendering (rustc-style text and machine-readable
+//! JSON).
+
+use std::fmt;
+
+/// Severity of a finding. `Deny` findings fail the run (non-zero exit);
+/// `Warn` findings are advisory unless `--deny-warnings` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    Deny,
+    Warn,
+}
+
+/// One diagnostic, anchored to a workspace-relative `file:line`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule id (`A1/default_forwarding`, ...); also the name an
+    /// `analyzer: allow(...)` annotation uses (the part after the `/`).
+    pub rule: &'static str,
+    pub level: Level,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.level {
+            Level::Deny => "error",
+            Level::Warn => "warning",
+        };
+        writeln!(f, "{kind}[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}", self.file, self.line)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON document (the machine-readable list the
+/// deniability tier cross-checks; no serde — the analyzer is dependency
+/// free).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i + 1 == findings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"level\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"message\": \"{}\"}}{sep}\n",
+            json_escape(f.rule),
+            match f.level {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+            },
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let f = Finding {
+            rule: "A1/default_forwarding",
+            level: Level::Deny,
+            file: "crates/dm/src/linear.rs".into(),
+            line: 67,
+            message: "missing host_queue_enter".into(),
+        };
+        let s = f.to_string();
+        assert!(s.starts_with("error[A1/default_forwarding]:"));
+        assert!(s.contains("--> crates/dm/src/linear.rs:67"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let f = Finding {
+            rule: "A6/secret_taint",
+            level: Level::Warn,
+            file: "a\"b.rs".into(),
+            line: 1,
+            message: "path\\with \"quotes\"".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains(r#""file": "a\"b.rs""#));
+        assert!(j.contains(r#"path\\with \"quotes\""#));
+        assert!(to_json(&[]).contains("\"findings\": [\n  ]"));
+    }
+}

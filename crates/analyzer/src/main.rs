@@ -1,0 +1,90 @@
+//! CLI entry point: `cargo run -p mobiceal-analyzer -- --workspace`.
+
+#![forbid(unsafe_code)]
+
+use mobiceal_analyzer::{find_workspace_root, to_json, Level, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mobiceal-analyzer: invariant lints for the MobiCeal workspace
+
+USAGE:
+    cargo run -p mobiceal-analyzer -- --workspace [OPTIONS]
+
+OPTIONS:
+    --workspace        analyze the enclosing cargo workspace (required)
+    --root <PATH>      start the workspace search here (default: cwd)
+    --json             emit findings as JSON (machine-readable)
+    --deny-warnings    treat warn-level findings (A6) as errors
+    --help             this text
+
+EXIT STATUS:
+    0  clean (warnings may remain unless --deny-warnings)
+    1  at least one deny-level finding
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut workspace_flag = false;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace_flag = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace_flag {
+        return usage_error("pass --workspace to analyze the enclosing workspace");
+    }
+
+    let start = root.unwrap_or_else(|| PathBuf::from("."));
+    let Some(ws_root) = find_workspace_root(&start) else {
+        eprintln!("error: no `[workspace]` Cargo.toml found above {}", start.display());
+        return ExitCode::from(2);
+    };
+    let ws = match Workspace::from_dir(&ws_root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: failed to read workspace sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = ws.analyze();
+
+    if json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}\n");
+        }
+    }
+    let denies = findings.iter().filter(|f| f.level == Level::Deny).count();
+    let warns = findings.len() - denies;
+    if !json {
+        println!("mobiceal-analyzer: {} files, {} deny, {} warn", ws.files.len(), denies, warns);
+    }
+    if denies > 0 || (deny_warnings && warns > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,70 @@
+//! A4 `test_hook` — test-only hooks never leak into production paths.
+//!
+//! Items gated behind `#[cfg(any(test, feature = "test-hooks"))]` (or a
+//! bare `feature = "test-hooks"` gate) exist so properties can pin
+//! deterministic twins of production behavior — `set_queue_depth_floor`
+//! being the canonical example. Referencing one from ungated code either
+//! fails to compile in production builds (best case) or silently changes
+//! charged time when the feature is enabled (worst case: a benchmark run
+//! with `--all-features` stops measuring the real depth signal).
+//!
+//! Pass 1 collects the names every hook span declares (`fn`/`struct`/
+//! `const`/`static`/`type`/`mod` names, plus leading field names); pass 2
+//! flags any ungated occurrence of those names anywhere in production
+//! code. Name-collision false positives get
+//! `analyzer: allow(test_hook, reason = "...")`.
+
+use crate::diag::{Finding, Level};
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut hook_names: BTreeSet<String> = BTreeSet::new();
+    for f in &ws.files {
+        for &(start, end) in &f.hook_spans {
+            // A leading `name :` is a field declaration or struct-literal
+            // initializer for a gated field.
+            if let (Some(name), true) = (f.ident_at(start), f.punct_at(start + 1, ':')) {
+                hook_names.insert(name.to_string());
+            }
+            let mut k = start;
+            while k < end.min(f.tokens.len()) {
+                if let Some(kw) = f.ident_at(k) {
+                    if matches!(kw, "fn" | "struct" | "enum" | "const" | "static" | "type" | "mod")
+                    {
+                        let name_idx = if f.ident_at(k + 1) == Some("mut") { k + 2 } else { k + 1 };
+                        if let Some(name) = f.ident_at(name_idx) {
+                            hook_names.insert(name.to_string());
+                        }
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    if hook_names.is_empty() {
+        return;
+    }
+    for f in &ws.files {
+        for (i, t) in f.tokens.iter().enumerate() {
+            let TokKind::Ident(name) = &t.kind else { continue };
+            if !hook_names.contains(name) || f.in_hook_span(i) || f.in_test_span(i) {
+                continue;
+            }
+            if f.allowed("test_hook", t.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "A4/test_hook",
+                level: Level::Deny,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{name}` is declared under a test-hooks cfg gate but referenced from \
+                     production code; gate the reference or stop depending on the hook"
+                ),
+            });
+        }
+    }
+}

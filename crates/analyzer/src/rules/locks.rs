@@ -1,0 +1,202 @@
+//! A2 `lock_order` — the deadlock discipline, statically.
+//!
+//! Two lock families carry documented acquisition orders (DESIGN.md
+//! "Concurrency architecture"):
+//!
+//! * **thinp** — directory `RwLock` → per-volume mapping `Mutex`es
+//!   (ascending id, enforced by iterating the directory's `BTreeMap`) →
+//!   allocator/metadata `Mutex`. Within one function body the rank of
+//!   successive acquisitions must be non-decreasing; dropping down
+//!   (e.g. taking the directory lock while holding the allocator) is the
+//!   classic deadlock against `commit`'s full cut.
+//! * **MemDisk** — shard locks are only provably ordered two ways: a
+//!   full ascending sweep (`shards.iter()...lock()`) or exactly one
+//!   indexed shard per body. Two indexed acquisitions in one body cannot
+//!   be shown ascending; an indexed acquisition after a sweep would
+//!   self-deadlock; and the command lock must be taken at most once per
+//!   body (a plan that drops and re-takes it lets another command
+//!   interleave into the serial state mid-plan).
+//!
+//! The scan is body-local and does not model guard drops — release-then-
+//! reacquire-lower patterns are flagged too, by design: they are exactly
+//! the refactors that should be conscious. Escape with
+//! `analyzer: allow(lock_order, reason = "...")` on the acquisition line.
+
+use crate::diag::{Finding, Level};
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+
+/// Lock classes of the thinp hierarchy, identified by the final
+/// receiver identifier of the acquisition call.
+const THINP_RANKS: [(&str, &[&str], u8, &str); 6] = [
+    ("directory", &["read", "write"], 1, "directory"),
+    ("handle", &["lock"], 2, "per-volume"),
+    ("vol", &["lock"], 2, "per-volume"),
+    ("volume", &["lock"], 2, "per-volume"),
+    ("stale", &["lock"], 2, "per-volume"),
+    ("alloc", &["lock"], 3, "allocator"),
+];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let thinp = f.crate_name == "mobiceal-thinp";
+        let memdisk = f.crate_name == "mobiceal-blockdev" && f.file_name() == "memdisk.rs";
+        if !thinp && !memdisk {
+            continue;
+        }
+        for item in &f.fns {
+            let Some(body) = item.body else { continue };
+            if f.in_test_span(body.0) {
+                continue;
+            }
+            if thinp {
+                check_thinp_body(f, body, out);
+            }
+            if memdisk {
+                check_memdisk_body(f, body, out);
+            }
+        }
+    }
+}
+
+/// An acquisition `recv.method(` at token index `i` (the receiver ident).
+fn acquisition(f: &SourceFile, i: usize) -> Option<(&str, &str)> {
+    let recv = f.ident_at(i)?;
+    if !f.punct_at(i + 1, '.') {
+        return None;
+    }
+    let method = f.ident_at(i + 2)?;
+    if !f.punct_at(i + 3, '(') {
+        return None;
+    }
+    Some((recv, method))
+}
+
+fn check_thinp_body(f: &SourceFile, body: (usize, usize), out: &mut Vec<Finding>) {
+    let mut max_rank: u8 = 0;
+    let mut held_desc = "";
+    for i in body.0..body.1 {
+        let Some((recv, method)) = acquisition(f, i) else { continue };
+        let Some(&(_, _, rank, desc)) = THINP_RANKS
+            .iter()
+            .find(|(name, methods, _, _)| *name == recv && methods.contains(&method))
+        else {
+            continue;
+        };
+        let line = f.line_of(i);
+        if rank < max_rank && !f.allowed("lock_order", line) {
+            out.push(Finding {
+                rule: "A2/lock_order",
+                level: Level::Deny,
+                file: f.rel_path.clone(),
+                line,
+                message: format!(
+                    "{desc} lock acquired after the {held_desc} lock in `{}`; the documented \
+                     order is directory → per-volume (ascending) → allocator",
+                    fn_name_of(f, body)
+                ),
+            });
+        }
+        if rank > max_rank {
+            max_rank = rank;
+            held_desc = desc;
+        }
+    }
+}
+
+fn check_memdisk_body(f: &SourceFile, body: (usize, usize), out: &mut Vec<Finding>) {
+    let mut indexed_shard_lines: Vec<u32> = Vec::new();
+    let mut sweep_seen = false;
+    let mut cmd_lines: Vec<u32> = Vec::new();
+    let mut i = body.0;
+    while i < body.1 {
+        if let Some(("cmd", "lock")) = acquisition(f, i) {
+            cmd_lines.push(f.line_of(i));
+        }
+        if f.ident_at(i) == Some("shards") {
+            // `shards.iter()` — the ascending full sweep.
+            if f.punct_at(i + 1, '.') && f.ident_at(i + 2) == Some("iter") {
+                sweep_seen = true;
+            }
+            // `shards[expr].lock(` — one indexed shard.
+            if f.punct_at(i + 1, '[') {
+                if let Some(close) = f.match_delim(i + 1, '[', ']') {
+                    if f.punct_at(close + 1, '.') && f.ident_at(close + 2) == Some("lock") {
+                        let line = f.line_of(i);
+                        if sweep_seen && !f.allowed("lock_order", line) {
+                            out.push(Finding {
+                                rule: "A2/lock_order",
+                                level: Level::Deny,
+                                file: f.rel_path.clone(),
+                                line,
+                                message: format!(
+                                    "indexed shard lock after a full-sweep acquisition in `{}` \
+                                     would self-deadlock",
+                                    fn_name_of(f, body)
+                                ),
+                            });
+                        }
+                        indexed_shard_lines.push(line);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    if indexed_shard_lines.len() > 1 {
+        let line = indexed_shard_lines[1];
+        if !f.allowed("lock_order", line) {
+            out.push(Finding {
+                rule: "A2/lock_order",
+                level: Level::Deny,
+                file: f.rel_path.clone(),
+                line,
+                message: format!(
+                    "`{}` takes {} single-shard locks in one body; multiple shards cannot be \
+                     proven ascending — route through the `shards.iter()` ascending sweep or \
+                     split the body",
+                    fn_name_of(f, body),
+                    indexed_shard_lines.len()
+                ),
+            });
+        }
+    }
+    if cmd_lines.len() > 1 {
+        let line = cmd_lines[1];
+        if !f.allowed("lock_order", line) {
+            out.push(Finding {
+                rule: "A2/lock_order",
+                level: Level::Deny,
+                file: f.rel_path.clone(),
+                line,
+                message: format!(
+                    "`{}` re-acquires the command lock; a plan must complete under one \
+                     continuous guard (serial state may not be observed mid-plan)",
+                    fn_name_of(f, body)
+                ),
+            });
+        }
+    }
+}
+
+/// Name of the fn owning `body` (for messages).
+fn fn_name_of(f: &SourceFile, body: (usize, usize)) -> &str {
+    f.fns
+        .iter()
+        .find(|item| item.body == Some(body))
+        .map(|item| item.name.as_str())
+        .unwrap_or("<fn>")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rank_table_is_strictly_ordered_by_family() {
+        // directory < volume < allocator, with all volume aliases equal.
+        use super::THINP_RANKS;
+        let rank_of = |n: &str| THINP_RANKS.iter().find(|r| r.0 == n).unwrap().2;
+        assert!(rank_of("directory") < rank_of("handle"));
+        assert_eq!(rank_of("handle"), rank_of("vol"));
+        assert!(rank_of("vol") < rank_of("alloc"));
+    }
+}

@@ -1,0 +1,98 @@
+//! A6 `secret_taint` — secret-derived values must not feed charged time.
+//!
+//! The paper's deniability argument requires that observable timing be a
+//! function of *traffic shape only*: if a key, password or other secret
+//! ever parameterizes a `CostModel::cost`/`batch_cost`/
+//! `batch_cost_at_depth` charge or a `SimClock::advance`, the
+//! multi-snapshot adversary gains a timing distinguisher between worlds.
+//! The runtime deniability tier proves specific shapes world-independent;
+//! this pass is the *advisory sweep* that lists every call site where a
+//! secret-looking identifier appears directly in a charged-time argument
+//! list, machine-readable (`--json`) for the deniability tier to
+//! cross-check.
+//!
+//! Warn-level by construction: the match is a naming convention
+//! (`key`, `password`, `salt`, ... as `_`-separated segments), not a
+//! dataflow proof. Suppress a reviewed site with
+//! `analyzer: allow(secret_taint, reason = "...")`.
+
+use crate::diag::{Finding, Level};
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+/// Functions whose arguments become charged simulated time.
+const SINKS: [&str; 5] = ["cost", "batch_cost", "batch_cost_at_depth", "advance", "charge"];
+
+/// `_`-separated identifier segments that mark a value as secret-derived.
+const SECRET_SEGMENTS: [&str; 10] = [
+    "secret",
+    "password",
+    "passwd",
+    "passphrase",
+    "pin",
+    "credential",
+    "credentials",
+    "salt",
+    "key",
+    "keys",
+];
+
+fn is_secret_ident(name: &str) -> bool {
+    name.split('_').any(|seg| SECRET_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        for (i, t) in f.tokens.iter().enumerate() {
+            let TokKind::Ident(name) = &t.kind else { continue };
+            if !SINKS.contains(&name.as_str()) || !f.punct_at(i + 1, '(') {
+                continue;
+            }
+            // Skip definitions (`fn cost(...)`) — only call sites sink.
+            if f.ident_at(i.wrapping_sub(1)) == Some("fn") {
+                continue;
+            }
+            if f.in_test_span(i) {
+                continue;
+            }
+            let Some(close) = f.match_delim(i + 1, '(', ')') else { continue };
+            let tainted: Vec<&str> = (i + 2..close)
+                .filter_map(|k| f.ident_at(k))
+                .filter(|id| is_secret_ident(id))
+                .collect();
+            if tainted.is_empty() || f.allowed("secret_taint", t.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "A6/secret_taint",
+                level: Level::Warn,
+                file: f.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "secret-named value{} `{}` flow{} into charged-time sink `{name}(...)`; \
+                     verify the charge is world-independent (deniability tier) or rename",
+                    if tainted.len() == 1 { "" } else { "s" },
+                    tainted.join("`, `"),
+                    if tainted.len() == 1 { "s" } else { "" },
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_secret_ident;
+
+    #[test]
+    fn segment_matching_avoids_substring_false_positives() {
+        assert!(is_secret_ident("hidden_key"));
+        assert!(is_secret_ident("round_keys"));
+        assert!(is_secret_ident("PASSWORD"));
+        assert!(is_secret_ident("salt"));
+        assert!(!is_secret_ident("keystream_len"), "prefix does not taint");
+        assert!(!is_secret_ident("pinned"), "substring does not taint");
+        assert!(!is_secret_ident("monkey"), "suffix does not taint");
+        assert!(!is_secret_ident("blocks"));
+    }
+}

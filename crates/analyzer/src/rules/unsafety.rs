@@ -1,0 +1,119 @@
+//! A5 `safety_comment` — unsafe discipline.
+//!
+//! Three checks:
+//!
+//! 1. Every `unsafe` block, fn, impl or trait carries an adjacent
+//!    justification: a `// SAFETY:` comment (or a `# Safety` doc
+//!    section) on the same line or in the contiguous comment/attribute
+//!    run directly above.
+//! 2. Crates with no `unsafe` at all must say so in their
+//!    `src/lib.rs`: `#![forbid(unsafe_code)]`, so the first future
+//!    `unsafe` is a conscious, reviewed decision rather than drift.
+//!    Today that is every crate except `mobiceal-crypto`.
+//! 3. Crates that *do* contain `unsafe` must carry
+//!    `#![deny(unsafe_op_in_unsafe_fn)]`, so an `unsafe fn` body still
+//!    scopes each dangerous operation in an explicit block.
+
+use crate::diag::{Finding, Level};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident("unsafe".into()) {
+                continue;
+            }
+            let line = t.line;
+            if has_safety_justification(f, line) || f.allowed("safety_comment", line) {
+                continue;
+            }
+            let what = match f.ident_at(i + 1) {
+                Some("fn") => "unsafe fn",
+                Some("impl") => "unsafe impl",
+                Some("trait") => "unsafe trait",
+                _ => "unsafe block",
+            };
+            out.push(Finding {
+                rule: "A5/safety_comment",
+                level: Level::Deny,
+                file: f.rel_path.clone(),
+                line,
+                message: format!(
+                    "{what} without an adjacent `// SAFETY:` comment (or `# Safety` doc \
+                     section) stating the invariant that makes it sound"
+                ),
+            });
+        }
+    }
+    crate_level(ws, out);
+}
+
+/// A justification counts when a comment containing `SAFETY:` or
+/// `# Safety` ends on `line`, or lies in the contiguous run of
+/// comment/attribute-only lines directly above it.
+fn has_safety_justification(f: &SourceFile, line: u32) -> bool {
+    let mut justified_lines: BTreeMap<u32, bool> = BTreeMap::new();
+    for c in &f.comments {
+        let hit = c.text.contains("SAFETY:") || c.text.contains("# Safety");
+        for l in c.start_line..=c.end_line {
+            *justified_lines.entry(l).or_insert(false) |= hit;
+        }
+    }
+    // Same line (trailing comment).
+    if justified_lines.get(&line).copied().unwrap_or(false) {
+        return true;
+    }
+    // Walk upward through lines that carry no non-attribute code.
+    let mut l = line.saturating_sub(1);
+    while l > 0 && !f.code_lines.contains(&l) {
+        if justified_lines.get(&l).copied().unwrap_or(false) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn crate_level(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut by_crate: BTreeMap<&str, (bool, Option<&SourceFile>)> = BTreeMap::new();
+    for f in &ws.files {
+        let entry = by_crate.entry(&f.crate_name).or_insert((false, None));
+        entry.0 |= f.has_unsafe;
+        if f.rel_path.ends_with("src/lib.rs") {
+            entry.1 = Some(f);
+        }
+    }
+    for (krate, (has_unsafe, lib)) in by_crate {
+        let Some(lib) = lib else { continue };
+        let has_attr = |needles: &[&str]| {
+            lib.inner_attrs.iter().any(|a| needles.iter().all(|n| a.contains(n)))
+        };
+        if !has_unsafe && !has_attr(&["forbid", "unsafe_code"]) {
+            out.push(Finding {
+                rule: "A5/safety_comment",
+                level: Level::Deny,
+                file: lib.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{krate}` contains no unsafe code but does not declare \
+                     `#![forbid(unsafe_code)]` in its lib.rs"
+                ),
+            });
+        }
+        if has_unsafe && !has_attr(&["deny", "unsafe_op_in_unsafe_fn"]) {
+            out.push(Finding {
+                rule: "A5/safety_comment",
+                level: Level::Deny,
+                file: lib.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{krate}` contains unsafe code but does not declare \
+                     `#![deny(unsafe_op_in_unsafe_fn)]` in its lib.rs"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Workspace discovery: which files the analyzer walks.
+//!
+//! The production surface is every workspace member's `src/` tree —
+//! `crates/*/src/**/*.rs` plus the umbrella crate's root `src/`.
+//! Deliberately excluded:
+//!
+//! * `shims/` — offline stand-ins for registry crates; not ours to lint
+//!   and frozen by policy.
+//! * `tests/`, `benches/`, `examples/` — test code by definition; the
+//!   production-only rules would be all noise there (in-file
+//!   `#[cfg(test)]` regions of `src/` files are excluded per-span
+//!   instead).
+//! * `target/` and anything else outside the member list.
+
+use crate::diag::Finding;
+use crate::rules;
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The parsed workspace the rule passes walk.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory sources: `(crate, rel_path,
+    /// text)` triples. The fixture self-tests use this to run every rule
+    /// against known-bad/known-good snippets.
+    pub fn from_memory(files: &[(&str, &str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(krate, rel, text)| SourceFile::parse(krate, rel, text))
+                .collect(),
+        }
+    }
+
+    /// Walks the real workspace rooted at `root` (the directory holding
+    /// the `[workspace]` `Cargo.toml`).
+    pub fn from_dir(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        // Member crates under crates/.
+        let crates_dir = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file() && p.join("src").is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = crate_name(&dir.join("Cargo.toml"))?;
+            collect_rs(&dir.join("src"), root, &name, &mut files)?;
+        }
+        // The umbrella crate's own src/.
+        if root.join("src").is_dir() {
+            let name = crate_name(&root.join("Cargo.toml"))?;
+            collect_rs(&root.join("src"), root, &name, &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        Ok(Workspace { files })
+    }
+
+    /// Runs every rule pass; findings come back sorted by file/line.
+    pub fn analyze(&self) -> Vec<Finding> {
+        rules::run_all(self)
+    }
+}
+
+/// Reads the `name = "..."` of a crate manifest without a TOML parser
+/// (the analyzer is dependency-free; manifests in this tree are plain).
+fn crate_name(manifest: &Path) -> io::Result<String> {
+    let text = fs::read_to_string(manifest)?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                if let Some(name) = value.trim().strip_prefix('"').and_then(|v| v.split('"').next())
+                {
+                    return Ok(name.to_string());
+                }
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("no `name = \"...\"` in {}", manifest.display()),
+    ))
+}
+
+fn collect_rs(dir: &Path, root: &Path, krate: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, krate, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push(SourceFile::parse(krate, &rel, &text));
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -37,6 +37,8 @@
 //! # Ok::<(), mobiceal::MobiCealError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod logs;
 mod phone;
 mod timing;

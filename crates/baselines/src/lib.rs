@@ -23,6 +23,8 @@
 //! * [`worlds`] — adapters plugging MobiCeal and the baselines into the
 //!   empirical multi-snapshot security game of `mobiceal-adversary`.
 
+#![forbid(unsafe_code)]
+
 mod defy;
 mod fde;
 mod hive;

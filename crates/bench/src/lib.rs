@@ -4,6 +4,8 @@
 //! paper (see `DESIGN.md` §4 for the index). This library holds the pieces
 //! they share: repeated-run statistics and result formatting helpers.
 
+#![forbid(unsafe_code)]
+
 use mobiceal_sim::RunningStat;
 
 /// Runs `f` `repeats` times (the paper repeats every measurement 10×) and

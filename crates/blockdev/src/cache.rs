@@ -208,17 +208,22 @@ impl<D: BlockDevice> WriteBackCache<D> {
     /// collecting dirty victims. Returns the dirty `(index, data)` pairs in
     /// eviction order for the caller to write back *after* dropping the
     /// shard lock (lock order: shard → device, never device → shard).
-    fn evict_overflow(&self, shard: &mut Shard) -> Vec<(BlockIndex, Vec<u8>)> {
+    fn evict_overflow(
+        &self,
+        shard: &mut Shard,
+    ) -> Result<Vec<(BlockIndex, Vec<u8>)>, BlockDeviceError> {
         let mut dirty = Vec::new();
         while shard.index.len() > self.shard_capacity {
             let Some((_, key)) = shard.lru.pop_coldest() else { break };
-            let entry = shard.index.remove(&key).expect("LRU key must be indexed");
+            let entry = shard.index.remove(&key).ok_or_else(|| BlockDeviceError::Io {
+                reason: format!("cache shard LRU/index desync at block {key}"),
+            })?;
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             if entry.dirty {
                 dirty.push((key, entry.data));
             }
         }
-        dirty
+        Ok(dirty)
     }
 
     /// Writes evicted dirty blocks back as one vectored batch, in ascending
@@ -319,7 +324,7 @@ impl<D: BlockDevice> BlockDevice for WriteBackCache<D> {
             } else {
                 let slot = shard.lru.insert(index);
                 shard.index.insert(index, Entry { data: data.clone(), dirty: false, slot });
-                self.evict_overflow(&mut shard)
+                self.evict_overflow(&mut shard)?
             }
         };
         self.write_back(evicted)?;
@@ -367,13 +372,19 @@ impl<D: BlockDevice> BlockDevice for WriteBackCache<D> {
                 } else {
                     let slot = shard.lru.insert(index);
                     shard.index.insert(index, Entry { data: data.clone(), dirty: false, slot });
-                    evicted.extend(self.evict_overflow(&mut shard));
+                    evicted.extend(self.evict_overflow(&mut shard)?);
                 }
                 out[i] = Some(data);
             }
             self.write_back(evicted)?;
         }
-        Ok(out.into_iter().map(|b| b.expect("every index resolved")).collect())
+        out.into_iter()
+            .map(|b| {
+                b.ok_or_else(|| BlockDeviceError::Io {
+                    reason: "cache read left an index unresolved".to_string(),
+                })
+            })
+            .collect()
     }
 
     /// Batched write: the whole batch is absorbed into the shards (marking
@@ -400,7 +411,7 @@ impl<D: BlockDevice> BlockDevice for WriteBackCache<D> {
                 let slot = shard.lru.insert(index);
                 shard.index.insert(index, Entry { data: data.to_vec(), dirty: true, slot });
                 self.stats.write_misses.fetch_add(1, Ordering::Relaxed);
-                evicted.extend(self.evict_overflow(&mut shard));
+                evicted.extend(self.evict_overflow(&mut shard)?);
             }
         }
         self.write_back(evicted)

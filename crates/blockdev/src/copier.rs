@@ -27,7 +27,7 @@
 use crate::device::{BlockDevice, BlockDeviceError, BlockIndex, SharedDevice};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// A unit of background work. Returns the number of blocks it moved (or
@@ -97,7 +97,7 @@ impl Copier {
 
     /// Jobs currently pending (not yet executed).
     pub fn pending(&self) -> usize {
-        self.state.lock().unwrap().queue.len()
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
     }
 
     /// A snapshot of the copier counters.
@@ -113,7 +113,7 @@ impl Copier {
 
     /// Takes and clears the first recorded job error, if any.
     pub fn take_error(&self) -> Option<BlockDeviceError> {
-        self.state.lock().unwrap().error.take()
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).error.take()
     }
 
     fn run_job(&self, job: CopierJob) {
@@ -123,7 +123,7 @@ impl Copier {
             }
             Err(e) => {
                 self.failed.fetch_add(1, Ordering::Relaxed);
-                let mut state = self.state.lock().unwrap();
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 state.error.get_or_insert(e);
             }
         }
@@ -142,7 +142,7 @@ impl Copier {
             return;
         }
         let overflow = {
-            let mut state = self.state.lock().unwrap();
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.queue.push_back(job);
             if state.queue.len() > self.depth - 1 {
                 state.queue.pop_front()
@@ -159,7 +159,7 @@ impl Copier {
 
     /// Runs the oldest pending job, if any. Returns whether one ran.
     pub fn step(&self) -> bool {
-        let job = self.state.lock().unwrap().queue.pop_front();
+        let job = self.state.lock().unwrap_or_else(PoisonError::into_inner).queue.pop_front();
         match job {
             Some(job) => {
                 self.run_job(job);
@@ -190,7 +190,7 @@ impl Copier {
         let copier = Arc::clone(self);
         let handle = std::thread::spawn(move || loop {
             let job = {
-                let mut state = copier.state.lock().unwrap();
+                let mut state = copier.state.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
                     if let Some(job) = state.queue.pop_front() {
                         break Some(job);
@@ -198,7 +198,7 @@ impl Copier {
                     if state.shutdown {
                         break None;
                     }
-                    state = copier.work_ready.wait(state).unwrap();
+                    state = copier.work_ready.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             match job {
@@ -234,12 +234,12 @@ impl CopierWorker {
     fn finish(&mut self) {
         if let Some(handle) = self.handle.take() {
             {
-                let mut state = self.copier.state.lock().unwrap();
+                let mut state = self.copier.state.lock().unwrap_or_else(PoisonError::into_inner);
                 state.shutdown = true;
                 self.copier.work_ready.notify_one();
             }
             let _ = handle.join();
-            self.copier.state.lock().unwrap().shutdown = false;
+            self.copier.state.lock().unwrap_or_else(PoisonError::into_inner).shutdown = false;
         }
     }
 }

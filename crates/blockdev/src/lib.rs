@@ -31,6 +31,8 @@
 //! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod copier;
 mod crash;

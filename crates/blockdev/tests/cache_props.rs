@@ -5,6 +5,9 @@
 //! dirty block; and the stats must telescope (every lookup is a hit or a
 //! miss, and cache hits charge no simulated device time).
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{BlockDevice, CacheConfig, FaultInjection, MemDisk, WriteBackCache};
 use mobiceal_sim::SimClock;
 

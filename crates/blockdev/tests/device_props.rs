@@ -1,5 +1,8 @@
 //! Property-based tests of the simulated block device and snapshots.
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{BlockDevice, DiskSnapshot, MemDisk};
 use mobiceal_sim::SimClock;
 use proptest::prelude::*;

@@ -6,6 +6,9 @@
 //! engine-driven queue depth equals real slot occupancy (pinned against
 //! the deterministic depth floor, which is now a test hook only).
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{
     BlockDevice, BlockDeviceError, BlockIndex, FaultInjection, IoEngine, IoOutput, MemDisk,
 };

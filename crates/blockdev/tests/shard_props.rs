@@ -3,6 +3,9 @@
 //! still telescope under concurrency, and depth-1 / `flat()` charges stay
 //! bit-identical to the pre-sharding (PR 3/4) single-lock device.
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{BlockDevice, BlockIndex, MemDisk};
 use mobiceal_sim::{EmmcCostModel, SimClock};
 use proptest::prelude::*;

@@ -110,7 +110,10 @@ impl EncryptionFooter {
         salt.copy_from_slice(&data[8..24]);
         let mut encrypted_master_key = [0u8; 32];
         encrypted_master_key.copy_from_slice(&data[24..56]);
-        let kdf_iterations = u32::from_le_bytes(data[56..60].try_into().unwrap());
+        let kdf_iterations = data[56..60]
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| MobiCealError::NotInitialized { detail: "short kdf field".into() })?;
         if kdf_iterations == 0 {
             return Err(MobiCealError::NotInitialized { detail: "zero kdf iterations".into() });
         }

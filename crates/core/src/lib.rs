@@ -63,6 +63,8 @@
 //! # Ok::<(), mobiceal::MobiCealError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod cover;
 mod device;

@@ -352,16 +352,22 @@ impl AesCore {
     unsafe fn encrypt_aesni(&self, block: &mut [u8; 16]) {
         use std::arch::x86_64::*;
         let rk = &self.enc_key_blocks;
-        let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
-        state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
-        for key in rk.iter().take(self.rounds).skip(1) {
-            state = _mm_aesenc_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
+        // SAFETY: the caller guarantees AES-NI + SSE2 (this fn's contract);
+        // all loads/stores are unaligned (`_mm_loadu`/`_mm_storeu`) on
+        // 16-byte sources, and `rk[self.rounds]` is in bounds because the
+        // schedule holds `rounds + 1` blocks.
+        unsafe {
+            let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+            state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
+            for key in rk.iter().take(self.rounds).skip(1) {
+                state = _mm_aesenc_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
+            }
+            state = _mm_aesenclast_si128(
+                state,
+                _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
+            );
+            _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
         }
-        state = _mm_aesenclast_si128(
-            state,
-            _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
-        );
-        _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
     }
 
     /// One block through the `AESDEC` pipeline. `AESDEC` wants the
@@ -376,16 +382,21 @@ impl AesCore {
     unsafe fn decrypt_aesni(&self, block: &mut [u8; 16]) {
         use std::arch::x86_64::*;
         let rk = &self.dec_key_blocks;
-        let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
-        state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
-        for key in rk.iter().take(self.rounds).skip(1) {
-            state = _mm_aesdec_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
+        // SAFETY: same contract as `encrypt_aesni` — caller guarantees
+        // AES-NI + SSE2, unaligned intrinsics throughout, and the decrypt
+        // schedule also holds `rounds + 1` blocks.
+        unsafe {
+            let mut state = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+            state = _mm_xor_si128(state, _mm_loadu_si128(rk[0].as_ptr() as *const __m128i));
+            for key in rk.iter().take(self.rounds).skip(1) {
+                state = _mm_aesdec_si128(state, _mm_loadu_si128(key.as_ptr() as *const __m128i));
+            }
+            state = _mm_aesdeclast_si128(
+                state,
+                _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
+            );
+            _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
         }
-        state = _mm_aesdeclast_si128(
-            state,
-            _mm_loadu_si128(rk[self.rounds].as_ptr() as *const __m128i),
-        );
-        _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
     }
 }
 

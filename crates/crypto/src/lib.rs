@@ -34,6 +34,8 @@
 //! assert_eq!(cipher.decrypt_sector(9, &ct), sector);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod aes;
 mod chacha20;
 mod hmac;

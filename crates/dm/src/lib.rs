@@ -26,6 +26,8 @@
 //! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod crypt;
 mod linear;
 

@@ -2,6 +2,9 @@
 //! path: same media bytes, same plaintext on read-back, same virtual-clock
 //! charges. Parallelism may only change wall-clock time.
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{BlockDevice, MemDisk};
 use mobiceal_dm::DmCrypt;
 use mobiceal_sim::{CpuCostModel, SimClock};

@@ -35,6 +35,8 @@
 //! # Ok::<(), mobiceal_fs::FsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod fatfs;
 mod fs_trait;
 mod simfs;

@@ -24,6 +24,8 @@
 //! assert_eq!(clock.now().as_micros(), 250);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod clock;
 mod cost;
 mod rng;

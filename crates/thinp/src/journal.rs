@@ -91,6 +91,23 @@ pub enum DeltaOp {
     },
 }
 
+/// Decodes a little-endian `u32` from an exact-length field, surfacing a
+/// short slice as corrupt metadata instead of panicking.
+fn le_u32(bytes: &[u8]) -> Result<u32, BlockDeviceError> {
+    let arr = bytes
+        .try_into()
+        .map_err(|_| BlockDeviceError::CorruptMetadata { detail: "short u32 field".into() })?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// [`le_u32`] for `u64` fields.
+fn le_u64(bytes: &[u8]) -> Result<u64, BlockDeviceError> {
+    let arr = bytes
+        .try_into()
+        .map_err(|_| BlockDeviceError::CorruptMetadata { detail: "short u64 field".into() })?;
+    Ok(u64::from_le_bytes(arr))
+}
+
 impl DeltaOp {
     fn encode_into(&self, out: &mut Vec<u8>) {
         match *self {
@@ -144,30 +161,24 @@ impl DeltaOp {
         };
         let tag = take(1)?[0];
         let op = match tag {
-            0 => DeltaOp::CreateVolume {
-                id: u32::from_le_bytes(take(4)?.try_into().unwrap()),
-                virtual_blocks: u64::from_le_bytes(take(8)?.try_into().unwrap()),
-            },
-            1 => DeltaOp::DeleteVolume { id: u32::from_le_bytes(take(4)?.try_into().unwrap()) },
+            0 => DeltaOp::CreateVolume { id: le_u32(take(4)?)?, virtual_blocks: le_u64(take(8)?)? },
+            1 => DeltaOp::DeleteVolume { id: le_u32(take(4)?)? },
             2 => DeltaOp::SetMapping {
-                id: u32::from_le_bytes(take(4)?.try_into().unwrap()),
+                id: le_u32(take(4)?)?,
                 extent: Extent {
-                    virt_begin: u64::from_le_bytes(take(8)?.try_into().unwrap()),
-                    data_begin: u64::from_le_bytes(take(8)?.try_into().unwrap()),
-                    len: u64::from_le_bytes(take(8)?.try_into().unwrap()),
+                    virt_begin: le_u64(take(8)?)?,
+                    data_begin: le_u64(take(8)?)?,
+                    len: le_u64(take(8)?)?,
                 },
             },
             3 => DeltaOp::RemoveMapping {
-                id: u32::from_le_bytes(take(4)?.try_into().unwrap()),
-                virt_begin: u64::from_le_bytes(take(8)?.try_into().unwrap()),
-                len: u64::from_le_bytes(take(8)?.try_into().unwrap()),
+                id: le_u32(take(4)?)?,
+                virt_begin: le_u64(take(8)?)?,
+                len: le_u64(take(8)?)?,
             },
-            4 => DeltaOp::Alloc { block: u64::from_le_bytes(take(8)?.try_into().unwrap()) },
-            5 => DeltaOp::Free { block: u64::from_le_bytes(take(8)?.try_into().unwrap()) },
-            6 => DeltaOp::Register {
-                key: u32::from_le_bytes(take(4)?.try_into().unwrap()),
-                value: u64::from_le_bytes(take(8)?.try_into().unwrap()),
-            },
+            4 => DeltaOp::Alloc { block: le_u64(take(8)?)? },
+            5 => DeltaOp::Free { block: le_u64(take(8)?)? },
+            6 => DeltaOp::Register { key: le_u32(take(4)?)?, value: le_u64(take(8)?)? },
             _ => return Err(corrupt("unknown journal op tag")),
         };
         Ok(op)
@@ -226,9 +237,11 @@ impl JournalRecord {
         if &data[..4] != RECORD_MAGIC {
             return Err(corrupt("bad journal record magic"));
         }
-        let seq = u64::from_le_bytes(data[4..12].try_into().unwrap());
-        let payload_len = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
-        let digest: [u8; 32] = data[20..52].try_into().unwrap();
+        let seq = le_u64(&data[4..12])?;
+        let payload_len = le_u64(&data[12..20])? as usize;
+        let digest: [u8; 32] = data[20..52].try_into().map_err(|_| {
+            BlockDeviceError::CorruptMetadata { detail: "short digest field".into() }
+        })?;
         if data.len() < HEADER_LEN + payload_len {
             return Err(corrupt("truncated journal record payload"));
         }
@@ -241,7 +254,7 @@ impl JournalRecord {
             if *pos + 8 > payload.len() {
                 return Err(corrupt("truncated journal op count"));
             }
-            let v = u64::from_le_bytes(payload[*pos..*pos + 8].try_into().unwrap());
+            let v = le_u64(&payload[*pos..*pos + 8])?;
             *pos += 8;
             Ok(v)
         };

@@ -41,6 +41,8 @@
 //! # Ok::<(), mobiceal_blockdev::BlockDeviceError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod allocator;
 mod bitmap;
 mod extent;

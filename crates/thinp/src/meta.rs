@@ -55,6 +55,23 @@ pub struct MetadataView {
     pub volumes: BTreeMap<u32, VolumeMeta>,
 }
 
+/// Decodes a little-endian `u32` from an exact-length field, surfacing a
+/// short slice as corrupt metadata instead of panicking.
+fn le_u32(bytes: &[u8]) -> Result<u32, BlockDeviceError> {
+    let arr = bytes
+        .try_into()
+        .map_err(|_| BlockDeviceError::CorruptMetadata { detail: "short u32 field".into() })?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// [`le_u32`] for `u64` fields.
+fn le_u64(bytes: &[u8]) -> Result<u64, BlockDeviceError> {
+    let arr = bytes
+        .try_into()
+        .map_err(|_| BlockDeviceError::CorruptMetadata { detail: "short u64 field".into() })?;
+    Ok(u64::from_le_bytes(arr))
+}
+
 impl MetadataView {
     /// Total physical blocks mapped by volume `id` (0 if absent).
     pub fn mapped_blocks(&self, id: u32) -> u64 {
@@ -99,22 +116,22 @@ impl MetadataView {
             pos += n;
             Ok(s)
         };
-        let transaction_id = u64::from_le_bytes(take(8)?.try_into().unwrap());
-        let bm_len = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        let transaction_id = le_u64(take(8)?)?;
+        let bm_len = le_u64(take(8)?)? as usize;
         let bitmap =
             Bitmap::from_bytes(take(bm_len)?).ok_or_else(|| corrupt("bad bitmap encoding"))?;
-        let vol_count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let vol_count = le_u32(take(4)?)?;
         let mut volumes = BTreeMap::new();
         for _ in 0..vol_count {
-            let id = u32::from_le_bytes(take(4)?.try_into().unwrap());
-            let virtual_blocks = u64::from_le_bytes(take(8)?.try_into().unwrap());
-            let extent_count = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let id = le_u32(take(4)?)?;
+            let virtual_blocks = le_u64(take(8)?)?;
+            let extent_count = le_u64(take(8)?)?;
             let mut mappings = ExtentMap::new();
             let mut total = 0u64;
             for _ in 0..extent_count {
-                let virt_begin = u64::from_le_bytes(take(8)?.try_into().unwrap());
-                let data_begin = u64::from_le_bytes(take(8)?.try_into().unwrap());
-                let len = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let virt_begin = le_u64(take(8)?)?;
+                let data_begin = le_u64(take(8)?)?;
+                let len = le_u64(take(8)?)?;
                 if len == 0 {
                     return Err(corrupt("zero-length extent"));
                 }
@@ -197,20 +214,20 @@ impl Superblock {
         if &block[..8] != SUPERBLOCK_MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let version = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let version = le_u32(&block[8..12])?;
         if version != FORMAT_VERSION {
             return Err(corrupt("unsupported version"));
         }
-        let transaction_id = u64::from_le_bytes(block[12..20].try_into().unwrap());
+        let transaction_id = le_u64(&block[12..20])?;
         let active_half = block[20];
         if active_half > 1 {
             return Err(corrupt("bad active half"));
         }
-        let payload_len = u64::from_le_bytes(block[21..29].try_into().unwrap());
+        let payload_len = le_u64(&block[21..29])?;
         let mut payload_digest = [0u8; 32];
         payload_digest.copy_from_slice(&block[29..61]);
-        let checkpoint_txid = u64::from_le_bytes(block[61..69].try_into().unwrap());
-        let journal_blocks = u64::from_le_bytes(block[69..77].try_into().unwrap());
+        let checkpoint_txid = le_u64(&block[61..69])?;
+        let journal_blocks = le_u64(&block[69..77])?;
         if checkpoint_txid > transaction_id {
             return Err(corrupt("checkpoint ahead of transaction id"));
         }

@@ -1227,13 +1227,15 @@ impl BlockDevice for ThinVolume {
                 num_blocks: self.virtual_blocks,
             });
         }
-        Ok(mappings
+        mappings
             .iter()
             .map(|m| match m {
-                Some(_) => mapped_bufs.next().expect("one buffer per mapped block"),
-                None => vec![0u8; self.data.block_size()],
+                Some(_) => mapped_bufs.next().ok_or_else(|| BlockDeviceError::Io {
+                    reason: "data device returned fewer buffers than mapped blocks".to_string(),
+                }),
+                None => Ok(vec![0u8; self.data.block_size()]),
             })
-            .collect())
+            .collect()
     }
 
     /// Batched write: resolves or allocates every mapping under **one**

@@ -4,6 +4,9 @@
 //! serialized metadata must realize the size win the extent format exists
 //! for.
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_thinp::{Extent, ExtentMap};
 use proptest::prelude::*;
 use std::collections::BTreeMap;

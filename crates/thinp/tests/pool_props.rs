@@ -1,6 +1,9 @@
 //! Property-based tests of the thin pool: random operation sequences
 //! against a reference model, for both allocators.
 
+// Test binary: aborting on an unexpected error is the point.
+#![allow(clippy::unwrap_used)]
+
 use mobiceal_blockdev::{BlockDevice, MemDisk, SharedDevice};
 use mobiceal_thinp::{AllocStrategy, PoolConfig, ThinPool};
 use proptest::prelude::*;

@@ -14,6 +14,8 @@
 //! renders rows the way the paper's tables do. All timing comes from the
 //! simulated clock, so results are exactly reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod bonnie;
 pub mod dd;
 pub mod gc_tail;

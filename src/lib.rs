@@ -11,6 +11,8 @@
 //! (`cargo run --example quickstart`), and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use mobiceal;
 pub use mobiceal_adversary as adversary;
 pub use mobiceal_android as android;
