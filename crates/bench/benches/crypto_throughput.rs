@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mobiceal_blockdev::{BlockDevice, MemDisk};
-use mobiceal_crypto::{reference::ReferenceAes, sha256, Aes256, CbcEssiv, SectorCipher, Xts};
+use mobiceal_crypto::{
+    reference::ReferenceAes, sha256, Aes256, BlockCipher, CbcEssiv, SectorCipher, Xts,
+};
 use mobiceal_dm::DmCrypt;
 use mobiceal_sim::SimClock;
 use std::sync::Arc;
@@ -45,6 +47,29 @@ fn bench_sector_modes(c: &mut Criterion) {
     group.bench_function("reference_xts_encrypt_4k", |b| {
         b.iter(|| ref_xts.encrypt_sector_in_place(7, &mut buf))
     });
+    group.finish();
+}
+
+/// Raw block-ladder throughput at each lane occupancy: runs of 1, 4, 8 and
+/// 64 blocks hit the single-block path, the 4-wide ladder, the 8-wide
+/// ladder and the 8-wide steady state respectively, so the sweep shows how
+/// much of the AESENC latency each rung hides. The forced-software run
+/// pins the portable T-table fallback's cost on the same workload.
+fn bench_lane_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_lane_width");
+    let aes = Aes256::new(&[4u8; 32]);
+    let mut soft = Aes256::new(&[4u8; 32]);
+    soft.force_software();
+    for blocks in [1usize, 4, 8, 64] {
+        let mut buf = vec![0x3Cu8; blocks * 16];
+        group.throughput(Throughput::Bytes((blocks * 16) as u64));
+        group.bench_function(format!("aesni_{blocks}x16").as_str(), |b| {
+            b.iter(|| aes.encrypt_blocks(&mut buf))
+        });
+    }
+    let mut buf = vec![0x3Cu8; 64 * 16];
+    group.throughput(Throughput::Bytes((64 * 16) as u64));
+    group.bench_function("software_64x16", |b| b.iter(|| soft.encrypt_blocks(&mut buf)));
     group.finish();
 }
 
@@ -87,6 +112,6 @@ fn bench_batched_parallel(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sector_modes, bench_batched_parallel
+    targets = bench_sector_modes, bench_lane_widths, bench_batched_parallel
 }
 criterion_main!(benches);

@@ -12,10 +12,21 @@
 //! report AES-NI at runtime, blocks instead go through the `AESENC` /
 //! `AESDEC` instructions (the same key schedule feeds both backends, like
 //! the kernel's `aesni-intel` vs `aes-generic` split); everything else
-//! falls back to the T-tables. The original byte-wise core survives as
-//! [`reference`], an executable specification that the property tests pin
-//! whichever backend is active against; all of them are validated against
-//! the FIPS 197 example vectors in the tests.
+//! falls back to the T-tables.
+//!
+//! `AESENC` has ~4-cycle latency but 1/cycle throughput, so a single
+//! dependent chain of rounds leaves three quarters of the unit idle.
+//! [`BlockCipher::encrypt_blocks`] / [`BlockCipher::decrypt_blocks`]
+//! therefore drive runs of *independent* blocks through interleaved
+//! ladders that keep 8 (then 4) `__m128i` states in flight per round-key
+//! load, which is where sector modes over independent blocks (XTS, CBC
+//! decrypt) get their ~4x over the one-block-at-a-time path. The ragged
+//! tail of a run falls back to the single-block path, and on non-AES-NI
+//! hosts the wide entry points are a plain loop over the T-table core, so
+//! every backend computes byte-identical output. The original byte-wise
+//! core survives as [`reference`], an executable specification that the
+//! property tests pin whichever backend is active against; all of them
+//! are validated against the FIPS 197 example vectors in the tests.
 //!
 //! Real wall-clock speed matters only for running the test/bench suite:
 //! *simulated* encryption timing in the experiments is charged to the
@@ -142,6 +153,41 @@ pub trait BlockCipher: Send + Sync {
     fn encrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
     /// Decrypts one 16-byte block in place.
     fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]);
+
+    /// Encrypts a run of *independent* 16-byte blocks in place.
+    ///
+    /// The default is a loop over [`BlockCipher::encrypt_block`];
+    /// implementations with hardware pipelines override it to keep several
+    /// blocks in flight (the AES ciphers run 8x/4x interleaved AES-NI
+    /// ladders). The blocks must genuinely be independent — chaining modes
+    /// (CBC encrypt) cannot use this entry point for their chained ECB
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of 16.
+    fn encrypt_blocks(&self, data: &mut [u8]) {
+        assert!(data.len().is_multiple_of(AES_BLOCK_SIZE), "block run length {}", data.len());
+        for chunk in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let block: &mut [u8; AES_BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+            self.encrypt_block(block);
+        }
+    }
+
+    /// Decrypts a run of *independent* 16-byte blocks in place; the inverse
+    /// of [`BlockCipher::encrypt_blocks`] with the same contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of 16.
+    fn decrypt_blocks(&self, data: &mut [u8]) {
+        assert!(data.len().is_multiple_of(AES_BLOCK_SIZE), "block run length {}", data.len());
+        for chunk in data.chunks_exact_mut(AES_BLOCK_SIZE) {
+            let block: &mut [u8; AES_BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+            self.decrypt_block(block);
+        }
+    }
+
     /// Key length in bytes (used by ESSIV to derive the IV key).
     fn key_len(&self) -> usize;
 }
@@ -398,6 +444,192 @@ impl AesCore {
             _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, state);
         }
     }
+
+    /// Encrypts a run of independent blocks: the AES-NI pipelined ladders
+    /// when available, otherwise a plain loop over the T-table core.
+    fn encrypt_many(&self, data: &mut [u8]) {
+        assert!(data.len().is_multiple_of(16), "block run length {}", data.len());
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when the CPU reports AES-NI
+            // and SSE2 support at runtime.
+            unsafe { self.encrypt_blocks_aesni(data) };
+            return;
+        }
+        for chunk in data.chunks_exact_mut(16) {
+            self.encrypt(chunk.try_into().expect("exact chunk"));
+        }
+    }
+
+    /// Inverse of [`AesCore::encrypt_many`], same backend dispatch.
+    fn decrypt_many(&self, data: &mut [u8]) {
+        assert!(data.len().is_multiple_of(16), "block run length {}", data.len());
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when the CPU reports AES-NI
+            // and SSE2 support at runtime.
+            unsafe { self.decrypt_blocks_aesni(data) };
+            return;
+        }
+        for chunk in data.chunks_exact_mut(16) {
+            self.decrypt(chunk.try_into().expect("exact chunk"));
+        }
+    }
+
+    /// A run of blocks through interleaved `AESENC` ladders: 8 independent
+    /// `__m128i` states per round-key load while the run is deep enough,
+    /// then 4, then the single-block path for the ragged tail. `AESENC`
+    /// retires one op per cycle but takes ~4 cycles to produce its result,
+    /// so the single-block ladder is latency-bound; with 8 states in
+    /// flight every cycle issues a useful round and throughput approaches
+    /// the unit's ceiling (~4x measured on one core).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `aes` and `sse2` feature sets.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn encrypt_blocks_aesni(&self, data: &mut [u8]) {
+        use std::arch::x86_64::*;
+        // SAFETY: caller guarantees AES-NI + SSE2 (this fn's contract).
+        // `keys[..=rounds]` is in bounds because the schedule holds
+        // `rounds + 1` blocks; every pointer passed to the lane helpers
+        // addresses a full `LANES * 16`-byte sub-slice of `data` (the
+        // offset loops subtract before comparing, so `off + width <= len`),
+        // and all loads/stores are unaligned intrinsics.
+        unsafe {
+            let mut keys = [_mm_setzero_si128(); MAX_RK_BLOCKS];
+            for (k, src) in keys.iter_mut().zip(self.enc_key_blocks.iter()) {
+                *k = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+            }
+            let mut off = 0usize;
+            while data.len() - off >= 8 * 16 {
+                enc_lanes::<8>(&keys, self.rounds, data.as_mut_ptr().add(off) as *mut __m128i);
+                off += 8 * 16;
+            }
+            while data.len() - off >= 4 * 16 {
+                enc_lanes::<4>(&keys, self.rounds, data.as_mut_ptr().add(off) as *mut __m128i);
+                off += 4 * 16;
+            }
+            while off < data.len() {
+                let block: &mut [u8; 16] =
+                    (&mut data[off..off + 16]).try_into().expect("exact block");
+                self.encrypt_aesni(block);
+                off += 16;
+            }
+        }
+    }
+
+    /// Inverse of [`AesCore::encrypt_blocks_aesni`]: the same 8x/4x/1x
+    /// interleaving over `AESDEC` with the equivalent-inverse-cipher
+    /// schedule.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `aes` and `sse2` feature sets.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "aes,sse2")]
+    unsafe fn decrypt_blocks_aesni(&self, data: &mut [u8]) {
+        use std::arch::x86_64::*;
+        // SAFETY: same contract and bounds argument as
+        // `encrypt_blocks_aesni`, over the decrypt schedule.
+        unsafe {
+            let mut keys = [_mm_setzero_si128(); MAX_RK_BLOCKS];
+            for (k, src) in keys.iter_mut().zip(self.dec_key_blocks.iter()) {
+                *k = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+            }
+            let mut off = 0usize;
+            while data.len() - off >= 8 * 16 {
+                dec_lanes::<8>(&keys, self.rounds, data.as_mut_ptr().add(off) as *mut __m128i);
+                off += 8 * 16;
+            }
+            while data.len() - off >= 4 * 16 {
+                dec_lanes::<4>(&keys, self.rounds, data.as_mut_ptr().add(off) as *mut __m128i);
+                off += 4 * 16;
+            }
+            while off < data.len() {
+                let block: &mut [u8; 16] =
+                    (&mut data[off..off + 16]).try_into().expect("exact block");
+                self.decrypt_aesni(block);
+                off += 16;
+            }
+        }
+    }
+}
+
+/// One interleaved `AESENC` ladder over `N` consecutive blocks at `p`:
+/// all `N` states load, whiten and step through each round together, so
+/// between a state's round `r` and its round `r + 1` the other `N - 1`
+/// states issue — exactly the independent work that hides `AESENC`
+/// latency. `N` is a compile-time constant, so the per-round inner loops
+/// fully unroll and the states live in xmm registers.
+///
+/// # Safety
+///
+/// The CPU must support `aes` + `sse2`; `p` must be valid for reads and
+/// writes of `N * 16` bytes (any alignment); `keys[..=rounds]` must hold
+/// the expanded encryption schedule.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "aes,sse2")]
+unsafe fn enc_lanes<const N: usize>(
+    keys: &[std::arch::x86_64::__m128i; MAX_RK_BLOCKS],
+    rounds: usize,
+    p: *mut std::arch::x86_64::__m128i,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: caller guarantees the feature set, that `p..p+N` is readable
+    // and writable, and that `keys[..=rounds]` is initialised; `rounds`
+    // never exceeds `MAX_RK_BLOCKS - 1` by construction of the schedule.
+    unsafe {
+        let mut s = [_mm_setzero_si128(); N];
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_xor_si128(_mm_loadu_si128(p.add(i)), keys[0]);
+        }
+        for key in keys.iter().take(rounds).skip(1) {
+            for lane in s.iter_mut() {
+                *lane = _mm_aesenc_si128(*lane, *key);
+            }
+        }
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_aesenclast_si128(*lane, keys[rounds]);
+            _mm_storeu_si128(p.add(i), *lane);
+        }
+    }
+}
+
+/// [`enc_lanes`] over `AESDEC`/`AESDECLAST` with the decrypt schedule;
+/// same interleaving, same contract.
+///
+/// # Safety
+///
+/// The CPU must support `aes` + `sse2`; `p` must be valid for reads and
+/// writes of `N * 16` bytes (any alignment); `keys[..=rounds]` must hold
+/// the equivalent-inverse-cipher schedule.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "aes,sse2")]
+unsafe fn dec_lanes<const N: usize>(
+    keys: &[std::arch::x86_64::__m128i; MAX_RK_BLOCKS],
+    rounds: usize,
+    p: *mut std::arch::x86_64::__m128i,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: caller guarantees the feature set, pointer validity for
+    // `N * 16` bytes and an initialised decrypt schedule (see `enc_lanes`).
+    unsafe {
+        let mut s = [_mm_setzero_si128(); N];
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_xor_si128(_mm_loadu_si128(p.add(i)), keys[0]);
+        }
+        for key in keys.iter().take(rounds).skip(1) {
+            for lane in s.iter_mut() {
+                *lane = _mm_aesdec_si128(*lane, *key);
+            }
+        }
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_aesdeclast_si128(*lane, keys[rounds]);
+            _mm_storeu_si128(p.add(i), *lane);
+        }
+    }
 }
 
 /// Whether the host CPU offers AES-NI (checked once per key schedule; the
@@ -456,6 +688,15 @@ macro_rules! aes_variant {
                 assert_eq!(key.len(), $key_len, "wrong key length for {}", stringify!($name));
                 $name { core: AesCore::new(key) }
             }
+
+            /// Pins this instance to the portable T-table backend even on
+            /// AES-NI hosts. Output is bit-identical either way; tests and
+            /// benches use this to keep the software path covered (and
+            /// measured) on hardware hosts.
+            #[doc(hidden)]
+            pub fn force_software(&mut self) {
+                self.core.use_aesni = false;
+            }
         }
 
         impl BlockCipher for $name {
@@ -465,6 +706,14 @@ macro_rules! aes_variant {
 
             fn decrypt_block(&self, block: &mut [u8; AES_BLOCK_SIZE]) {
                 self.core.decrypt(block);
+            }
+
+            fn encrypt_blocks(&self, data: &mut [u8]) {
+                self.core.encrypt_many(data);
+            }
+
+            fn decrypt_blocks(&self, data: &mut [u8]) {
+                self.core.decrypt_many(data);
             }
 
             fn key_len(&self) -> usize {
@@ -887,6 +1136,71 @@ mod tests {
                 assert_eq!(b, block, "decrypt (forced soft: {force_soft})");
             }
         }
+    }
+
+    #[test]
+    fn wide_lanes_match_single_block_at_every_depth() {
+        // Runs of 0..=20 blocks cover the 8-wide ladder, the 4-wide ladder,
+        // the single-block tail and every ragged combination (e.g. 13 =
+        // 8 + 4 + 1). Both backends must agree with a per-block loop.
+        let mut x: u64 = 0xabcdef;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 24) as u8
+        };
+        for blocks in 0..=20usize {
+            let mut key32 = [0u8; 32];
+            key32.iter_mut().for_each(|b| *b = next());
+            let mut data = vec![0u8; blocks * 16];
+            data.iter_mut().for_each(|b| *b = next());
+            for key_len in [16usize, 24, 32] {
+                for force_soft in [false, true] {
+                    let mut core = AesCore::new(&key32[..key_len]);
+                    if force_soft {
+                        core.use_aesni = false;
+                    }
+                    let mut expect = data.clone();
+                    for chunk in expect.chunks_exact_mut(16) {
+                        core.encrypt(chunk.try_into().unwrap());
+                    }
+                    let mut wide = data.clone();
+                    core.encrypt_many(&mut wide);
+                    assert_eq!(wide, expect, "encrypt: {blocks} blocks, soft {force_soft}");
+                    core.decrypt_many(&mut wide);
+                    assert_eq!(wide, data, "decrypt inverts: {blocks} blocks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_wide_entry_points_dispatch_to_the_ladders() {
+        let cipher = Aes256::new(&[0x41u8; 32]);
+        let mut soft = Aes256::new(&[0x41u8; 32]);
+        soft.force_software();
+        let data: Vec<u8> = (0..13 * 16).map(|i| (i % 251) as u8).collect();
+        let mut a = data.clone();
+        cipher.encrypt_blocks(&mut a);
+        let mut b = data.clone();
+        soft.encrypt_blocks(&mut b);
+        let mut c = data.clone();
+        for chunk in c.chunks_exact_mut(16) {
+            cipher.encrypt_block(chunk.try_into().unwrap());
+        }
+        assert_eq!(a, b, "hardware and forced-software wide paths agree");
+        assert_eq!(a, c, "wide path agrees with the single-block trait path");
+        cipher.decrypt_blocks(&mut a);
+        assert_eq!(a, data);
+        soft.decrypt_blocks(&mut b);
+        assert_eq!(b, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "block run length")]
+    fn wide_lanes_reject_ragged_bytes() {
+        let cipher = Aes128::new(&[0u8; 16]);
+        let mut data = vec![0u8; 24];
+        cipher.encrypt_blocks(&mut data);
     }
 
     #[test]

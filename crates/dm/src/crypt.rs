@@ -31,10 +31,13 @@ pub const MIN_PARALLEL_SECTORS: usize = 2;
 
 /// Under the default policy each worker must carry at least this much
 /// payload before threads are spawned: spawning a scoped thread costs tens
-/// of microseconds, so a shard has to hold enough AES work (64 KiB is
-/// ~100 µs even on an AES-NI core) to amortize it. Batches too shallow to
-/// feed every worker simply use fewer threads, or none.
-pub const DEFAULT_MIN_SHARD_BYTES: usize = 64 * 1024;
+/// of microseconds, so a shard has to hold enough AES work to amortize it.
+/// Retuned for the pipelined wide-lane core: at ~3 GiB/s XTS per core,
+/// 64 KiB is only ~20 µs of AES — thread-spawn noise — so the floor is
+/// 256 KiB (~100 µs), the same amortization ratio the pre-pipelined
+/// threshold bought at ~627 MiB/s. Batches too shallow to feed every
+/// worker simply use fewer threads, or none.
+pub const DEFAULT_MIN_SHARD_BYTES: usize = 256 * 1024;
 
 /// Upper bound on the default worker count; batches are rarely deep enough
 /// to feed more cores, and tests run many stacks concurrently.
@@ -47,8 +50,10 @@ const DEFAULT_MAX_WORKERS: usize = 8;
 /// random — the property MobiCeal's dummy writes rely on (§IV-A Q2).
 ///
 /// Batched reads/writes encrypt sectors *in place* (one ciphertext arena
-/// per write batch, zero extra allocation per read batch) and, for batches
-/// of at least [`DEFAULT_PARALLEL_MIN_SECTORS`] sectors carrying
+/// per write batch, zero extra allocation per read batch) through the
+/// cipher's sector-batch entry points — one virtual dispatch per batch
+/// shard, wide AES lanes inside — and, for batches of at least
+/// [`DEFAULT_PARALLEL_MIN_SECTORS`] sectors carrying
 /// [`DEFAULT_MIN_SHARD_BYTES`] of payload per worker, shard the AES work
 /// across scoped worker threads — the real-time analogue of dm-crypt's
 /// per-CPU crypto queues. Sector ciphers are deterministic per
@@ -172,16 +177,16 @@ impl DmCrypt {
     /// Runs `cipher op` over every `(sector, buffer)` job, sharding the
     /// batch across scoped worker threads when it is deep enough. Jobs are
     /// disjoint buffers and sector ciphers are pure per job, so sharding
-    /// cannot change the bytes produced.
+    /// cannot change the bytes produced. Each shard crosses the cipher's
+    /// virtual dispatch once via the sector-batch entry points; inside,
+    /// the mode feeds the wide AES lanes sector by sector.
     fn crypt_sectors(&self, mut jobs: Vec<(BlockIndex, &mut [u8])>, encrypt: bool) {
         let cipher: &dyn SectorCipher = &*self.cipher;
         let run = |chunk: &mut [(BlockIndex, &mut [u8])]| {
-            for (index, buf) in chunk.iter_mut() {
-                if encrypt {
-                    cipher.encrypt_sector_in_place(*index, buf);
-                } else {
-                    cipher.decrypt_sector_in_place(*index, buf);
-                }
+            if encrypt {
+                cipher.encrypt_sectors_in_place(chunk);
+            } else {
+                cipher.decrypt_sectors_in_place(chunk);
             }
         };
         let shards = self.shard_count(jobs.len(), jobs.iter().map(|(_, b)| b.len()).sum());
@@ -424,11 +429,15 @@ mod tests {
         assert_eq!(enc.shard_count(7, 7 * 512), 1, "below depth threshold");
         assert_eq!(enc.shard_count(64, 64 * 512), 8, "explicit config ignores bytes");
         // The default policy refuses to spawn threads that would each get
-        // less than DEFAULT_MIN_SHARD_BYTES of work.
+        // less than DEFAULT_MIN_SHARD_BYTES of work — retuned to 256 KiB
+        // for the wide-lane core, so the 64x4 KiB batch the stack write
+        // path emits now stays inline (it is ~80 µs of AES, not worth a
+        // spawn) while genuinely deep batches still fan out.
         let (_, dflt) = setup(CipherMode::CbcEssiv);
         let dflt = DmCrypt { workers: 8, ..dflt };
         assert_eq!(dflt.shard_count(64, 64 * 512), 1, "32 KiB batch stays inline");
-        assert_eq!(dflt.shard_count(64, 64 * 4096), 4, "256 KiB batch feeds 4 workers");
+        assert_eq!(dflt.shard_count(64, 64 * 4096), 1, "256 KiB batch feeds one worker");
+        assert_eq!(dflt.shard_count(256, 256 * 4096), 4, "1 MiB batch feeds 4 workers");
         assert_eq!(dflt.shard_count(1024, 1024 * 4096), 8, "deep batch uses all workers");
         assert_eq!(dflt.shard_count(4, 4 << 20), 1, "depth threshold still applies");
     }

@@ -7,7 +7,7 @@
 
 use mobiceal_blockdev::{BlockDevice, MemDisk};
 use mobiceal_dm::DmCrypt;
-use mobiceal_sim::{CpuCostModel, SimClock};
+use mobiceal_sim::{CpuCostModel, SimClock, SimDuration};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -76,6 +76,78 @@ proptest! {
                 clock_p.now(),
                 clock_s.now(),
                 "virtual-clock charges must be identical"
+            );
+        }
+    }
+
+    /// Pins the three write paths against each other: the sector-batch
+    /// entry points (thread-sharded and sequential) and the per-sector
+    /// loop must land bit-identical ciphertext on the medium, and every
+    /// path's crypto charge must be exactly the byte-count formula —
+    /// `aes_cost(total)` once per batch, `aes_cost(block)` once per call
+    /// on the loop (the documented batch amortization). The crypto charge
+    /// is measured as the clock delta against a cipherless twin driving
+    /// the identical device-op sequence, so this also pins that real
+    /// crypto speed — wide lanes, precomputed tweak ladders — never leaks
+    /// into the virtual numbers.
+    #[test]
+    fn batch_and_per_sector_paths_pin_ciphertext_and_crypto_charges(
+        batch in prop::collection::vec((0u64..BLOCKS, any::<u8>()), 1..40),
+    ) {
+        let model = CpuCostModel::nexus4();
+        for (((disk_b, clock_b, batched), (disk_s, _clock_s, seq)), (disk_1, clock_1, single)) in
+            stacks(true).into_iter().zip(stacks(false)).zip(stacks(false))
+        {
+            let data: Vec<(u64, Vec<u8>)> = batch
+                .iter()
+                .map(|&(b, fill)| (b, (0..BS).map(|i| fill ^ (i % 251) as u8).collect()))
+                .collect();
+            let writes: Vec<(u64, &[u8])> =
+                data.iter().map(|(b, d)| (*b, d.as_slice())).collect();
+
+            // Cipherless twins issue the identical device-op sequences;
+            // MemDisk charges depend only on (op, index, size), so the
+            // clock difference below is exactly the crypto charge.
+            let raw_clock_b = SimClock::new();
+            let raw_b = MemDisk::new(BLOCKS, BS, raw_clock_b.clone());
+            raw_b.write_blocks(&writes).unwrap();
+            let raw_clock_1 = SimClock::new();
+            let raw_1 = MemDisk::new(BLOCKS, BS, raw_clock_1.clone());
+            for (b, d) in &data {
+                raw_1.write_block(*b, d).unwrap();
+            }
+
+            batched.write_blocks(&writes).unwrap();
+            seq.write_blocks(&writes).unwrap();
+            for (b, d) in &data {
+                single.write_block(*b, d).unwrap();
+            }
+
+            prop_assert_eq!(
+                disk_b.snapshot().as_bytes(),
+                disk_s.snapshot().as_bytes(),
+                "sharded and sequential batch paths must land identical media"
+            );
+            prop_assert_eq!(
+                disk_b.snapshot().as_bytes(),
+                disk_1.snapshot().as_bytes(),
+                "sector-batch and per-sector paths must land identical media"
+            );
+
+            let total: usize = data.iter().map(|(_, d)| d.len()).sum();
+            prop_assert_eq!(
+                clock_b.now() - raw_clock_b.now(),
+                model.aes_cost(total),
+                "batch path charges one amortized aes_cost(total bytes)"
+            );
+            let mut per_sector = SimDuration::ZERO;
+            for _ in 0..data.len() {
+                per_sector += model.aes_cost(BS);
+            }
+            prop_assert_eq!(
+                clock_1.now() - raw_clock_1.now(),
+                per_sector,
+                "per-sector loop charges aes_cost(block) once per call"
             );
         }
     }

@@ -273,6 +273,62 @@ fn batch_amortization_opens_no_timing_channel() {
 }
 
 #[test]
+fn pipelined_crypto_charges_are_world_independent() {
+    // PR 10 rebuilt the crypto hot path around pipelined AES lanes and a
+    // precomputed carry-less tweak ladder — all *real-time* machinery. The
+    // virtual clock must not notice: `DmCrypt` charges `aes_cost(bytes)`
+    // from byte counts alone, before any real crypto runs. Two traces with
+    // identical batch shapes but disjoint physical placements — a hidden
+    // volume's sectors sit at different indices, so every XTS tweak
+    // sequence and ESSIV IV the ladder precomputes is a different value —
+    // must charge identical simulated time and leave identical device op
+    // mixes, for both cipher modes, across batch depths that fill the
+    // 8-wide, 4-wide and single-block lanes differently.
+    use mobiceal_blockdev::{BlockDevice, DeviceStats, MemDisk};
+    use mobiceal_dm::DmCrypt;
+    use mobiceal_sim::{CpuCostModel, SimClock};
+    use std::sync::Arc;
+
+    let run_trace = |base: u64, xts: bool| -> (u64, DeviceStats) {
+        let clock = SimClock::new();
+        let disk = Arc::new(MemDisk::new(4096, 4096, clock.clone()));
+        let crypt = if xts {
+            DmCrypt::new_xts(disk.clone(), &[0x42; 64])
+        } else {
+            DmCrypt::new_essiv(disk.clone(), &[0x42; 32])
+        }
+        .with_timing(clock.clone(), CpuCostModel::nexus4());
+        let data = vec![0xC3u8; 4096];
+        let t0 = clock.now();
+        let mut cursor = base;
+        for &shape in &TRACE_SHAPES {
+            let batch: Vec<(u64, &[u8])> =
+                (0..shape as u64).map(|i| (cursor + i, data.as_slice())).collect();
+            crypt.write_blocks(&batch).unwrap();
+            cursor += shape as u64;
+        }
+        // Read the trace back so the decrypt ladders (the pipelined
+        // CBC-ESSIV path and the XTS decrypt lanes) are in the window too.
+        let indices: Vec<u64> = (base..cursor).collect();
+        crypt.read_blocks(&indices).unwrap();
+        ((clock.now() - t0).as_nanos(), disk.stats())
+    };
+
+    for xts in [false, true] {
+        let (public_time, public_stats) = run_trace(0, xts);
+        let (hidden_time, hidden_stats) = run_trace(2048, xts);
+        assert_eq!(
+            public_time, hidden_time,
+            "identical shapes must charge identical time wherever the sectors live (xts={xts})"
+        );
+        assert_eq!(
+            public_stats, hidden_stats,
+            "identical shapes must leave identical op mixes wherever the sectors live (xts={xts})"
+        );
+    }
+}
+
+#[test]
 fn sharded_queue_depth_charging_is_world_independent() {
     // PR 5's new machinery — shard locks and CQE queue-depth charging —
     // must open no timing channel: identical batch shapes driven at an
